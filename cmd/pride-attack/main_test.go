@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pride/internal/patterns"
+)
+
+func TestFig15TableListsAllSchemes(t *testing.T) {
+	tbl := fig15(4, 1, 30_000, 1)
+	out := tbl.String()
+	for _, scheme := range []string{"PRoHIT", "DSAC", "PARA-MC", "PARFM",
+		"PrIDE", "PrIDE+RFM40", "PrIDE+RFM16"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("scheme %s missing:\n%s", scheme, out)
+		}
+	}
+}
+
+func TestFig18TableCoversThreeSizes(t *testing.T) {
+	tbl := fig18(300, 60_000, 1)
+	out := tbl.String()
+	for _, n := range []string{"| 4 ", "| 6 ", "| 16 "} {
+		if !strings.Contains(out, n) {
+			t.Errorf("buffer size row %q missing:\n%s", n, out)
+		}
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "attack.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := patterns.WriteTrace(f, patterns.TRRespass(500, 6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tbl, err := replayTrace(path, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "trrespass(n=6)") || !strings.Contains(out, "PrIDE") {
+		t.Fatalf("replay output incomplete:\n%s", out)
+	}
+}
+
+func TestReplayTraceErrors(t *testing.T) {
+	if _, err := replayTrace("/nonexistent/file", 100, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("seq: not-a-row\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayTrace(bad, 100, 1); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command pride-perf runs the performance and energy evaluations: Figure 14
+// (normalized IPC of PrIDE and PrIDE+RFM across the 34 workloads), Table VII
+// (the system configuration), and Table X (DRAM energy overheads).
+//
+// Usage:
+//
+//	pride-perf                      # Fig 14, quick fidelity
+//	pride-perf -requests 250000     # higher fidelity
+//	pride-perf -config              # Table VII
+//	pride-perf -energy              # Table X
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pride/internal/energy"
+	"pride/internal/perfsim"
+	"pride/internal/report"
+	"pride/internal/workload"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 30_000, "DRAM requests simulated per workload per scheme")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		showCfg  = flag.Bool("config", false, "print the Table VII system configuration and exit")
+		showEn   = flag.Bool("energy", false, "print the Table X energy overheads and exit")
+		csv      = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	if *showCfg {
+		emit(tableVII())
+		return
+	}
+	if *showEn {
+		emit(tableX())
+		return
+	}
+	emit(fig14(*requests, *seed))
+}
+
+func tableVII() *report.Table {
+	cfg := perfsim.DefaultConfig()
+	t := report.NewTable("Table VII: baseline system configuration", "Component", "Value")
+	t.AddRow("Cores", fmt.Sprintf("%d cores, %.0f GHz, 8-wide fetch", cfg.Cores, cfg.CoreGHz))
+	t.AddRow("Base CPI", cfg.BaseCPI)
+	t.AddRow("Memory", "32 GB, DDR5")
+	t.AddRow("tRCD-tCL-tRC", fmt.Sprintf("%.1f-%.1f-%v ns", cfg.TRCDNs, cfg.TCLNs, cfg.Params.TRC.Nanoseconds()))
+	t.AddRow("Banks x Ranks x Channels", fmt.Sprintf("%dx1x1", cfg.Banks))
+	t.AddRow("Rows", fmt.Sprintf("%dK rows", cfg.RowsPerBank/1024))
+	t.AddRow("RFM block time", fmt.Sprintf("%.0f ns", cfg.RFMBlockNs))
+	return t
+}
+
+func tableX() *report.Table {
+	t := report.NewTable("Table X: DRAM energy overheads",
+		"Config", "ACT Energy", "Non-ACT Energy", "Total Energy")
+	t.AddRow("Base (No Mitig)", "1x (13% overall)", "1x (87% overall)", "1x")
+	for _, r := range energy.TableX(energy.DefaultModel()) {
+		t.AddRow(r.Scheme,
+			fmt.Sprintf("%.3fx", r.ACTEnergyFactor),
+			fmt.Sprintf("%.3fx", r.NonACTEnergyFactor),
+			fmt.Sprintf("%.3fx", r.TotalFactor))
+	}
+	return t
+}
+
+func fig14(requests int, seed uint64) *report.Table {
+	cfg := perfsim.DefaultConfig()
+	rows := perfsim.Fig14(cfg, workload.All(), requests, seed)
+	t := report.NewTable(
+		fmt.Sprintf("Fig 14: normalized performance (%d requests/workload)", requests),
+		"Workload", "PrIDE", "PrIDE+RFM40", "PrIDE+RFM16")
+	for _, r := range rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.4f", r.Normalized["PrIDE"]),
+			fmt.Sprintf("%.4f", r.Normalized["PrIDE+RFM40"]),
+			fmt.Sprintf("%.4f", r.Normalized["PrIDE+RFM16"]))
+	}
+	t.AddRow("GEOMEAN",
+		fmt.Sprintf("%.4f", perfsim.GeoMean(rows, "PrIDE")),
+		fmt.Sprintf("%.4f", perfsim.GeoMean(rows, "PrIDE+RFM40")),
+		fmt.Sprintf("%.4f", perfsim.GeoMean(rows, "PrIDE+RFM16")))
+	return t
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableVIIContents(t *testing.T) {
+	out := tableVII().String()
+	for _, want := range []string{"4 cores", "3 GHz", "DDR5", "32x1x1", "128K rows", "180 ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table VII missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableXContents(t *testing.T) {
+	out := tableX().String()
+	for _, want := range []string{"Base (No Mitig)", "PrIDE", "PrIDE+RFM40", "PrIDE+RFM16", "13% overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table X missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig14HasAllWorkloadsAndGeomean(t *testing.T) {
+	tbl := fig14(2_000, 1)
+	out := tbl.String()
+	for _, want := range []string{"mcf", "lbm", "povray", "mix01", "mix17", "GEOMEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 14 missing %q", want)
+		}
+	}
+	// 34 workloads + geomean + header + separator + title.
+	if rows := strings.Count(strings.TrimSpace(out), "\n") + 1; rows != 34+4 {
+		t.Fatalf("Fig 14 rows = %d, want 38", rows)
+	}
+	// PrIDE column is exactly 1.0000 everywhere.
+	if strings.Count(out, "1.0000") < 34 {
+		t.Fatal("PrIDE normalized IPC must be 1.0000 for every workload")
+	}
+}

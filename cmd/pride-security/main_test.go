@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pride/internal/analytic"
+	"pride/internal/dram"
+)
+
+func TestEveryTableBuilderProducesRows(t *testing.T) {
+	p := dram.DDR5()
+	const ttf = analytic.DefaultTargetTTFYears
+	builders := map[string]func() string{
+		"table1":  func() string { return table1(p).String() },
+		"table2":  func() string { return table2().String() },
+		"fig8":    func() string { return fig8(p, 20_000, 1).String() },
+		"table3":  func() string { return table3(p, ttf).String() },
+		"fig9":    func() string { return fig9(p, ttf).String() },
+		"table4":  func() string { return table4(p, ttf).String() },
+		"table5":  func() string { return table5(p, ttf).String() },
+		"table6":  func() string { return table6(p, ttf).String() },
+		"table8":  func() string { return table8(p).String() },
+		"table9":  func() string { return table9(p).String() },
+		"table11": func() string { return table11().String() },
+		"table12": func() string { return table12(p, ttf).String() },
+	}
+	for name, build := range builders {
+		out := build()
+		if lines := strings.Count(out, "\n"); lines < 4 {
+			t.Errorf("%s: only %d lines:\n%s", name, lines, out)
+		}
+	}
+}
+
+func TestTable9ShowsTheCliffs(t *testing.T) {
+	out := table9(dram.DDR5()).String()
+	// The Table IX story: plain PrIDE protects million-year at today's
+	// thresholds and collapses below ~1200.
+	if !strings.Contains(out, "> 1 Mln years") {
+		t.Fatalf("missing the >1Mln regime:\n%s", out)
+	}
+	if !strings.Contains(out, "< 1 sec") {
+		t.Fatalf("missing the sub-second collapse:\n%s", out)
+	}
+}
+
+func TestTable11ShowsPrIDEConstantStorage(t *testing.T) {
+	out := table11().String()
+	if strings.Count(out, "10 bytes") != 2 {
+		t.Fatalf("PrIDE must cost 10 bytes at both thresholds:\n%s", out)
+	}
+	if !strings.Contains(out, "MB") {
+		t.Fatalf("counter trackers must reach MB scale at TRH-D=400:\n%s", out)
+	}
+}
+
+func TestFig8TableHasAllPositions(t *testing.T) {
+	p := dram.DDR5()
+	tbl := fig8(p, 5_000, 1)
+	out := tbl.String()
+	// Header + separator + title + one row per position.
+	want := p.ACTsPerTREFI() + 3
+	if got := strings.Count(strings.TrimSpace(out), "\n") + 1; got != want {
+		t.Fatalf("fig8 rows = %d, want %d", got, want)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		10:              "10 bytes",
+		42.5 * 1024:     "42.5 KB",
+		3 * 1024 * 1024: "3.00 MB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Errorf("formatBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

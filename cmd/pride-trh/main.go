@@ -1,0 +1,103 @@
+// Command pride-trh is a calculator for the paper's security model: given a
+// tracker configuration (entries, mitigation window, insertion probability)
+// and a target time-to-fail, it prints the loss probability, the critical
+// Rowhammer thresholds (Eq. 8, Section VI), and — given a device TRH-D —
+// the expected bank and system time-to-fail (Table IX's math for arbitrary
+// configurations).
+//
+// Usage:
+//
+//	pride-trh                                   # paper-default PrIDE
+//	pride-trh -entries 8 -window 40 -p 0.025    # custom tracker
+//	pride-trh -device-trhd 1500                 # TTF for a real device
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pride/internal/analytic"
+	"pride/internal/dram"
+	"pride/internal/report"
+)
+
+// printDecomposition shows how each failure mode of Section II-G
+// contributes to the final TRH*: the idealized insertion-failure-only
+// threshold (Eq. 4), the retention-failure penalty from the lossy buffer
+// (Eq. 6), and the tardiness term (Eq. 8).
+func printDecomposition(r analytic.Result, ttf float64) {
+	ideal := analytic.TRHStarTIF(r.P, r.RoundTime, ttf)
+	withTRF := r.TRHStarNoTardiness
+	t := report.NewTable("\nFailure-mode decomposition (Section II-G / Eq. 4-8)",
+		"Failure modes included", "TRH*", "Penalty vs ideal")
+	t.AddRow("TIF only (idealized, Eq. 4)", ideal, "-")
+	t.AddRow("TIF + TRF (lossy buffer, Eq. 6)", withTRF,
+		fmt.Sprintf("+%.0f", withTRF-ideal))
+	t.AddRow("TIF + TRF + Tardiness (Eq. 8)", r.TRHStar,
+		fmt.Sprintf("+%.0f", r.TRHStar-ideal))
+	t.Render(os.Stdout)
+	fmt.Printf("Interpretation: retention failures cost %.0f activations of threshold; the\n",
+		withTRF-ideal)
+	fmt.Printf("FIFO's bounded mitigation delay costs another %d (= N*W). Counter trackers\n",
+		r.Tardiness)
+	fmt.Println("cannot even write this table: their failure modes depend on the pattern.")
+}
+
+func main() {
+	var (
+		entries    = flag.Int("entries", 4, "tracker FIFO entries N")
+		explain    = flag.Bool("explain", false, "also print the failure-mode decomposition (TIF/TRF/tardiness)")
+		window     = flag.Int("window", 0, "mitigation window W in ACTs (0 = derive from DDR5 tREFI: 79)")
+		p          = flag.Float64("p", 0, "insertion probability (0 = 1/(W+1), the transitive-safe default)")
+		ttf        = flag.Float64("ttf", analytic.DefaultTargetTTFYears, "target time-to-fail per bank, years")
+		deviceTRHD = flag.Int("device-trhd", 0, "optional device TRH-D: also print expected TTF")
+	)
+	flag.Parse()
+
+	params := dram.DDR5()
+	w := *window
+	if w == 0 {
+		w = params.ACTsPerTREFI()
+	}
+	ins := *p
+	if ins == 0 {
+		ins = 1 / float64(w+1)
+	}
+	if ins <= 0 || ins > 1 || *entries < 1 || w < 1 {
+		fmt.Fprintln(os.Stderr, "invalid configuration: need entries >= 1, window >= 1, 0 < p <= 1")
+		os.Exit(2)
+	}
+
+	round := params.TREFI * time.Duration(w) / time.Duration(params.ACTsPerTREFI())
+	r := analytic.Analyze("custom", *entries, w, ins, round, *ttf)
+
+	t := report.NewTable("PrIDE security model", "Quantity", "Value")
+	t.AddRow("Entries (N)", r.Entries)
+	t.AddRow("Window (W)", r.Window)
+	t.AddRow("Insertion probability (p)", fmt.Sprintf("%.6f (1/%.1f)", r.P, 1/r.P))
+	t.AddRow("Worst-case loss probability (L)", r.Loss)
+	t.AddRow("Effective p-hat = p(1-L)", r.PHat)
+	t.AddRow("Max tardiness (N*W)", r.Tardiness)
+	t.AddRow("TRH-S* (single-sided)", r.TRHStar)
+	t.AddRow("TRH-D* (double-sided)", r.TRHDoubleSided())
+	t.AddRow("TRH* (BR=2 victim sharing)", r.TRHVictimSharing(4))
+	t.AddRow("Target TTF (bank)", report.FormatTTFYears(*ttf))
+	t.Render(os.Stdout)
+
+	if *explain {
+		printDecomposition(r, *ttf)
+	}
+
+	if *deviceTRHD > 0 {
+		chances := 2 * float64(*deviceTRHD)
+		bank := analytic.BankTTFYears(r, chances)
+		system := analytic.SystemTTFYears(r, chances, params.TFAWLimit)
+		t2 := report.NewTable(fmt.Sprintf("\nExpected time-to-fail at device TRH-D = %d", *deviceTRHD),
+			"Scope", "TTF")
+		t2.AddRow("Per bank (continuous attack)", report.FormatTTFYears(bank))
+		t2.AddRow(fmt.Sprintf("System (%d concurrent banks)", params.TFAWLimit), report.FormatTTFYears(system))
+		t2.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,79 @@
+// TTF planner: given the Rowhammer threshold of the DRAM devices you are
+// deploying, pick the cheapest PrIDE configuration that keeps the system's
+// expected time-to-failure above your reliability budget — the deployment
+// decision Table IX supports.
+//
+// Run with:
+//
+//	go run ./examples/ttfplanner            # survey standard device classes
+//	go run ./examples/ttfplanner -trhd 900  # plan for a specific device
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pride/internal/analytic"
+	"pride/internal/dram"
+	"pride/internal/report"
+)
+
+func main() {
+	var (
+		trhd   = flag.Int("trhd", 0, "your device's double-sided Rowhammer threshold (0 = survey)")
+		budget = flag.Float64("budget-years", 100, "minimum acceptable system TTF in years")
+	)
+	flag.Parse()
+
+	params := dram.DDR5()
+	schemes := []analytic.Scheme{
+		analytic.SchemePrIDE,
+		analytic.SchemePrIDERFM40,
+		analytic.SchemePrIDERFM16,
+	}
+	// Deployment costs, from Fig 14's slowdowns.
+	cost := map[string]string{
+		"PrIDE":       "zero slowdown",
+		"PrIDE+RFM40": "~0.1% slowdown",
+		"PrIDE+RFM16": "~1.6% slowdown",
+	}
+
+	recommend := func(trhd int) (string, float64) {
+		rows := analytic.DeviceTTFTable(params, []int{trhd}, schemes)
+		for _, s := range schemes {
+			ttf := rows[0].TTFYears[s.String()]
+			if ttf >= *budget {
+				return s.String(), ttf
+			}
+		}
+		return "", 0
+	}
+
+	if *trhd > 0 {
+		name, ttf := recommend(*trhd)
+		if name == "" {
+			fmt.Printf("No PrIDE configuration meets %.0f years at TRH-D=%d.\n", *budget, *trhd)
+			fmt.Println("Such devices need a higher mitigation rate than RFM16 provides")
+			fmt.Println("(or per-row counters — the expensive road the paper argues against).")
+			return
+		}
+		fmt.Printf("Device TRH-D = %d, budget = %.0f years:\n", *trhd, *budget)
+		fmt.Printf("  -> deploy %s (%s), expected system TTF %s\n",
+			name, cost[name], report.FormatTTFYears(ttf))
+		return
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Cheapest scheme meeting a %.0f-year system TTF (%d concurrently attacked banks)",
+			*budget, params.TFAWLimit),
+		"Device TRH-D", "Recommendation", "Expected TTF", "Cost")
+	for _, d := range []int{4800, 2400, 2000, 1600, 1200, 1000, 800, 600, 400, 200} {
+		name, ttf := recommend(d)
+		if name == "" {
+			t.AddRow(d, "(beyond PrIDE+RFM16)", "-", "-")
+			continue
+		}
+		t.AddRow(d, name, report.FormatTTFYears(ttf), cost[name])
+	}
+	fmt.Print(t)
+}

@@ -1,0 +1,3 @@
+module pride
+
+go 1.22

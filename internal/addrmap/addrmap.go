@@ -1,0 +1,216 @@
+// Package addrmap models DRAM address translation: the controller-visible
+// decomposition of physical addresses into (channel, rank, bank, row,
+// column), and the proprietary in-DRAM row remapping that Section II-D
+// identifies as the reason memory-controller-side mitigations struggle —
+// "DRAM chips internally use proprietary mappings, which makes it hard to
+// identify the row adjacency information".
+//
+// Two pieces:
+//
+//   - Mapping: a configurable bit-field decoder with XOR-based bank hashing
+//     (the standard controller-side interleaving).
+//   - RowScrambler: a keyed bijection over row addresses standing in for the
+//     vendor's internal remap. External row r sits physically at
+//     Scramble(r); externally adjacent rows are NOT physically adjacent, so
+//     an MC-side defense refreshing r±1 protects the wrong cells.
+package addrmap
+
+import "fmt"
+
+// Mapping describes how a physical address splits into DRAM coordinates,
+// lowest bits first: column, then bank (XOR-hashed with row bits), then row,
+// then rank/channel. All widths are in bits.
+type Mapping struct {
+	ColumnBits  int
+	BankBits    int
+	RowBits     int
+	RankBits    int
+	ChannelBits int
+	// XORBankHash, when true, XORs the bank index with the low row bits —
+	// the permutation-based interleaving controllers use to spread row
+	// conflicts across banks.
+	XORBankHash bool
+}
+
+// DefaultDDR5 returns a mapping for the paper's 32GB single-channel system:
+// 8KB rows (13 column bits at 1B granularity... modelled as 13), 32 banks,
+// 128K rows.
+func DefaultDDR5() Mapping {
+	return Mapping{ColumnBits: 13, BankBits: 5, RowBits: 17, RankBits: 0, ChannelBits: 0, XORBankHash: true}
+}
+
+// Validate reports whether the mapping is usable.
+func (m Mapping) Validate() error {
+	if m.ColumnBits < 0 || m.BankBits < 0 || m.RowBits <= 0 || m.RankBits < 0 || m.ChannelBits < 0 {
+		return fmt.Errorf("addrmap: negative or zero field widths: %+v", m)
+	}
+	if total := m.ColumnBits + m.BankBits + m.RowBits + m.RankBits + m.ChannelBits; total > 62 {
+		return fmt.Errorf("addrmap: %d address bits exceed 62", total)
+	}
+	if m.XORBankHash && m.RowBits < m.BankBits {
+		return fmt.Errorf("addrmap: XOR hash needs RowBits >= BankBits")
+	}
+	return nil
+}
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Column  int
+}
+
+// Decode splits addr into coordinates. It panics on an invalid mapping
+// (construction-time misuse).
+func (m Mapping) Decode(addr uint64) Coord {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	take := func(bits int) int {
+		v := addr & ((1 << bits) - 1)
+		addr >>= bits
+		return int(v)
+	}
+	c := Coord{}
+	c.Column = take(m.ColumnBits)
+	c.Bank = take(m.BankBits)
+	c.Row = take(m.RowBits)
+	c.Rank = take(m.RankBits)
+	c.Channel = take(m.ChannelBits)
+	if m.XORBankHash && m.BankBits > 0 {
+		c.Bank ^= c.Row & ((1 << m.BankBits) - 1)
+	}
+	return c
+}
+
+// Encode is the inverse of Decode.
+func (m Mapping) Encode(c Coord) uint64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	bank := c.Bank
+	if m.XORBankHash && m.BankBits > 0 {
+		bank ^= c.Row & ((1 << m.BankBits) - 1)
+	}
+	addr := uint64(0)
+	shift := 0
+	put := func(v, bits int) {
+		if bits == 0 {
+			return
+		}
+		if v < 0 || v >= 1<<bits {
+			panic(fmt.Sprintf("addrmap: field value %d exceeds %d bits", v, bits))
+		}
+		addr |= uint64(v) << shift
+		shift += bits
+	}
+	put(c.Column, m.ColumnBits)
+	put(bank, m.BankBits)
+	put(c.Row, m.RowBits)
+	put(c.Rank, m.RankBits)
+	put(c.Channel, m.ChannelBits)
+	return addr
+}
+
+// RowScrambler is a keyed bijection over [0, Rows) standing in for the
+// vendor's internal row remap. It uses an affine map r -> (a*r + b) mod Rows
+// with gcd(a, Rows) = 1, which destroys external adjacency (externally
+// consecutive rows land `a` apart internally) while staying invertible.
+type RowScrambler struct {
+	rows int
+	a, b int
+	inv  int
+}
+
+// NewRowScrambler returns a scrambler over [0, rows) keyed by seed.
+func NewRowScrambler(rows int, seed uint64) *RowScrambler {
+	if rows < 2 {
+		panic(fmt.Sprintf("addrmap: scrambler needs >= 2 rows, got %d", rows))
+	}
+	// Pick an odd multiplier coprime with rows. For power-of-two row
+	// counts (the universal case) any odd a works; otherwise search.
+	a := int(seed%uint64(rows)) | 1
+	for gcd(a, rows) != 1 {
+		a += 2
+		if a >= rows {
+			a = 1
+		}
+	}
+	b := int((seed >> 32) % uint64(rows))
+	return &RowScrambler{rows: rows, a: a, b: b, inv: modInverse(a, rows)}
+}
+
+// Scramble maps an external row to its internal physical location.
+func (s *RowScrambler) Scramble(row int) int {
+	if row < 0 || row >= s.rows {
+		panic(fmt.Sprintf("addrmap: row %d out of [0,%d)", row, s.rows))
+	}
+	return (s.a*row + s.b) % s.rows
+}
+
+// Unscramble maps an internal physical location back to its external row.
+func (s *RowScrambler) Unscramble(phys int) int {
+	if phys < 0 || phys >= s.rows {
+		panic(fmt.Sprintf("addrmap: row %d out of [0,%d)", phys, s.rows))
+	}
+	d := phys - s.b
+	d %= s.rows
+	if d < 0 {
+		d += s.rows
+	}
+	return d * s.inv % s.rows
+}
+
+// Rows returns the scrambler's domain size.
+func (s *RowScrambler) Rows() int { return s.rows }
+
+// InternalNeighbors returns the internal physical rows adjacent to the
+// internal location of external row r — what an in-DRAM mitigation
+// refreshes (it knows the true geometry).
+func (s *RowScrambler) InternalNeighbors(row int) (lo, hi int) {
+	p := s.Scramble(row)
+	return p - 1, p + 1
+}
+
+// ExternalGuessNeighbors returns the internal locations of the externally
+// adjacent rows r±1 — what an MC-side mitigation actually refreshes when it
+// assumes external adjacency. With a nontrivial scramble these are far from
+// the true victims.
+func (s *RowScrambler) ExternalGuessNeighbors(row int) (lo, hi int) {
+	l, h := row-1, row+1
+	if l < 0 {
+		l += s.rows
+	}
+	if h >= s.rows {
+		h -= s.rows
+	}
+	return s.Scramble(l), s.Scramble(h)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// modInverse returns a^-1 mod n for gcd(a,n)=1 via the extended Euclid
+// algorithm.
+func modInverse(a, n int) int {
+	t, newT := 0, 1
+	r, newR := n, a
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		panic(fmt.Sprintf("addrmap: %d not invertible mod %d", a, n))
+	}
+	if t < 0 {
+		t += n
+	}
+	return t
+}

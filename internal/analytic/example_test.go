@@ -1,0 +1,43 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"pride/internal/analytic"
+	"pride/internal/dram"
+)
+
+// Example walks the paper's headline derivation: from the loss probability
+// of the 4-entry FIFO to the critical Rowhammer threshold (Eq. 8).
+func Example() {
+	p := dram.DDR5()
+	w := p.ACTsPerTREFI()
+
+	loss := analytic.LossProbability(4, w, 1.0/float64(w))
+	fmt.Printf("W = %d, L(N=4) = %.3f\n", w, loss)
+
+	r := analytic.EvaluateScheme(analytic.SchemePrIDE, p, analytic.DefaultTargetTTFYears)
+	fmt.Printf("TRH-S* = %.0f, TRH-D* = %.0f\n", r.TRHStar, r.TRHDoubleSided())
+	// Output:
+	// W = 79, L(N=4) = 0.118
+	// TRH-S* = 3808, TRH-D* = 1904
+}
+
+// ExampleSystemTTFYears reproduces one Table IX cell: the expected system
+// time-to-fail when every bank of a TRH-D=2000 device is attacked.
+func ExampleSystemTTFYears() {
+	p := dram.DDR5()
+	r := analytic.EvaluateScheme(analytic.SchemePrIDE, p, analytic.DefaultTargetTTFYears)
+	years := analytic.SystemTTFYears(r, 2*2000, p.TFAWLimit)
+	fmt.Printf("TTF at TRH-D=2000: ~%.0f years\n", years)
+	// Output:
+	// TTF at TRH-D=2000: ~3886 years
+}
+
+// ExampleLossAtPosition shows Eq. 7's endpoints (Fig 8).
+func ExampleLossAtPosition() {
+	fmt.Printf("L_1 = %.2f, L_79 = %.2f\n",
+		analytic.LossAtPosition(79, 1), analytic.LossAtPosition(79, 79))
+	// Output:
+	// L_1 = 0.63, L_79 = 0.00
+}

@@ -1,0 +1,294 @@
+// Package analytic implements the paper's security models: the closed-form
+// failure equations (Eq. 2-8), the exact loss-probability model for
+// multi-entry FIFO trackers (Appendix A), the time-to-failure computations
+// (Section III, VII-B, VII-C), the Saroiu-Wolman cross-check (Appendix D),
+// and the storage comparisons (Table XI).
+//
+// Everything here is deterministic closed-form or dynamic-programming math;
+// the stochastic counterparts live in internal/montecarlo and are
+// cross-validated against this package in tests.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossAtPosition returns the loss probability of a single-entry tracker when
+// the attacked row is inserted at position k (1-based) of a w-activation
+// mitigation window with insertion probability 1/w (Eq. 7):
+//
+//	L_k = 1 - (1 - 1/w)^(w-k)
+//
+// Position 1 is the worst case (most remaining activations to dislodge the
+// entry); position w has zero loss probability.
+func LossAtPosition(w, k int) float64 {
+	if w <= 0 {
+		panic(fmt.Sprintf("analytic: window must be positive, got %d", w))
+	}
+	if k < 1 || k > w {
+		panic(fmt.Sprintf("analytic: position %d out of [1,%d]", k, w))
+	}
+	p := 1.0 / float64(w)
+	return 1 - math.Pow(1-p, float64(w-k))
+}
+
+// binomialPMF returns P(B=k) for B ~ Binomial(n, p), computed iteratively in
+// log space to stay stable for the n<=~200 windows used here.
+func binomialPMF(n int, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	// Start from P(0) = (1-p)^n and use the recurrence
+	// P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
+	q := 1 - p
+	cur := math.Pow(q, float64(n))
+	ratio := p / q
+	for k := 0; k <= n; k++ {
+		pmf[k] = cur
+		if k < n {
+			cur *= float64(n-k) / float64(k+1) * ratio
+		}
+	}
+	return pmf
+}
+
+// Eviction selects the loss model's eviction policy.
+type Eviction int
+
+const (
+	// EvictFIFO is PrIDE's eviction policy.
+	EvictFIFO Eviction = iota
+	// EvictRandom is the PROTEAS-style ablation (Section VIII): a uniform
+	// random entry is evicted on overflow. Mitigation remains FIFO.
+	EvictRandom
+)
+
+// LossModel computes loss probabilities for an n-entry FIFO tracker with
+// probabilistic insertion, exactly, by dynamic programming over the state
+// (entries ahead of the target, entries behind it, activations left in the
+// current window). It implements Appendix A, generalized from the 2-entry
+// worked example to any n.
+type LossModel struct {
+	// N is the tracker size (entries).
+	N int
+	// W is the number of activations per mitigation window.
+	W int
+	// P is the insertion probability.
+	P float64
+	// Policy selects FIFO (PrIDE) or Random (ablation) eviction.
+	Policy Eviction
+
+	// loss[a][b][r] = P(target is eventually evicted | a entries ahead,
+	// b behind, r activations remain in the current window). Lazily built.
+	loss [][][]float64
+}
+
+// NewLossModel validates and returns a loss model.
+func NewLossModel(n, w int, p float64) *LossModel {
+	m := &LossModel{N: n, W: w, P: p}
+	if err := m.validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *LossModel) validate() error {
+	switch {
+	case m.N <= 0:
+		return fmt.Errorf("analytic: tracker size must be positive, got %d", m.N)
+	case m.W <= 0:
+		return fmt.Errorf("analytic: window must be positive, got %d", m.W)
+	case m.P <= 0 || m.P > 1:
+		return fmt.Errorf("analytic: insertion probability must be in (0,1], got %v", m.P)
+	}
+	return nil
+}
+
+// build fills the DP table. States: a in [0,N-1] (entries ahead of the
+// target), b in [0,N-1] (entries behind), r in [0,W].
+//
+// Transitions per activation:
+//   - no insertion (1-p): r decreases.
+//   - insertion (p) into a non-full buffer: b increases.
+//   - insertion (p) into a full buffer: the eviction policy removes one
+//     entry. FIFO removes the oldest: the target itself if a==0 (loss),
+//     else one of the entries ahead. Random removes uniformly.
+//
+// At r==0 a mitigation pops the oldest entry: the target survives
+// (mitigated) if a==0, else a decreases and a fresh W-activation window
+// begins. Because a never increases, the recursion across windows
+// terminates after at most N window boundaries.
+func (m *LossModel) build() {
+	if m.loss != nil {
+		return
+	}
+	n, w, p := m.N, m.W, m.P
+	q := 1 - p
+	m.loss = make([][][]float64, n)
+	for a := 0; a < n; a++ {
+		m.loss[a] = make([][]float64, n)
+		for b := 0; b < n; b++ {
+			m.loss[a][b] = make([]float64, w+1)
+		}
+	}
+	at := func(a, b int, r int) float64 {
+		if b > n-1 {
+			// Occupancy is capped at N, so b is capped at N-1-a via
+			// the full-buffer branch; clamp defensively for the
+			// random policy's bookkeeping.
+			b = n - 1
+		}
+		return m.loss[a][b][r]
+	}
+	for a := 0; a < n; a++ {
+		for r := 0; r <= w; r++ {
+			for b := 0; b < n; b++ {
+				occ := a + 1 + b
+				if occ > n {
+					continue // unreachable state
+				}
+				var v float64
+				if r == 0 {
+					// Window boundary: FIFO mitigation pops the oldest.
+					if a == 0 {
+						v = 0 // target mitigated: survives
+					} else {
+						v = at(a-1, b, w)
+					}
+				} else {
+					var insert float64
+					if occ < n {
+						insert = at(a, b+1, r-1)
+					} else {
+						switch m.Policy {
+						case EvictFIFO:
+							if a == 0 {
+								insert = 1 // target evicted: loss
+							} else {
+								insert = at(a-1, b+1, r-1)
+							}
+						case EvictRandom:
+							fn := float64(n)
+							insert = 1 / fn // target evicted
+							if a > 0 {
+								insert += float64(a) / fn * at(a-1, b+1, r-1)
+							}
+							if b > 0 {
+								// An entry behind the target is evicted and
+								// replaced by the incoming one: b unchanged.
+								insert += float64(b) / fn * at(a, b, r-1)
+							}
+						}
+					}
+					v = q*at(a, b, r-1) + p*insert
+				}
+				m.loss[a][b][r] = v
+			}
+		}
+	}
+}
+
+// LossFromStart returns the loss probability of a target inserted at
+// position k (1-based) of a window that began with startOcc valid entries.
+// This is the paper's L_x evaluated at an arbitrary position.
+func (m *LossModel) LossFromStart(startOcc, k int) float64 {
+	if startOcc < 0 || startOcc > m.N-1 {
+		panic(fmt.Sprintf("analytic: start occupancy %d out of [0,%d]", startOcc, m.N-1))
+	}
+	if k < 1 || k > m.W {
+		panic(fmt.Sprintf("analytic: position %d out of [1,%d]", k, m.W))
+	}
+	m.build()
+	return m.loss[startOcc][0][m.W-k]
+}
+
+// WorstCaseLossByState returns L_x for x = 0..N-1: the loss probability when
+// the target is inserted at the worst-case position (k=1) of a window
+// starting with x valid entries.
+func (m *LossModel) WorstCaseLossByState() []float64 {
+	out := make([]float64, m.N)
+	for x := 0; x < m.N; x++ {
+		out[x] = m.LossFromStart(x, 1)
+	}
+	return out
+}
+
+// StationaryOccupancy returns the steady-state distribution P_x of the
+// start-of-window occupancy (x = 0..N-1), from the N-state Markov chain of
+// Appendix A: during a window Binomial(W, p) insertions arrive (occupancy
+// saturating at N), and the end-of-window mitigation removes one entry.
+func (m *LossModel) StationaryOccupancy() []float64 {
+	n := m.N
+	pmf := binomialPMF(m.W, m.P)
+	// trans[x][y] = P(next start occupancy = y | current = x).
+	trans := make([][]float64, n)
+	for x := 0; x < n; x++ {
+		trans[x] = make([]float64, n)
+		for k, pk := range pmf {
+			o := x + k
+			if o > n {
+				o = n
+			}
+			y := o - 1
+			if y < 0 {
+				y = 0
+			}
+			trans[x][y] += pk
+		}
+	}
+	// Power iteration; the chain is tiny (N<=~32) and ergodic.
+	pi := make([]float64, n)
+	pi[0] = 1
+	next := make([]float64, n)
+	for iter := 0; iter < 10000; iter++ {
+		for y := range next {
+			next[y] = 0
+		}
+		for x := 0; x < n; x++ {
+			if pi[x] == 0 {
+				continue
+			}
+			for y := 0; y < n; y++ {
+				next[y] += pi[x] * trans[x][y]
+			}
+		}
+		delta := 0.0
+		for y := 0; y < n; y++ {
+			delta += math.Abs(next[y] - pi[y])
+			pi[y] = next[y]
+		}
+		if delta < 1e-15 {
+			break
+		}
+	}
+	return pi
+}
+
+// Loss returns the overall worst-case loss probability L of the tracker:
+// sum over start states x of P_x * L_x (Appendix A). This is the L used in
+// Eq. 6 and Eq. 8; it is pessimistic by construction (worst position, and
+// self-evictions counted as losses).
+func (m *LossModel) Loss() float64 {
+	lx := m.WorstCaseLossByState()
+	px := m.StationaryOccupancy()
+	l := 0.0
+	for x := range lx {
+		l += px[x] * lx[x]
+	}
+	return l
+}
+
+// LossProbability is the convenience entry point used by the table
+// generators: the overall worst-case loss probability of an n-entry FIFO
+// tracker with window w and insertion probability p.
+func LossProbability(n, w int, p float64) float64 {
+	return NewLossModel(n, w, p).Loss()
+}
+
+// RandomEvictionLoss returns the overall loss probability of the ablation
+// variant that evicts a uniformly random entry on overflow (Section VIII:
+// "Random eviction-policy has higher loss-probability than FIFO").
+func RandomEvictionLoss(n, w int, p float64) float64 {
+	m := NewLossModel(n, w, p)
+	m.Policy = EvictRandom
+	return m.Loss()
+}

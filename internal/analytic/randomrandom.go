@@ -1,0 +1,106 @@
+package analytic
+
+import "math"
+
+// RandomRandomLoss returns the worst-case loss probability of the Section
+// VIII ablation design that uses Random for BOTH the eviction policy and the
+// mitigation policy (the design PROTEAS explored before PrIDE settled on
+// FIFO/FIFO).
+//
+// Under random policies the target's queue position is irrelevant; the state
+// reduces to the buffer occupancy. Because random mitigation may pop younger
+// entries while the target lingers (it also gives the design unbounded
+// tardiness), the loss probability is strictly higher than FIFO/FIFO's — the
+// quantitative reason the paper's final design is FIFO/FIFO.
+//
+// The model is exact: the within-window dynamic program is linear in the
+// unknown start-of-window loss values X[occ], and we iterate that linear map
+// to its fixed point (it is a contraction because every window has positive
+// survival probability).
+func RandomRandomLoss(n, w int, p float64) float64 {
+	m := NewLossModel(n, w, p) // reuse validation and the occupancy chain
+	q := 1 - p
+
+	// X[o] = P(target eventually evicted | window starts, target in
+	// buffer, occupancy o), o in 1..n (index 0 unused).
+	x := make([]float64, n+1)
+	next := make([]float64, n+1)
+	// l[o][r]: within-window DP, occupancy o in 1..n, r ACTs remaining.
+	l := make([][]float64, n+1)
+	for o := 1; o <= n; o++ {
+		l[o] = make([]float64, w+1)
+	}
+
+	for iter := 0; iter < 100000; iter++ {
+		for o := 1; o <= n; o++ {
+			// Window boundary (r=0): random mitigation pops the target
+			// with probability 1/o (survive); otherwise a fresh window
+			// begins with occupancy o-1.
+			if o == 1 {
+				l[o][0] = 0
+			} else {
+				l[o][0] = float64(o-1) / float64(o) * x[o-1]
+			}
+		}
+		for r := 1; r <= w; r++ {
+			for o := 1; o <= n; o++ {
+				var ins float64
+				if o < n {
+					ins = l[o+1][r-1]
+				} else {
+					// Full buffer: random eviction hits the target with
+					// probability 1/n (loss); otherwise occupancy stays n.
+					ins = 1/float64(n) + float64(n-1)/float64(n)*l[n][r-1]
+				}
+				l[o][r] = q*l[o][r-1] + p*ins
+			}
+		}
+		delta := 0.0
+		for o := 1; o <= n; o++ {
+			next[o] = l[o][w]
+			delta += math.Abs(next[o] - x[o])
+		}
+		copy(x, next)
+		if delta < 1e-14 {
+			break
+		}
+	}
+
+	// Weight by the start-of-window occupancy distribution with the target
+	// inserted at the worst-case position (k=1, so w-1 ACTs remain).
+	pi := m.StationaryOccupancy()
+	total := 0.0
+	for start, weight := range pi {
+		occ := start + 1 // the target's own insertion
+		// Recompute one window with r=w-1 using the converged X.
+		total += weight * windowLossRR(n, w-1, p, occ, x)
+	}
+	return total
+}
+
+// windowLossRR evaluates the within-window loss for a single start state
+// using the converged boundary values x.
+func windowLossRR(n, w int, p float64, startOcc int, x []float64) float64 {
+	q := 1 - p
+	l := make([][]float64, n+1)
+	for o := 1; o <= n; o++ {
+		l[o] = make([]float64, w+1)
+		if o == 1 {
+			l[o][0] = 0
+		} else {
+			l[o][0] = float64(o-1) / float64(o) * x[o-1]
+		}
+	}
+	for r := 1; r <= w; r++ {
+		for o := 1; o <= n; o++ {
+			var ins float64
+			if o < n {
+				ins = l[o+1][r-1]
+			} else {
+				ins = 1/float64(n) + float64(n-1)/float64(n)*l[n][r-1]
+			}
+			l[o][r] = q*l[o][r-1] + p*ins
+		}
+	}
+	return l[startOcc][w]
+}

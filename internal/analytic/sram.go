@@ -1,0 +1,54 @@
+package analytic
+
+import "fmt"
+
+// SRAMRow is one row of Table XI: the per-bank SRAM cost of a tracking
+// scheme at a given device threshold.
+type SRAMRow struct {
+	Name string
+	// Bytes maps device TRH-D to per-bank SRAM bytes.
+	Bytes map[int]float64
+}
+
+// trackerEntryCosts describes how a counter-based tracker's entry count
+// scales: entries = ACTsPerTREFW / (TRH-D * divisor), entryBits wide.
+// The counter-based trackers all need enough entries to track every row
+// that could cross the mitigation threshold within a refresh window, so
+// their storage is inversely proportional to the threshold (Section VIII,
+// Table XI), while PrIDE's 4-entry FIFO is constant.
+type trackerEntryCosts struct {
+	name string
+	// bytesAt4K anchors the published per-bank cost at device TRH-D=4000
+	// (Table XI's first column); costs scale as 4000/TRH-D.
+	bytesAt4K float64
+}
+
+// SRAMOverheadTable reproduces Table XI: per-bank SRAM of Graphene, TWiCe,
+// CAT and PrIDE at the given device thresholds. The counter-based schemes'
+// storage is anchored at the paper's published TRH-D=4K costs and scales
+// inversely with the threshold (their entry counts are proportional to
+// ACTsPerTREFW/TRH); PrIDE is a constant 10 bytes.
+func SRAMOverheadTable(thresholds []int, prideBits int) []SRAMRow {
+	anchored := []trackerEntryCosts{
+		{name: "Graphene", bytesAt4K: 42.5 * 1024},
+		{name: "TWiCe", bytesAt4K: 300 * 1024},
+		{name: "CAT", bytesAt4K: 196 * 1024},
+	}
+	rows := make([]SRAMRow, 0, len(anchored)+1)
+	for _, a := range anchored {
+		r := SRAMRow{Name: a.name, Bytes: map[int]float64{}}
+		for _, t := range thresholds {
+			if t <= 0 {
+				panic(fmt.Sprintf("analytic: threshold must be positive, got %d", t))
+			}
+			r.Bytes[t] = a.bytesAt4K * 4000 / float64(t)
+		}
+		rows = append(rows, r)
+	}
+	pride := SRAMRow{Name: "PrIDE", Bytes: map[int]float64{}}
+	for _, t := range thresholds {
+		pride.Bytes[t] = float64(prideBits) / 8
+	}
+	rows = append(rows, pride)
+	return rows
+}

@@ -1,0 +1,117 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SecondsPerYear converts calendar years to seconds for all time-to-failure
+// math. Target TTFs are expressed in years as float64 because the paper's
+// regimes (10^4..10^6 years and beyond) overflow time.Duration.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// DefaultTargetTTFYears is the paper's per-bank security target: one failure
+// per 10,000 years, chosen so the bank-FIT rate matches naturally occurring
+// DRAM errors (Section III-C).
+const DefaultTargetTTFYears = 10_000.0
+
+// TIF returns the Tracker Insertion Failure probability of an attack round
+// of trh activations with insertion probability p (Eq. 2):
+//
+//	TIF = (1 - p)^TRH
+func TIF(p float64, trh int) float64 {
+	return math.Pow(1-p, float64(trh))
+}
+
+// lnRoundOverTTF returns ln(roundTime / targetTTF), the "-38.93" constant of
+// Eq. 4 generalized to any round time and target (for the paper's defaults,
+// tREFI = 3.9us and TTF = 10,000 years, it evaluates to -38.93).
+func lnRoundOverTTF(roundTime time.Duration, ttfYears float64) float64 {
+	return math.Log(roundTime.Seconds() / (ttfYears * SecondsPerYear))
+}
+
+// TRHStarTIF returns the critical Rowhammer threshold of an idealized
+// tracker limited only by insertion failures (Eq. 3/4):
+//
+//	TRH*_TIF = ln(roundTime/TTF) / ln(1-p)
+//
+// For p = 1/79 and the default target, this is the paper's 3.06K.
+func TRHStarTIF(p float64, roundTime time.Duration, ttfYears float64) float64 {
+	return lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-p)
+}
+
+// TRHStarTIFTRF returns the critical threshold of a tracker with insertion
+// and retention failures but no tardiness (Eq. 5/6): the insertion
+// probability is discounted by the loss probability, p̂ = p(1-L).
+func TRHStarTIFTRF(p, loss float64, roundTime time.Duration, ttfYears float64) float64 {
+	pHat := p * (1 - loss)
+	return lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-pHat)
+}
+
+// Result is the full analytic characterization of one tracker configuration:
+// the ingredients of Eq. 8 plus the resulting thresholds.
+type Result struct {
+	// Name identifies the scheme ("PrIDE", "PARA-DRFM", ...).
+	Name string
+	// Entries is the tracker size N.
+	Entries int
+	// Window is W, demand activations per mitigation opportunity.
+	Window int
+	// P is the insertion probability.
+	P float64
+	// Loss is the worst-case loss probability L (Appendix A).
+	Loss float64
+	// PHat is the effective mitigation probability p(1-L).
+	PHat float64
+	// Tardiness is the maximum activations between insertion and
+	// mitigation, N*W (Section IV-D).
+	Tardiness int
+	// RoundTime is the duration of one mitigation period (Eq. 1's time
+	// per attack round).
+	RoundTime time.Duration
+	// TRHStar is the single-sided critical threshold (Eq. 8).
+	TRHStar float64
+	// TRHStarNoTardiness excludes the tardiness term (Fig. 9's second
+	// series).
+	TRHStarNoTardiness float64
+}
+
+// TRHDoubleSided returns the double-sided critical threshold: half the
+// single-sided one, because the shared victim gives the tracker twice the
+// chances of mitigation (Section VI).
+func (r Result) TRHDoubleSided() float64 { return r.TRHStar / 2 }
+
+// TRHVictimSharing returns the per-aggressor critical threshold for a
+// victim-sharing attack with the given number of aggressors within the
+// blast radius (2 for BR=1 double-sided, 4 for BR=2; Section VI).
+func (r Result) TRHVictimSharing(aggressors int) float64 {
+	if aggressors < 1 {
+		panic(fmt.Sprintf("analytic: aggressors must be >= 1, got %d", aggressors))
+	}
+	return r.TRHStar / float64(aggressors)
+}
+
+// Analyze computes the full Eq. 8 characterization of an n-entry FIFO
+// tracker with window w and insertion probability p, for a mitigation round
+// time and target TTF in years:
+//
+//	TRH* = ln(round/TTF)/ln(1 - p(1-L)) + N*W
+func Analyze(name string, n, w int, p float64, roundTime time.Duration, ttfYears float64) Result {
+	loss := LossProbability(n, w, p)
+	pHat := p * (1 - loss)
+	base := lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-pHat)
+	tard := n * w
+	return Result{
+		Name:               name,
+		Entries:            n,
+		Window:             w,
+		P:                  p,
+		Loss:               loss,
+		PHat:               pHat,
+		Tardiness:          tard,
+		RoundTime:          roundTime,
+		TRHStar:            base + float64(tard),
+		TRHStarNoTardiness: base,
+	}
+}

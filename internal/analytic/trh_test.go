@@ -1,0 +1,244 @@
+package analytic
+
+import (
+	"math"
+	"pride/internal/dram"
+	"testing"
+)
+
+func ddr5() dram.Params { return dram.DDR5() }
+
+func TestEq4Constant(t *testing.T) {
+	// Eq. 4: ln(tREFI/MTTF) = -38.93 for tREFI=3.9us, MTTF=10K years.
+	got := lnRoundOverTTF(ddr5().TREFI, DefaultTargetTTFYears)
+	if math.Abs(got-(-38.93)) > 0.02 {
+		t.Fatalf("ln(tREFI/MTTF) = %v, paper says -38.93", got)
+	}
+}
+
+func TestTIF(t *testing.T) {
+	if got := TIF(0.5, 1); got != 0.5 {
+		t.Fatalf("TIF(0.5,1) = %v", got)
+	}
+	if got := TIF(1, 10); got != 0 {
+		t.Fatalf("TIF(1,10) = %v, want 0", got)
+	}
+	// TIF decreases with TRH.
+	if TIF(0.01, 100) <= TIF(0.01, 1000) {
+		t.Fatal("TIF must decrease with TRH")
+	}
+}
+
+func TestTRHStarTIFIdeal(t *testing.T) {
+	// Section IV-B: p = 1/79 gives TRH*_TIF = 3.06K (Table XII: 3056).
+	got := TRHStarTIF(1.0/79, ddr5().TREFI, DefaultTargetTTFYears)
+	if math.Abs(got-3056) > 10 {
+		t.Fatalf("TRH*_TIF = %v, paper says 3056", got)
+	}
+}
+
+func TestTableIIITRHColumn(t *testing.T) {
+	// Table III: TRH*(TIF+TRF) per buffer size, p=1/79.
+	want := map[int]float64{
+		1:  8290,
+		2:  4400,
+		4:  3470,
+		8:  3250,
+		16: 3150,
+	}
+	for n, wantTRH := range want {
+		loss := LossProbability(n, w79, 1.0/w79)
+		got := TRHStarTIFTRF(1.0/w79, loss, ddr5().TREFI, DefaultTargetTTFYears)
+		if math.Abs(got-wantTRH)/wantTRH > 0.03 {
+			t.Errorf("TRH*(TIF+TRF, N=%d) = %.0f, paper Table III says %.0f", n, got, wantTRH)
+		}
+	}
+}
+
+func TestTableXIIOurModelColumn(t *testing.T) {
+	// Table XII: full TRH* (with tardiness) per buffer size, p=1/79.
+	want := map[int]float64{
+		1:  8366,
+		2:  4561,
+		4:  3787,
+		8:  3883,
+		16: 4415,
+	}
+	for n, wantTRH := range want {
+		r := Analyze("PrIDE", n, w79, 1.0/w79, ddr5().TREFI, DefaultTargetTTFYears)
+		if math.Abs(r.TRHStar-wantTRH)/wantTRH > 0.03 {
+			t.Errorf("TRH*(N=%d) = %.0f, paper Table XII says %.0f", n, r.TRHStar, wantTRH)
+		}
+	}
+}
+
+func TestFig9MinimumNearFourEntries(t *testing.T) {
+	// Fig 9: TRH* is minimized around buffer size 4-5, not 16.
+	trh := map[int]float64{}
+	for n := 1; n <= 16; n++ {
+		trh[n] = Analyze("PrIDE", n, w79, 1.0/w79, ddr5().TREFI, DefaultTargetTTFYears).TRHStar
+	}
+	bestN, best := 0, math.Inf(1)
+	for n, v := range trh {
+		if v < best {
+			bestN, best = n, v
+		}
+	}
+	if bestN < 4 || bestN > 5 {
+		t.Fatalf("TRH* minimized at N=%d (%.0f), paper says 4-5", bestN, best)
+	}
+	if trh[16] <= trh[4] {
+		t.Fatalf("larger buffers must not always help: TRH*(16)=%v vs TRH*(4)=%v", trh[16], trh[4])
+	}
+	// Paper: TRH* at 4 is 3.79K, at 5 is 3.78K, at 16 is 4.42K.
+	if math.Abs(trh[4]-3790) > 100 {
+		t.Errorf("TRH*(4) = %.0f, paper says 3790", trh[4])
+	}
+	if math.Abs(trh[16]-4420) > 130 {
+		t.Errorf("TRH*(16) = %.0f, paper says 4420", trh[16])
+	}
+}
+
+func TestDefaultPrIDEMatchesPaper(t *testing.T) {
+	// Section IV-F: PrIDE with transitive protection (p=1/80) tolerates
+	// TRH* = 3.83K; Table VI: TRH-D* = 1.92K.
+	r := EvaluateScheme(SchemePrIDE, ddr5(), DefaultTargetTTFYears)
+	if math.Abs(r.TRHStar-3830)/3830 > 0.02 {
+		t.Fatalf("PrIDE TRH* = %.0f, paper says 3830", r.TRHStar)
+	}
+	if math.Abs(r.TRHDoubleSided()-1920)/1920 > 0.02 {
+		t.Fatalf("PrIDE TRH-D* = %.0f, paper says 1920", r.TRHDoubleSided())
+	}
+	if r.Entries != 4 || r.Window != 79 {
+		t.Fatalf("unexpected config: %+v", r)
+	}
+	if math.Abs(r.P-1.0/80) > 1e-12 {
+		t.Fatalf("PrIDE p = %v, want 1/80", r.P)
+	}
+}
+
+func TestTableVMitigationRates(t *testing.T) {
+	// Table V: TRH* at different mitigation rates.
+	cases := []struct {
+		scheme Scheme
+		want   float64
+		tol    float64
+	}{
+		{SchemePrIDEHalfRate, 7520, 0.03},
+		{SchemePrIDE, 3830, 0.02},
+		{SchemePrIDERFM40, 1980, 0.03},
+		{SchemePrIDERFM16, 823, 0.05},
+	}
+	for _, c := range cases {
+		r := EvaluateScheme(c.scheme, ddr5(), DefaultTargetTTFYears)
+		if math.Abs(r.TRHStar-c.want)/c.want > c.tol {
+			t.Errorf("%v TRH* = %.0f, paper Table V says %.0f", c.scheme, r.TRHStar, c.want)
+		}
+	}
+}
+
+func TestTableIVPARAComparison(t *testing.T) {
+	// Table IV: PARA-DRFM 17K, PARA-DRFM+ 8.4K, PrIDE 3.8K.
+	para := EvaluateScheme(SchemePARADRFM, ddr5(), DefaultTargetTTFYears)
+	if math.Abs(para.TRHStar-17000)/17000 > 0.04 {
+		t.Errorf("PARA-DRFM TRH* = %.0f, paper says 17K", para.TRHStar)
+	}
+	paraPlus := EvaluateScheme(SchemePARADRFMPlus, ddr5(), DefaultTargetTTFYears)
+	if math.Abs(paraPlus.TRHStar-8400)/8400 > 0.04 {
+		t.Errorf("PARA-DRFM+ TRH* = %.0f, paper says 8.4K", paraPlus.TRHStar)
+	}
+	pride := EvaluateScheme(SchemePrIDE, ddr5(), DefaultTargetTTFYears)
+	if pride.TRHStar >= paraPlus.TRHStar || paraPlus.TRHStar >= para.TRHStar {
+		t.Fatalf("ordering violated: PrIDE %.0f < PARA-DRFM+ %.0f < PARA-DRFM %.0f expected",
+			pride.TRHStar, paraPlus.TRHStar, para.TRHStar)
+	}
+}
+
+func TestPARFMComparison(t *testing.T) {
+	// Section V-C: PARFM TRH* ~7.1K (our reconstruction gives ~6.6K with
+	// Mithril's DDR4 window; assert the ranking and ballpark).
+	parfm := EvaluateScheme(SchemePARFM, ddr5(), DefaultTargetTTFYears)
+	if parfm.TRHStar < 6000 || parfm.TRHStar > 7500 {
+		t.Errorf("PARFM TRH* = %.0f, want ~6.6-7.1K", parfm.TRHStar)
+	}
+	pride := EvaluateScheme(SchemePrIDE, ddr5(), DefaultTargetTTFYears)
+	if parfm.TRHStar <= pride.TRHStar {
+		t.Fatal("PARFM must be worse (higher TRH*) than PrIDE")
+	}
+	if parfm.Entries <= 4*10 {
+		t.Fatalf("PARFM needs a large buffer (Mithril: 166 entries for DDR4), got %d", parfm.Entries)
+	}
+}
+
+func TestTableVIDoubleSided(t *testing.T) {
+	// Table VI: TRH-S* and TRH-D* per scheme.
+	cases := []struct {
+		scheme       Scheme
+		wantS, wantD float64
+		tolS, tolD   float64
+	}{
+		{SchemePARADRFM, 17000, 8500, 0.04, 0.04},
+		{SchemePrIDE, 3830, 1920, 0.02, 0.02},
+		{SchemePrIDERFM40, 1980, 992, 0.03, 0.03},
+		{SchemePrIDERFM16, 823, 412, 0.05, 0.05},
+	}
+	for _, c := range cases {
+		r := EvaluateScheme(c.scheme, ddr5(), DefaultTargetTTFYears)
+		if math.Abs(r.TRHStar-c.wantS)/c.wantS > c.tolS {
+			t.Errorf("%v TRH-S* = %.0f, want %.0f", c.scheme, r.TRHStar, c.wantS)
+		}
+		if d := r.TRHDoubleSided(); math.Abs(d-c.wantD)/c.wantD > c.tolD {
+			t.Errorf("%v TRH-D* = %.0f, want %.0f", c.scheme, d, c.wantD)
+		}
+	}
+}
+
+func TestVictimSharing(t *testing.T) {
+	r := EvaluateScheme(SchemePrIDE, ddr5(), DefaultTargetTTFYears)
+	// BR=1: two aggressors share the victim -> half; BR=2: four -> quarter.
+	if got := r.TRHVictimSharing(2); math.Abs(got-r.TRHStar/2) > 1e-9 {
+		t.Fatalf("BR=1 sharing = %v, want TRH*/2", got)
+	}
+	if got := r.TRHVictimSharing(4); math.Abs(got-r.TRHStar/4) > 1e-9 {
+		t.Fatalf("BR=2 sharing = %v, want TRH*/4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TRHVictimSharing(0) did not panic")
+		}
+	}()
+	r.TRHVictimSharing(0)
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range AllSchemes() {
+		if s.String() == "unknown" {
+			t.Fatalf("scheme %d has no name", int(s))
+		}
+	}
+	if Scheme(99).String() != "unknown" {
+		t.Fatal("out-of-range scheme must stringify as unknown")
+	}
+}
+
+func TestTardinessScalesWithNW(t *testing.T) {
+	r := Analyze("x", 4, 79, 1.0/80, ddr5().TREFI, DefaultTargetTTFYears)
+	if r.Tardiness != 4*79 {
+		t.Fatalf("tardiness = %d, want N*W = 316", r.Tardiness)
+	}
+	if r.TRHStar-r.TRHStarNoTardiness != float64(r.Tardiness) {
+		t.Fatal("TRH* must exceed the no-tardiness value by exactly N*W")
+	}
+}
+
+func TestLongerTTFRaisesTRH(t *testing.T) {
+	// Table VIII's trend: a stricter target needs a higher threshold.
+	prev := 0.0
+	for _, ttf := range []float64{100, 1000, 10_000, 100_000} {
+		r := EvaluateScheme(SchemePrIDE, ddr5(), ttf)
+		if r.TRHStar <= prev {
+			t.Fatalf("TRH* not increasing with target TTF at %v", ttf)
+		}
+		prev = r.TRHStar
+	}
+}

@@ -1,0 +1,92 @@
+package analytic
+
+import (
+	"math"
+
+	"pride/internal/dram"
+)
+
+// RoundFailureProb returns the probability that an attack round escapes a
+// tracker characterized by r (Section III-A, inverted Eq. 8): the first
+// Tardiness activations can never be mitigated in time, and each remaining
+// chance independently fails to be mitigated with probability (1 - p̂).
+//
+// chances is the total mitigation chances the victim row offers: TRH for a
+// single-sided attack, 2*TRH-D for a double-sided one (Section VI).
+func RoundFailureProb(r Result, chances float64) float64 {
+	eff := chances - float64(r.Tardiness)
+	if eff <= 0 {
+		return 1
+	}
+	return math.Exp(eff * math.Log(1-r.PHat))
+}
+
+// BankTTFYears returns the expected time-to-failure in years of a single
+// continuously attacked bank (Eq. 1): roundTime / P_RF.
+func BankTTFYears(r Result, chances float64) float64 {
+	return r.RoundTime.Seconds() / RoundFailureProb(r, chances) / SecondsPerYear
+}
+
+// SystemTTFYears returns the expected time-to-failure of a system in which
+// concurrentBanks banks are attacked simultaneously (Section VII-B/C: 64
+// banks, of which 22 can be active concurrently due to tFAW).
+func SystemTTFYears(r Result, chances float64, concurrentBanks int) float64 {
+	return BankTTFYears(r, chances) / float64(concurrentBanks)
+}
+
+// SensitivityRow is one row of Table VIII: the critical thresholds of PrIDE
+// for a given per-bank target TTF.
+type SensitivityRow struct {
+	// TargetTTFBankYears is the per-bank target.
+	TargetTTFBankYears float64
+	// MTTFSystemYears is the corresponding system-level MTTF (bank target
+	// divided by the tFAW-limited concurrent banks).
+	MTTFSystemYears float64
+	TRHSingle       float64
+	TRHDouble       float64
+}
+
+// TTFSensitivity reproduces Table VIII: PrIDE's TRH-S*/TRH-D* across
+// per-bank target TTFs (in years).
+func TTFSensitivity(p dram.Params, targetYears []float64) []SensitivityRow {
+	rows := make([]SensitivityRow, 0, len(targetYears))
+	for _, tgt := range targetYears {
+		r := EvaluateScheme(SchemePrIDE, p, tgt)
+		rows = append(rows, SensitivityRow{
+			TargetTTFBankYears: tgt,
+			MTTFSystemYears:    tgt / float64(p.TFAWLimit),
+			TRHSingle:          r.TRHStar,
+			TRHDouble:          r.TRHDoubleSided(),
+		})
+	}
+	return rows
+}
+
+// DeviceTTFRow is one row of Table IX: the expected system time-to-failure
+// when devices with a given double-sided threshold are continuously
+// attacked.
+type DeviceTTFRow struct {
+	DeviceTRHD int
+	// TTFYears maps scheme name to system time-to-fail in years.
+	TTFYears map[string]float64
+}
+
+// DeviceTTFTable reproduces Table IX for the given device thresholds and
+// schemes. All banks are assumed continuously attacked; the system has
+// p.Banks banks of which p.TFAWLimit are concurrently active.
+func DeviceTTFTable(p dram.Params, thresholds []int, schemes []Scheme) []DeviceTTFRow {
+	results := make([]Result, 0, len(schemes))
+	for _, s := range schemes {
+		results = append(results, EvaluateScheme(s, p, DefaultTargetTTFYears))
+	}
+	rows := make([]DeviceTTFRow, 0, len(thresholds))
+	for _, trhd := range thresholds {
+		row := DeviceTTFRow{DeviceTRHD: trhd, TTFYears: map[string]float64{}}
+		for _, r := range results {
+			chances := 2 * float64(trhd) // double-sided: victim shared by two aggressors
+			row.TTFYears[r.Name] = SystemTTFYears(r, chances, p.TFAWLimit)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pride/internal/tracker"
+)
+
+// CAT implements Seyedzadeh et al.'s Counter-based Adaptive Tree (ISCA
+// 2018), Table XI's third counter scheme. A binary tree of counters covers
+// the row-address space: each leaf counts activations to its address range;
+// when a leaf's count crosses the split threshold and the range is wider
+// than one row, the leaf splits, adaptively zooming in on hot regions until
+// single hot ROWS are isolated and mitigated at the Rowhammer threshold.
+//
+// CAT trades a modest counter budget for exactness: cold regions share one
+// counter, hot rows get their own. Its storage still scales inversely with
+// the threshold (Table XI: 196KB at TRH-D=4K), and like all counter schemes
+// its mitigation-at-threshold policy is exposed to victim-sharing
+// (Section VI).
+type CAT struct {
+	threshold int
+	maxNodes  int
+	rowBits   int
+
+	root        *catNode
+	nodes       int
+	pending     []tracker.Mitigation
+	mitigations uint64
+}
+
+type catNode struct {
+	lo, hi      int // row range [lo, hi)
+	count       int
+	left, right *catNode
+}
+
+var (
+	_ tracker.Tracker    = (*CAT)(nil)
+	_ ImmediateMitigator = (*CAT)(nil)
+)
+
+// NewCAT returns a CAT over rows [0, rows) that mitigates single rows
+// reaching threshold activations, with at most maxNodes tree nodes (when
+// the budget is exhausted, leaves stop splitting and ranges are mitigated
+// conservatively as a whole).
+func NewCAT(rows, threshold, maxNodes, rowBits int) *CAT {
+	if rows < 2 {
+		panic(fmt.Sprintf("baseline: CAT needs >= 2 rows, got %d", rows))
+	}
+	if threshold < 2 {
+		panic(fmt.Sprintf("baseline: CAT threshold must be >= 2, got %d", threshold))
+	}
+	if maxNodes < 3 {
+		panic(fmt.Sprintf("baseline: CAT needs >= 3 nodes, got %d", maxNodes))
+	}
+	return &CAT{
+		threshold: threshold,
+		maxNodes:  maxNodes,
+		rowBits:   rowBits,
+		root:      &catNode{lo: 0, hi: rows},
+		nodes:     1,
+	}
+}
+
+// Name implements tracker.Tracker.
+func (c *CAT) Name() string { return "CAT" }
+
+// OnActivate walks the tree to the covering leaf, increments it, and splits
+// or mitigates per the adaptive policy.
+func (c *CAT) OnActivate(row int) {
+	n := c.root
+	for n.left != nil {
+		if row < n.left.hi {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if row < n.lo || row >= n.hi {
+		panic(fmt.Sprintf("baseline: CAT row %d outside [%d,%d)", row, c.root.lo, c.root.hi))
+	}
+	n.count++
+	if n.count < c.threshold {
+		return
+	}
+	switch {
+	case n.hi-n.lo == 1:
+		// A single hot row isolated: mitigate and rewind.
+		c.pending = append(c.pending, tracker.Mitigation{Row: n.lo, Level: 1})
+		c.mitigations++
+		n.count = 0
+	case c.nodes+2 <= c.maxNodes:
+		// Split: children inherit half the parent's count (the classic
+		// CAT over-approximation that keeps counts conservative).
+		mid := (n.lo + n.hi) / 2
+		n.left = &catNode{lo: n.lo, hi: mid, count: n.count / 2}
+		n.right = &catNode{lo: mid, hi: n.hi, count: n.count / 2}
+		c.nodes += 2
+		n.count = 0
+	default:
+		// Budget exhausted: conservatively mitigate the whole range's
+		// midpoint region (refreshing around the hottest possible rows)
+		// and rewind. Real CAT sizes the tree so this path is rare.
+		mid := (n.lo + n.hi) / 2
+		c.pending = append(c.pending, tracker.Mitigation{Row: mid, Level: 1})
+		c.mitigations++
+		n.count = 0
+	}
+}
+
+// DrainImmediate implements ImmediateMitigator.
+func (c *CAT) DrainImmediate() []tracker.Mitigation {
+	out := c.pending
+	c.pending = nil
+	return out
+}
+
+// OnMitigate implements tracker.Tracker; CAT mitigates inline.
+func (c *CAT) OnMitigate() (tracker.Mitigation, bool) {
+	return tracker.Mitigation{}, false
+}
+
+// Occupancy implements tracker.Tracker: the number of live leaves.
+func (c *CAT) Occupancy() int {
+	leaves := 0
+	var walk func(*catNode)
+	walk = func(n *catNode) {
+		if n.left == nil {
+			leaves++
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(c.root)
+	return leaves
+}
+
+// Nodes returns the current tree size.
+func (c *CAT) Nodes() int { return c.nodes }
+
+// Mitigations returns the number of mitigations issued so far.
+func (c *CAT) Mitigations() uint64 { return c.mitigations }
+
+// StorageBits implements tracker.Tracker: maxNodes counters plus two range
+// bounds each.
+func (c *CAT) StorageBits() int {
+	counterBits := 1
+	for v := c.threshold; v > 0; v >>= 1 {
+		counterBits++
+	}
+	return c.maxNodes * (counterBits + 2*c.rowBits)
+}
+
+// Reset implements tracker.Tracker.
+func (c *CAT) Reset() {
+	c.root = &catNode{lo: c.root.lo, hi: c.root.hi}
+	c.nodes = 1
+	c.pending = nil
+	c.mitigations = 0
+}

@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"testing"
+
+	"pride/internal/tracker"
+)
+
+// --- TWiCe ---
+
+func TestTWiCeMitigatesAtThreshold(t *testing.T) {
+	tw := NewTWiCe(50, 10_000, 100, 17)
+	for i := 0; i < 49; i++ {
+		tw.OnActivate(7)
+		if ms := tw.DrainImmediate(); len(ms) != 0 {
+			t.Fatalf("mitigation before threshold at act %d", i+1)
+		}
+	}
+	tw.OnActivate(7)
+	ms := tw.DrainImmediate()
+	if len(ms) != 1 || ms[0].Row != 7 {
+		t.Fatalf("mitigations = %+v, want row 7", ms)
+	}
+}
+
+func TestTWiCePrunesColdRows(t *testing.T) {
+	tw := NewTWiCe(1000, 10_000, 100, 17)
+	// One touch each for many cold rows, then enough traffic to age them
+	// past several pruning intervals.
+	for r := 0; r < 50; r++ {
+		tw.OnActivate(1000 + r)
+	}
+	before := tw.Occupancy()
+	for i := 0; i < 1_000; i++ {
+		tw.OnActivate(1) // hot row keeps its entry
+	}
+	after := tw.Occupancy()
+	if after >= before {
+		t.Fatalf("pruning did not shrink the table: %d -> %d", before, after)
+	}
+	// The hot row must survive pruning.
+	if _, ok := tw.entries[1]; !ok {
+		t.Fatal("hot row pruned")
+	}
+}
+
+func TestTWiCeNeverMissesSustainedAggressor(t *testing.T) {
+	// A row hammered steadily above the threshold trajectory is mitigated
+	// every threshold activations — the no-miss guarantee.
+	tw := NewTWiCe(100, 10_000, 100, 17)
+	mitigations := 0
+	for i := 0; i < 1_000; i++ {
+		tw.OnActivate(42)
+		mitigations += len(tw.DrainImmediate())
+	}
+	if mitigations != 10 {
+		t.Fatalf("mitigations = %d, want 10 (one per 100 ACTs)", mitigations)
+	}
+}
+
+func TestTWiCeReset(t *testing.T) {
+	tw := NewTWiCe(100, 10_000, 100, 17)
+	for i := 0; i < 500; i++ {
+		tw.OnActivate(i % 7)
+	}
+	tw.Reset()
+	if tw.Occupancy() != 0 || tw.Mitigations() != 0 {
+		t.Fatal("Reset left state")
+	}
+}
+
+// --- CAT ---
+
+func TestCATIsolatesHotRow(t *testing.T) {
+	c := NewCAT(1024, 32, 64, 10)
+	mitigated := map[int]int{}
+	for i := 0; i < 32*12; i++ {
+		c.OnActivate(300)
+		for _, m := range c.DrainImmediate() {
+			mitigated[m.Row]++
+		}
+	}
+	if mitigated[300] == 0 {
+		t.Fatalf("hot row 300 never mitigated; got %v", mitigated)
+	}
+	// The tree zoomed in: more than one node exists.
+	if c.Nodes() <= 1 {
+		t.Fatal("tree never split")
+	}
+}
+
+func TestCATColdRegionsShareCounters(t *testing.T) {
+	c := NewCAT(1024, 1000, 64, 10)
+	// Uniform cold traffic never splits beyond a few nodes.
+	for i := 0; i < 900; i++ {
+		c.OnActivate(i % 1024)
+	}
+	if c.Nodes() > 3 {
+		t.Fatalf("cold traffic grew the tree to %d nodes", c.Nodes())
+	}
+}
+
+func TestCATBudgetExhaustionStillMitigates(t *testing.T) {
+	c := NewCAT(1024, 8, 3, 10) // tree can split exactly once
+	got := 0
+	for i := 0; i < 200; i++ {
+		c.OnActivate(511)
+		got += len(c.DrainImmediate())
+	}
+	if got == 0 {
+		t.Fatal("budget-exhausted CAT never mitigated")
+	}
+	if c.Nodes() > 3 {
+		t.Fatalf("node budget exceeded: %d", c.Nodes())
+	}
+}
+
+func TestCATOccupancyCountsLeaves(t *testing.T) {
+	c := NewCAT(16, 4, 31, 4)
+	if c.Occupancy() != 1 {
+		t.Fatalf("fresh tree leaves = %d, want 1", c.Occupancy())
+	}
+	for i := 0; i < 64; i++ {
+		c.OnActivate(5)
+	}
+	if c.Occupancy() < 2 {
+		t.Fatal("hot traffic did not split the tree")
+	}
+}
+
+func TestCATPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rows":      func() { NewCAT(1, 8, 8, 1) },
+		"threshold": func() { NewCAT(16, 1, 8, 4) },
+		"nodes":     func() { NewCAT(16, 8, 2, 4) },
+		"range":     func() { NewCAT(16, 8, 8, 4).OnActivate(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- Mithril ---
+
+func TestMithrilNoMissGuarantee(t *testing.T) {
+	// With entries >= ACTs/threshold, any row reaching the threshold is
+	// tracked and is the max-count entry at some mitigation opportunity.
+	const threshold = 64
+	const totalACTs = 4096
+	m := NewMithril(MithrilEntries(totalACTs, threshold), 17)
+	mitigated := map[int]bool{}
+	acts := map[int]int{}
+	for i := 0; i < totalACTs; i++ {
+		row := i % 40
+		m.OnActivate(row)
+		acts[row]++
+		if i%79 == 78 {
+			if mit, ok := m.OnMitigate(); ok {
+				mitigated[mit.Row] = true
+			}
+		}
+	}
+	for row, n := range acts {
+		if n >= 2*threshold && !mitigated[row] {
+			t.Fatalf("row %d reached %d ACTs without mitigation", row, n)
+		}
+	}
+}
+
+func TestMithrilSkipsWhenNothingHot(t *testing.T) {
+	m := NewMithril(4, 17)
+	if _, ok := m.OnMitigate(); ok {
+		t.Fatal("empty Mithril mitigated")
+	}
+}
+
+func TestMithrilEntriesSizing(t *testing.T) {
+	if got := MithrilEntries(650_000, 3250); got != 200 {
+		t.Fatalf("entries = %d, want 200 (Section II-E's example)", got)
+	}
+	if got := MithrilEntries(10, 100); got != 1 {
+		t.Fatalf("entries = %d, want floor of 1", got)
+	}
+}
+
+func TestCounterSchemesImplementTracker(t *testing.T) {
+	for _, tr := range []tracker.Tracker{
+		NewTWiCe(100, 10_000, 100, 17),
+		NewCAT(1024, 32, 64, 10),
+		NewMithril(8, 17),
+	} {
+		tr.OnActivate(1)
+		if tr.StorageBits() <= 0 {
+			t.Errorf("%s: non-positive storage", tr.Name())
+		}
+		tr.Reset()
+		if tr.Occupancy() > 1 { // CAT keeps its root leaf
+			t.Errorf("%s: occupancy %d after Reset", tr.Name(), tr.Occupancy())
+		}
+	}
+}
+
+func TestCounterSchemesVictimSharingWeakness(t *testing.T) {
+	// Section VI applies to every mitigate-at-threshold scheme: two
+	// aggressors at threshold-1 never trigger anything.
+	const threshold = 100
+	tw := NewTWiCe(threshold, 100_000, 1000, 17)
+	mith := NewMithril(64, 17)
+	for i := 0; i < threshold-1; i++ {
+		tw.OnActivate(10)
+		tw.OnActivate(12)
+		mith.OnActivate(10)
+		mith.OnActivate(12)
+	}
+	if ms := tw.DrainImmediate(); len(ms) != 0 {
+		t.Fatalf("TWiCe mitigated below threshold: %+v", ms)
+	}
+	// The victim row 11 absorbed 2*(threshold-1) hammers unprotected.
+}

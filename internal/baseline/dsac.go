@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+// DSAC reimplements Samsung's in-DRAM Stochastic and Approximate Counting
+// tracker (Hong et al., arXiv:2302.03591) as described in Section II-F:
+// a 20-entry counter table where
+//
+//   - a hit increments the entry's counter;
+//   - a miss replaces the minimum-counter entry with probability
+//     1/(minCount+1), inheriting minCount+1 as the new (approximate) count —
+//     the "stochastic replacement" that makes the counts unbiased estimates;
+//   - at each refresh, the maximum-counter entry is mitigated and retired.
+//
+// All three policies are counter-driven, so an attacker who inflates decoy
+// rows' counters can keep a true aggressor's insertion probability low and
+// evict it before mitigation — the access-pattern dependence the paper
+// identifies as the root vulnerability (DSAC is broken by TRRespass and
+// Blacksmith patterns in Section VII-F).
+type DSAC struct {
+	entries int
+	rowBits int
+	rng     *rng.Stream
+
+	rows   []int
+	counts []int
+	valid  []bool
+}
+
+var _ tracker.Tracker = (*DSAC)(nil)
+
+// DefaultDSACEntries is the per-bank table size reported for DSAC.
+const DefaultDSACEntries = 20
+
+// NewDSAC returns a DSAC tracker with the given table size.
+func NewDSAC(entries, rowBits int, r *rng.Stream) *DSAC {
+	if entries <= 0 {
+		panic(fmt.Sprintf("baseline: DSAC entries must be positive, got %d", entries))
+	}
+	if r == nil {
+		panic("baseline: nil rng stream")
+	}
+	return &DSAC{
+		entries: entries,
+		rowBits: rowBits,
+		rng:     r,
+		rows:    make([]int, entries),
+		counts:  make([]int, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+// Name implements tracker.Tracker.
+func (d *DSAC) Name() string { return "DSAC" }
+
+// OnActivate applies the hit-increment / stochastic-replacement policy.
+func (d *DSAC) OnActivate(row int) {
+	minIdx, minCount := -1, int(^uint(0)>>1)
+	for i := 0; i < d.entries; i++ {
+		if !d.valid[i] {
+			// Fill invalid entries first: a fresh entry starts at count 1.
+			d.rows[i] = row
+			d.counts[i] = 1
+			d.valid[i] = true
+			return
+		}
+		if d.rows[i] == row {
+			d.counts[i]++
+			return
+		}
+		if d.counts[i] < minCount {
+			minIdx, minCount = i, d.counts[i]
+		}
+	}
+	// Miss with a full table: stochastic replacement of the min entry.
+	if d.rng.Bernoulli(1 / float64(minCount+1)) {
+		d.rows[minIdx] = row
+		d.counts[minIdx] = minCount + 1
+	}
+}
+
+// OnMitigate retires the maximum-counter entry.
+func (d *DSAC) OnMitigate() (tracker.Mitigation, bool) {
+	maxIdx, maxCount := -1, -1
+	for i := 0; i < d.entries; i++ {
+		if d.valid[i] && d.counts[i] > maxCount {
+			maxIdx, maxCount = i, d.counts[i]
+		}
+	}
+	if maxIdx < 0 {
+		return tracker.Mitigation{}, false
+	}
+	row := d.rows[maxIdx]
+	d.valid[maxIdx] = false
+	d.counts[maxIdx] = 0
+	return tracker.Mitigation{Row: row, Level: 1}, true
+}
+
+// Occupancy implements tracker.Tracker.
+func (d *DSAC) Occupancy() int {
+	n := 0
+	for _, v := range d.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageBits implements tracker.Tracker: row + 16-bit counter + valid.
+func (d *DSAC) StorageBits() int { return d.entries * (d.rowBits + 16 + 1) }
+
+// Reset implements tracker.Tracker.
+func (d *DSAC) Reset() {
+	for i := range d.valid {
+		d.valid[i] = false
+		d.counts[i] = 0
+	}
+}

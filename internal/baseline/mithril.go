@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pride/internal/tracker"
+)
+
+// Mithril implements the optimal-class in-DRAM tracker of Kim et al. (HPCA
+// 2022), which Section II-E cites as one of the two provably secure
+// in-DRAM designs (with ProTRR). It is a Counter-based Summary (Misra-Gries
+// style, like Graphene) that lives INSIDE the DRAM and services mitigations
+// at REF and RFM opportunities rather than issuing its own:
+//
+//   - Activations update a Misra-Gries table sized so that any row reaching
+//     the mitigation threshold is guaranteed to be tracked.
+//   - At each mitigation opportunity, the entry with the maximum estimated
+//     count is mitigated and its counter rewinds to the spillover floor.
+//
+// With entries >= maxACTsPerWindow/threshold, Mithril never loses an
+// aggressor (the Misra-Gries error bound), giving deterministic protection —
+// at hundreds of entries per bank (Section II-F), which is exactly the cost
+// PrIDE's 4 probabilistic entries undercut.
+type Mithril struct {
+	entries int
+	rowBits int
+
+	rows   []int
+	counts []int
+	valid  []bool
+	spill  int
+}
+
+var _ tracker.Tracker = (*Mithril)(nil)
+
+// MithrilEntries returns the entry count that guarantees no aggressor is
+// missed: the maximum activations per refresh window divided by the
+// per-window mitigation threshold.
+func MithrilEntries(actsPerTREFW, threshold int) int {
+	if threshold < 1 {
+		panic(fmt.Sprintf("baseline: Mithril threshold must be >= 1, got %d", threshold))
+	}
+	n := actsPerTREFW / threshold
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewMithril returns a Mithril tracker with the given table size.
+func NewMithril(entries, rowBits int) *Mithril {
+	if entries < 1 {
+		panic(fmt.Sprintf("baseline: Mithril entries must be >= 1, got %d", entries))
+	}
+	return &Mithril{
+		entries: entries,
+		rowBits: rowBits,
+		rows:    make([]int, entries),
+		counts:  make([]int, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+// Name implements tracker.Tracker.
+func (m *Mithril) Name() string { return "Mithril" }
+
+// OnActivate applies the Misra-Gries update.
+func (m *Mithril) OnActivate(row int) {
+	minIdx, minCount := -1, int(^uint(0)>>1)
+	for i := 0; i < m.entries; i++ {
+		if !m.valid[i] {
+			m.rows[i] = row
+			m.counts[i] = m.spill + 1
+			m.valid[i] = true
+			return
+		}
+		if m.rows[i] == row {
+			m.counts[i]++
+			return
+		}
+		if m.counts[i] < minCount {
+			minIdx, minCount = i, m.counts[i]
+		}
+	}
+	m.spill++
+	if m.spill >= minCount {
+		m.rows[minIdx] = row
+		m.counts[minIdx] = m.spill + 1
+	}
+}
+
+// OnMitigate pops the maximum-count entry (the row closest to danger) and
+// rewinds its counter to the spillover floor.
+func (m *Mithril) OnMitigate() (tracker.Mitigation, bool) {
+	maxIdx, maxCount := -1, -1
+	for i := 0; i < m.entries; i++ {
+		if m.valid[i] && m.counts[i] > maxCount {
+			maxIdx, maxCount = i, m.counts[i]
+		}
+	}
+	if maxIdx < 0 || maxCount <= m.spill {
+		// Nothing is meaningfully hotter than the untracked mass; skip.
+		return tracker.Mitigation{}, false
+	}
+	row := m.rows[maxIdx]
+	m.counts[maxIdx] = m.spill
+	return tracker.Mitigation{Row: row, Level: 1}, true
+}
+
+// Occupancy implements tracker.Tracker.
+func (m *Mithril) Occupancy() int {
+	n := 0
+	for _, v := range m.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageBits implements tracker.Tracker.
+func (m *Mithril) StorageBits() int {
+	return m.entries*(m.rowBits+16+1) + 16
+}
+
+// Reset implements tracker.Tracker.
+func (m *Mithril) Reset() {
+	for i := range m.valid {
+		m.valid[i] = false
+		m.counts[i] = 0
+	}
+	m.spill = 0
+}

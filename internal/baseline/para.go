@@ -1,0 +1,229 @@
+// Package baseline implements the Rowhammer trackers the paper compares
+// PrIDE against: the memory-controller-side PARA family (PARA-MC,
+// PARA-DRFM, PARFM) and the in-DRAM counter-based trackers (DSAC, PRoHIT,
+// a TRR-style deterministic sampler, and Graphene).
+//
+// Every implementation follows the published description of the scheme; the
+// counter-driven ones deliberately retain the access-pattern-dependent
+// policy decisions that Section II-G identifies as their root vulnerability,
+// because reproducing Fig 15 requires their weaknesses to be faithful.
+package baseline
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+// ImmediateMitigator is implemented by controller-side schemes that issue
+// mitigations immediately on an activation (PARA, Graphene) rather than
+// waiting for a refresh opportunity. The simulator drains these after every
+// activation.
+type ImmediateMitigator interface {
+	// DrainImmediate returns and clears mitigations to perform right now.
+	DrainImmediate() []tracker.Mitigation
+}
+
+// PARA is Kim et al.'s probabilistic mitigation at the memory controller:
+// on each activation, with probability p, the row's neighbours are refreshed
+// immediately. It keeps no state at all, which makes it pattern-independent
+// but — lacking DRAM adjacency knowledge and visibility into mitigative
+// refreshes — vulnerable to transitive attacks (Section IV-G).
+type PARA struct {
+	p       float64
+	rng     *rng.Stream
+	pending []tracker.Mitigation
+	acts    uint64
+}
+
+var (
+	_ tracker.Tracker    = (*PARA)(nil)
+	_ ImmediateMitigator = (*PARA)(nil)
+)
+
+// NewPARA returns a PARA instance with refresh probability p.
+func NewPARA(p float64, r *rng.Stream) *PARA {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("baseline: PARA probability must be in (0,1], got %v", p))
+	}
+	if r == nil {
+		panic("baseline: nil rng stream")
+	}
+	return &PARA{p: p, rng: r}
+}
+
+// Name implements tracker.Tracker.
+func (p *PARA) Name() string { return "PARA-MC" }
+
+// OnActivate samples the activation; selected rows are mitigated
+// immediately (drained by the simulator after this call).
+func (p *PARA) OnActivate(row int) {
+	p.acts++
+	if p.rng.Bernoulli(p.p) {
+		p.pending = append(p.pending, tracker.Mitigation{Row: row, Level: 1})
+	}
+}
+
+// DrainImmediate implements ImmediateMitigator.
+func (p *PARA) DrainImmediate() []tracker.Mitigation {
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// OnMitigate implements tracker.Tracker; PARA performs nothing at refresh.
+func (p *PARA) OnMitigate() (tracker.Mitigation, bool) {
+	return tracker.Mitigation{}, false
+}
+
+// Occupancy implements tracker.Tracker; PARA tracks nothing.
+func (p *PARA) Occupancy() int { return len(p.pending) }
+
+// StorageBits implements tracker.Tracker: PARA only needs its RNG.
+func (p *PARA) StorageBits() int { return 0 }
+
+// Reset implements tracker.Tracker.
+func (p *PARA) Reset() {
+	p.pending = nil
+	p.acts = 0
+}
+
+// PARADRFM adapts PARA to DDR5's Directed Refresh Management command
+// (Section IV-G): the controller samples activations with probability p into
+// a single pending-address register (a newer selection overwrites an
+// unissued one — precisely the single-entry-tracker behaviour the analytic
+// model assumes), and may issue at most one DRFM every `interval` refresh
+// opportunities.
+type PARADRFM struct {
+	p        float64
+	interval int
+	rng      *rng.Stream
+
+	pendingRow   int
+	pendingValid bool
+	sinceIssue   int
+	rowBits      int
+}
+
+var _ tracker.Tracker = (*PARADRFM)(nil)
+
+// NewPARADRFM returns a PARA-DRFM with sampling probability p, issuing at
+// most one DRFM per interval mitigation opportunities (DDR5: interval=2;
+// the enhanced PARA-DRFM+ uses interval=1).
+func NewPARADRFM(p float64, interval, rowBits int, r *rng.Stream) *PARADRFM {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("baseline: PARA-DRFM probability must be in (0,1], got %v", p))
+	}
+	if interval < 1 {
+		panic(fmt.Sprintf("baseline: DRFM interval must be >= 1, got %d", interval))
+	}
+	if r == nil {
+		panic("baseline: nil rng stream")
+	}
+	return &PARADRFM{p: p, interval: interval, rowBits: rowBits, rng: r, sinceIssue: interval}
+}
+
+// Name implements tracker.Tracker.
+func (d *PARADRFM) Name() string {
+	if d.interval == 1 {
+		return "PARA-DRFM+"
+	}
+	return "PARA-DRFM"
+}
+
+// OnActivate samples the row into the pending register, overwriting any
+// unissued selection.
+func (d *PARADRFM) OnActivate(row int) {
+	if d.rng.Bernoulli(d.p) {
+		d.pendingRow = row
+		d.pendingValid = true
+	}
+}
+
+// OnMitigate issues the pending DRFM if the rate limit allows.
+func (d *PARADRFM) OnMitigate() (tracker.Mitigation, bool) {
+	d.sinceIssue++
+	if !d.pendingValid || d.sinceIssue < d.interval {
+		return tracker.Mitigation{}, false
+	}
+	d.sinceIssue = 0
+	d.pendingValid = false
+	return tracker.Mitigation{Row: d.pendingRow, Level: 1}, true
+}
+
+// Occupancy implements tracker.Tracker.
+func (d *PARADRFM) Occupancy() int {
+	if d.pendingValid {
+		return 1
+	}
+	return 0
+}
+
+// StorageBits implements tracker.Tracker: one row register plus a valid bit
+// and the rate-limit counter.
+func (d *PARADRFM) StorageBits() int { return d.rowBits + 1 + 8 }
+
+// Reset implements tracker.Tracker.
+func (d *PARADRFM) Reset() {
+	d.pendingValid = false
+	d.sinceIssue = d.interval
+}
+
+// PARFM is PARA co-designed with RFM per Mithril (Section V-C): every
+// activated address since the last mitigation is buffered; at each
+// mitigation opportunity one buffered entry is chosen uniformly at random,
+// mitigated, and the whole buffer is cleared for the next epoch. It needs a
+// buffer as large as the mitigation window (79 entries for DDR5, 166 for
+// DDR4) and remains vulnerable to transitive attacks.
+type PARFM struct {
+	capacity int
+	rowBits  int
+	rng      *rng.Stream
+	buf      []int
+}
+
+var _ tracker.Tracker = (*PARFM)(nil)
+
+// NewPARFM returns a PARFM with the given buffer capacity (the mitigation
+// window W).
+func NewPARFM(capacity, rowBits int, r *rng.Stream) *PARFM {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("baseline: PARFM capacity must be positive, got %d", capacity))
+	}
+	if r == nil {
+		panic("baseline: nil rng stream")
+	}
+	return &PARFM{capacity: capacity, rowBits: rowBits, rng: r, buf: make([]int, 0, capacity)}
+}
+
+// Name implements tracker.Tracker.
+func (p *PARFM) Name() string { return "PARFM" }
+
+// OnActivate buffers every activated address (dropping extras beyond the
+// epoch capacity, which cannot happen when capacity == W).
+func (p *PARFM) OnActivate(row int) {
+	if len(p.buf) < p.capacity {
+		p.buf = append(p.buf, row)
+	}
+}
+
+// OnMitigate picks a uniformly random buffered address, then clears the
+// buffer for the next epoch.
+func (p *PARFM) OnMitigate() (tracker.Mitigation, bool) {
+	if len(p.buf) == 0 {
+		return tracker.Mitigation{}, false
+	}
+	row := p.buf[p.rng.Intn(len(p.buf))]
+	p.buf = p.buf[:0]
+	return tracker.Mitigation{Row: row, Level: 1}, true
+}
+
+// Occupancy implements tracker.Tracker.
+func (p *PARFM) Occupancy() int { return len(p.buf) }
+
+// StorageBits implements tracker.Tracker.
+func (p *PARFM) StorageBits() int { return p.capacity * p.rowBits }
+
+// Reset implements tracker.Tracker.
+func (p *PARFM) Reset() { p.buf = p.buf[:0] }

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pride/internal/tracker"
+)
+
+// TWiCe implements Lee et al.'s Time Window Counter tracker (ISCA 2019), a
+// memory-controller-side counter scheme from Table XI. It maintains one
+// entry per candidate aggressor with an activation count and a lifetime
+// (in refresh windows):
+//
+//   - On activation, the row's count increments (inserting it if absent).
+//   - Periodically (each pruning interval, a fraction of tREFW), entries
+//     whose count is too low to possibly reach the threshold within their
+//     remaining lifetime are pruned — the insight that keeps the table
+//     smaller than one-counter-per-row.
+//   - A row whose count crosses the threshold is mitigated immediately and
+//     reset.
+//
+// TWiCe never misses an aggressor (counts are exact while tracked), at the
+// price of a table that scales inversely with the threshold (Table XI:
+// 300KB per bank at TRH-D=4K, 3MB at 400) — the storage-vs-security trade
+// PrIDE's 10 bytes sidestep.
+type TWiCe struct {
+	threshold   int
+	pruneEvery  int
+	maxLife     int
+	rowBits     int
+	sincePrune  int
+	entries     map[int]*twiceEntry
+	pending     []tracker.Mitigation
+	mitigations uint64
+}
+
+type twiceEntry struct {
+	count int
+	life  int
+}
+
+var (
+	_ tracker.Tracker    = (*TWiCe)(nil)
+	_ ImmediateMitigator = (*TWiCe)(nil)
+)
+
+// NewTWiCe returns a TWiCe tracker that mitigates rows reaching threshold
+// activations within a refresh window of windowACTs activations, pruning
+// every pruneEvery activations.
+func NewTWiCe(threshold, windowACTs, pruneEvery, rowBits int) *TWiCe {
+	if threshold < 2 {
+		panic(fmt.Sprintf("baseline: TWiCe threshold must be >= 2, got %d", threshold))
+	}
+	if pruneEvery < 1 || windowACTs < pruneEvery {
+		panic(fmt.Sprintf("baseline: bad TWiCe window/prune %d/%d", windowACTs, pruneEvery))
+	}
+	return &TWiCe{
+		threshold:  threshold,
+		pruneEvery: pruneEvery,
+		maxLife:    windowACTs / pruneEvery,
+		rowBits:    rowBits,
+		entries:    map[int]*twiceEntry{},
+	}
+}
+
+// Name implements tracker.Tracker.
+func (t *TWiCe) Name() string { return "TWiCe" }
+
+// OnActivate counts the activation and applies threshold/pruning logic.
+func (t *TWiCe) OnActivate(row int) {
+	e, ok := t.entries[row]
+	if !ok {
+		e = &twiceEntry{}
+		t.entries[row] = e
+	}
+	e.count++
+	if e.count >= t.threshold {
+		t.pending = append(t.pending, tracker.Mitigation{Row: row, Level: 1})
+		t.mitigations++
+		e.count = 0
+		e.life = 0
+	}
+
+	t.sincePrune++
+	if t.sincePrune >= t.pruneEvery {
+		t.sincePrune = 0
+		t.prune()
+	}
+}
+
+// prune ages every entry and drops those that can no longer reach the
+// threshold before their window expires: count < threshold * life/maxLife.
+func (t *TWiCe) prune() {
+	for row, e := range t.entries {
+		e.life++
+		if e.life >= t.maxLife {
+			delete(t.entries, row)
+			continue
+		}
+		// Minimum count needed at this age to still be on a
+		// threshold-crossing trajectory.
+		need := t.threshold * e.life / t.maxLife
+		if e.count < need {
+			delete(t.entries, row)
+		}
+	}
+}
+
+// DrainImmediate implements ImmediateMitigator.
+func (t *TWiCe) DrainImmediate() []tracker.Mitigation {
+	out := t.pending
+	t.pending = nil
+	return out
+}
+
+// OnMitigate implements tracker.Tracker; TWiCe mitigates inline.
+func (t *TWiCe) OnMitigate() (tracker.Mitigation, bool) {
+	return tracker.Mitigation{}, false
+}
+
+// Occupancy implements tracker.Tracker.
+func (t *TWiCe) Occupancy() int { return len(t.entries) }
+
+// Mitigations returns the number of threshold crossings so far.
+func (t *TWiCe) Mitigations() uint64 { return t.mitigations }
+
+// StorageBits implements tracker.Tracker: TWiCe is sized for its worst-case
+// occupancy, windowACTs/threshold-ish entries of (row + count + life).
+func (t *TWiCe) StorageBits() int {
+	counterBits := 1
+	for v := t.threshold; v > 0; v >>= 1 {
+		counterBits++
+	}
+	lifeBits := 1
+	for v := t.maxLife; v > 0; v >>= 1 {
+		lifeBits++
+	}
+	capacity := t.maxLife * t.pruneEvery / t.threshold * 2 // pruning bound
+	if capacity < 1 {
+		capacity = 1
+	}
+	return capacity * (t.rowBits + counterBits + lifeBits)
+}
+
+// Reset implements tracker.Tracker.
+func (t *TWiCe) Reset() {
+	t.entries = map[int]*twiceEntry{}
+	t.pending = nil
+	t.sincePrune = 0
+	t.mitigations = 0
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pride/internal/analytic"
+	"pride/internal/core"
+	"pride/internal/dram"
+	"pride/internal/rng"
+)
+
+// Example shows the minimal PrIDE lifecycle: observe activations, service
+// mitigation opportunities at each REF.
+func Example() {
+	w := dram.DDR5().ACTsPerTREFI()
+	trk := core.New(core.DefaultConfig(w), rng.New(42))
+
+	for i := 0; i < 10*w; i++ {
+		trk.OnActivate(12345) // hammer one row
+		if (i+1)%w == 0 {
+			if m, ok := trk.OnMitigate(); ok {
+				fmt.Printf("refresh victims of row %d at distance %d\n", m.Row, m.Level)
+			}
+		}
+	}
+	fmt.Printf("sampled %d of %d activations\n",
+		trk.Stats().Insertions, trk.Stats().Activations)
+	// Output:
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// refresh victims of row 12345 at distance 1
+	// sampled 11 of 790 activations
+}
+
+// ExampleConfig_rfm shows the RFM co-design: the FIFO is unchanged, only
+// the insertion probability follows the higher mitigation rate.
+func ExampleConfig_rfm() {
+	cfg := core.RFMConfig(core.RFM16)
+	fmt.Printf("entries=%d p=1/%d transitive=%v\n",
+		cfg.Entries, int(1/cfg.InsertionProb), cfg.TransitiveProtection)
+	// Output:
+	// entries=4 p=1/17 transitive=true
+}
+
+// Example_securityBound connects the tracker to its analytic guarantee.
+func Example_securityBound() {
+	p := dram.DDR5()
+	r := analytic.EvaluateScheme(analytic.SchemePrIDE, p, analytic.DefaultTargetTTFYears)
+	fmt.Printf("TRH-S* = %.0f, TRH-D* = %.0f, storage = %d bits\n",
+		r.TRHStar, r.TRHDoubleSided(),
+		core.New(core.DefaultConfig(p.ACTsPerTREFI()), rng.New(1)).StorageBits())
+	// Output:
+	// TRH-S* = 3808, TRH-D* = 1904, storage = 86 bits
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+func newTest(cfg Config, seed uint64) *PrIDE {
+	return New(cfg, rng.New(seed))
+}
+
+func simpleConfig(n int, p float64) Config {
+	return Config{
+		Entries:       n,
+		InsertionProb: p,
+		MaxLevel:      7,
+		RowBits:       17,
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(79)
+	if cfg.Entries != 4 {
+		t.Fatalf("default entries = %d, want 4", cfg.Entries)
+	}
+	if got, want := cfg.InsertionProb, 1.0/80; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("default p = %v, want 1/80", got)
+	}
+	if !cfg.TransitiveProtection {
+		t.Fatal("default must enable transitive protection")
+	}
+	if cfg.MaxLevel != 7 {
+		t.Fatalf("MaxLevel = %d, want 7 (3-bit level field)", cfg.MaxLevel)
+	}
+}
+
+func TestRFMConfigs(t *testing.T) {
+	if got, want := RFMConfig(RFM16).InsertionProb, 1.0/17; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("RFM16 p = %v, want 1/17", got)
+	}
+	if got, want := RFMConfig(RFM40).InsertionProb, 1.0/41; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("RFM40 p = %v, want 1/41", got)
+	}
+	if RFMConfig(RFM16).Entries != 4 {
+		t.Fatal("RFM co-design must keep the 4-entry FIFO unmodified")
+	}
+}
+
+func TestStorageBitsMatchesPaperBudget(t *testing.T) {
+	// Section VII-D: 4 entries x 20 bits (17-bit row + 3-bit level) = 80
+	// bits = 10 bytes per bank, plus two tiny registers.
+	p := newTest(DefaultConfig(79), 1)
+	bits := p.StorageBits()
+	if bits < 80 || bits > 88 {
+		t.Fatalf("StorageBits = %d, want 80 (10 bytes) + small registers", bits)
+	}
+}
+
+func TestInsertionIsProbabilistic(t *testing.T) {
+	const pIns = 1.0 / 80
+	pr := newTest(simpleConfig(4, pIns), 2)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		pr.OnActivate(i % 997)
+	}
+	got := float64(pr.Stats().Insertions) / n
+	tol := 5 * math.Sqrt(pIns*(1-pIns)/n)
+	if math.Abs(got-pIns) > tol {
+		t.Fatalf("insertion rate = %v, want %v +- %v", got, pIns, tol)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	pr := newTest(simpleConfig(4, 1), 3) // p=1: every ACT inserts
+	for _, r := range []int{10, 20, 30} {
+		pr.OnActivate(r)
+	}
+	if pr.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3", pr.Occupancy())
+	}
+	want := []int{10, 20, 30}
+	for _, w := range want {
+		m, ok := pr.OnMitigate()
+		if !ok {
+			t.Fatal("mitigation returned nothing")
+		}
+		if m.Row != w {
+			t.Fatalf("mitigated %d, want %d (FIFO order)", m.Row, w)
+		}
+		if m.Level != 1 {
+			t.Fatalf("demand insertion level = %d, want 1", m.Level)
+		}
+	}
+	if _, ok := pr.OnMitigate(); ok {
+		t.Fatal("mitigation from empty buffer")
+	}
+}
+
+func TestFIFOEvictionDropsOldest(t *testing.T) {
+	pr := newTest(simpleConfig(2, 1), 4)
+	pr.OnActivate(1)
+	pr.OnActivate(2)
+	pr.OnActivate(3) // evicts 1
+	if pr.Contains(1) {
+		t.Fatal("oldest entry not evicted")
+	}
+	m, _ := pr.OnMitigate()
+	if m.Row != 2 {
+		t.Fatalf("oldest surviving entry = %d, want 2", m.Row)
+	}
+	if pr.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", pr.Stats().Evictions)
+	}
+}
+
+func TestDuplicatesAreInserted(t *testing.T) {
+	// Requirement R2: a matching entry must not suppress insertion.
+	pr := newTest(simpleConfig(4, 1), 5)
+	pr.OnActivate(42)
+	pr.OnActivate(42)
+	if pr.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2 duplicate entries (R2)", pr.Occupancy())
+	}
+}
+
+func TestInsecureSkipDuplicatesViolatesR2(t *testing.T) {
+	cfg := simpleConfig(4, 1)
+	cfg.InsecureSkipDuplicates = true
+	pr := New(cfg, rng.New(6))
+	pr.OnActivate(42)
+	pr.OnActivate(42)
+	if pr.Occupancy() != 1 {
+		t.Fatalf("insecure variant occupancy = %d, want 1", pr.Occupancy())
+	}
+}
+
+func TestInsecureAlwaysInsertViolatesR1(t *testing.T) {
+	cfg := simpleConfig(4, 1e-12) // essentially never sample
+	cfg.InsecureAlwaysInsertIfInvalid = true
+	pr := New(cfg, rng.New(7))
+	pr.OnActivate(1)
+	pr.OnActivate(2)
+	if pr.Occupancy() != 2 {
+		t.Fatalf("R1-violating variant should have inserted both, occupancy = %d", pr.Occupancy())
+	}
+	// The secure tracker with the same (tiny) p inserts nothing.
+	sec := newTest(simpleConfig(4, 1e-12), 7)
+	sec.OnActivate(1)
+	sec.OnActivate(2)
+	if sec.Occupancy() != 0 {
+		t.Fatalf("secure tracker sampled at p=1e-12, occupancy = %d", sec.Occupancy())
+	}
+}
+
+func TestTransitiveReinsertionIncrementsLevel(t *testing.T) {
+	cfg := simpleConfig(4, 1)
+	cfg.TransitiveProtection = true
+	pr := New(cfg, rng.New(8))
+	pr.OnActivate(99)
+	m1, _ := pr.OnMitigate() // re-inserts at level 2 (p=1)
+	if m1.Level != 1 {
+		t.Fatalf("first mitigation level = %d, want 1", m1.Level)
+	}
+	m2, ok := pr.OnMitigate()
+	if !ok {
+		t.Fatal("re-inserted entry missing")
+	}
+	if m2.Row != 99 || m2.Level != 2 {
+		t.Fatalf("re-inserted mitigation = %+v, want row 99 level 2", m2)
+	}
+	if pr.Stats().Reinsertions != 2 { // m2's pop re-inserted at level 3 too
+		t.Fatalf("reinsertions = %d, want 2", pr.Stats().Reinsertions)
+	}
+}
+
+func TestTransitiveLevelCapped(t *testing.T) {
+	cfg := simpleConfig(4, 1)
+	cfg.TransitiveProtection = true
+	cfg.MaxLevel = 3
+	pr := New(cfg, rng.New(9))
+	pr.OnActivate(5)
+	levels := []int{}
+	for {
+		m, ok := pr.OnMitigate()
+		if !ok {
+			break
+		}
+		levels = append(levels, m.Level)
+		if len(levels) > 10 {
+			t.Fatal("level cap not enforced: unbounded re-insertion")
+		}
+	}
+	want := []int{1, 2, 3}
+	if len(levels) != len(want) {
+		t.Fatalf("mitigation levels = %v, want %v", levels, want)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("mitigation levels = %v, want %v", levels, want)
+		}
+	}
+}
+
+func TestNoTransitiveReinsertionWhenDisabled(t *testing.T) {
+	pr := newTest(simpleConfig(4, 1), 10)
+	pr.OnActivate(5)
+	pr.OnMitigate()
+	if pr.Occupancy() != 0 {
+		t.Fatal("re-insertion happened with transitive protection disabled")
+	}
+}
+
+// The core security property (Figure 1c, Section IV-A): the tracker's
+// decisions must not depend on WHICH addresses are accessed. With a fixed
+// seed, any two address sequences of the same length must produce identical
+// insertion/eviction/mitigation DECISION sequences (only the stored
+// addresses differ).
+func TestPatternIndependenceProperty(t *testing.T) {
+	check := func(seed uint64, addrsA, addrsB []uint16) bool {
+		n := len(addrsA)
+		if len(addrsB) < n {
+			n = len(addrsB)
+		}
+		if n == 0 {
+			return true
+		}
+		cfg := DefaultConfig(79)
+		pa := New(cfg, rng.New(seed))
+		pb := New(cfg, rng.New(seed))
+		for i := 0; i < n; i++ {
+			pa.OnActivate(int(addrsA[i]))
+			pb.OnActivate(int(addrsB[i]))
+			if pa.Occupancy() != pb.Occupancy() {
+				return false
+			}
+			if i%17 == 0 {
+				_, okA := pa.OnMitigate()
+				_, okB := pb.OnMitigate()
+				if okA != okB || pa.Occupancy() != pb.Occupancy() {
+					return false
+				}
+			}
+		}
+		sa, sb := pa.Stats(), pb.Stats()
+		return sa == sb
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occupancy is always within [0, N] and matches Snapshot length.
+func TestOccupancyBoundsProperty(t *testing.T) {
+	check := func(seed uint64, ops []byte) bool {
+		cfg := simpleConfig(3, 0.3)
+		cfg.TransitiveProtection = true
+		pr := New(cfg, rng.New(seed))
+		for _, op := range ops {
+			if op%5 == 0 {
+				pr.OnMitigate()
+			} else {
+				pr.OnActivate(int(op))
+			}
+			occ := pr.Occupancy()
+			if occ < 0 || occ > 3 || occ != len(pr.Snapshot()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: insertions - evictions - mitigated-pops == occupancy.
+func TestFlowConservationProperty(t *testing.T) {
+	check := func(seed uint64, ops []byte) bool {
+		cfg := simpleConfig(4, 0.5)
+		cfg.TransitiveProtection = true
+		pr := New(cfg, rng.New(seed))
+		for _, op := range ops {
+			if op%7 == 0 {
+				pr.OnMitigate()
+			} else {
+				pr.OnActivate(int(op) * 3)
+			}
+		}
+		s := pr.Stats()
+		return int(s.Insertions)-int(s.Evictions)-int(s.Mitigations) == pr.Occupancy()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPoliciesStillPatternIndependent(t *testing.T) {
+	// The PROTEAS-style ablation: Random eviction/mitigation is also
+	// pattern independent (Section VIII), just worse quantitatively.
+	cfg := simpleConfig(4, 0.5)
+	cfg.Eviction = Random
+	cfg.Mitigation = Random
+	pa := New(cfg, rng.New(77))
+	pb := New(cfg, rng.New(77))
+	for i := 0; i < 5000; i++ {
+		pa.OnActivate(i % 3)
+		pb.OnActivate(i % 1009)
+		if i%11 == 0 {
+			_, okA := pa.OnMitigate()
+			_, okB := pb.OnMitigate()
+			if okA != okB {
+				t.Fatal("random-policy decisions diverged across patterns")
+			}
+		}
+		if pa.Occupancy() != pb.Occupancy() {
+			t.Fatal("random-policy occupancy diverged across patterns")
+		}
+	}
+}
+
+func TestRandomMitigationDrainsAllEntries(t *testing.T) {
+	cfg := simpleConfig(4, 1)
+	cfg.Mitigation = Random
+	pr := New(cfg, rng.New(12))
+	rows := map[int]bool{}
+	for _, r := range []int{1, 2, 3, 4} {
+		pr.OnActivate(r)
+	}
+	for i := 0; i < 4; i++ {
+		m, ok := pr.OnMitigate()
+		if !ok {
+			t.Fatal("buffer drained early")
+		}
+		rows[m.Row] = true
+	}
+	if len(rows) != 4 {
+		t.Fatalf("random mitigation returned duplicate rows: %v", rows)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, InsertionProb: 0.5, MaxLevel: 1, RowBits: 17},
+		{Entries: 4, InsertionProb: 0, MaxLevel: 1, RowBits: 17},
+		{Entries: 4, InsertionProb: 1.5, MaxLevel: 1, RowBits: 17},
+		{Entries: 4, InsertionProb: 0.5, MaxLevel: 0, RowBits: 17},
+		{Entries: 4, InsertionProb: 0.5, MaxLevel: 1, RowBits: 0},
+		{Entries: 4, InsertionProb: 0.5, MaxLevel: 1, RowBits: 17, Eviction: Policy(9)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(Config{}, rng.New(1)) },
+		func() { New(DefaultConfig(79), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("New accepted invalid input")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestResetRestoresEmptyState(t *testing.T) {
+	pr := newTest(simpleConfig(4, 1), 13)
+	for i := 0; i < 10; i++ {
+		pr.OnActivate(i)
+	}
+	pr.Reset()
+	if pr.Occupancy() != 0 {
+		t.Fatal("Reset left entries")
+	}
+	if pr.Stats() != (Statistics{}) {
+		t.Fatal("Reset left statistics")
+	}
+	if _, ok := pr.OnMitigate(); ok {
+		t.Fatal("mitigation after Reset")
+	}
+}
+
+func TestTrackerInterfaceCompliance(t *testing.T) {
+	var tr tracker.Tracker = newTest(DefaultConfig(79), 14)
+	if tr.Name() != "PrIDE" {
+		t.Fatalf("Name = %q, want PrIDE", tr.Name())
+	}
+	tr.OnActivate(1)
+	tr.Reset()
+	if tr.Occupancy() != 0 {
+		t.Fatal("interface Reset failed")
+	}
+	if tr.StorageBits() <= 0 {
+		t.Fatal("StorageBits must be positive")
+	}
+}
+
+func TestIdleMitigationCounted(t *testing.T) {
+	pr := newTest(simpleConfig(4, 0.5), 15)
+	pr.OnMitigate()
+	pr.OnMitigate()
+	if got := pr.Stats().IdleMitigations; got != 2 {
+		t.Fatalf("idle mitigations = %d, want 2", got)
+	}
+}
+
+func BenchmarkOnActivate(b *testing.B) {
+	pr := newTest(DefaultConfig(79), 1)
+	for i := 0; i < b.N; i++ {
+		pr.OnActivate(i & 0x1FFFF)
+	}
+}
+
+func BenchmarkActivateMitigateCycle(b *testing.B) {
+	pr := newTest(DefaultConfig(79), 1)
+	for i := 0; i < b.N; i++ {
+		pr.OnActivate(i & 0x1FFFF)
+		if i%79 == 78 {
+			pr.OnMitigate()
+		}
+	}
+}

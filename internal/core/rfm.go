@@ -1,0 +1,22 @@
+package core
+
+// RFMThreshold values evaluated in the paper (Section V): an RFM command is
+// issued by the memory controller each time a bank accumulates this many
+// activations, giving the in-DRAM tracker an extra mitigation opportunity.
+const (
+	// RFM40 roughly doubles the mitigation rate (one extra mitigation per
+	// 40 ACTs vs. the baseline ~1 per 79).
+	RFM40 = 40
+	// RFM16 gives roughly five times the baseline mitigation rate.
+	RFM16 = 16
+)
+
+// RFMConfig returns the PrIDE configuration co-designed with RFM at the
+// given threshold (Section V-B): the FIFO is unmodified (4 entries), and the
+// insertion probability is revised to 1/(threshold+1) so the insertion rate
+// matches the mitigation rate — RFM16 uses p=1/17, RFM40 uses p=1/41, as in
+// the paper.
+func RFMConfig(threshold int) Config {
+	cfg := DefaultConfig(threshold)
+	return cfg
+}

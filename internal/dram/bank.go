@@ -1,0 +1,255 @@
+package dram
+
+import "fmt"
+
+// Flip records a Rowhammer failure: a victim row crossed the device's
+// Rowhammer threshold without an intervening refresh.
+type Flip struct {
+	// Row is the victim row that flipped.
+	Row int
+	// Hammers is the disturbance count at the moment of the flip.
+	Hammers int
+	// ACTIndex is the global activation index at which the flip occurred.
+	ACTIndex uint64
+}
+
+// Stats aggregates the activity counters a Bank maintains; the energy model
+// and the experiment harnesses both consume them.
+type Stats struct {
+	// DemandACTs counts activations issued by the memory controller.
+	DemandACTs uint64
+	// MitigativeACTs counts activations performed internally by victim
+	// refreshes (each refreshed row is one activation).
+	MitigativeACTs uint64
+	// Mitigations counts mitigation operations (one per tracker pop).
+	Mitigations uint64
+	// PeriodicRefreshes counts rows refreshed by the regular REF stream.
+	PeriodicRefreshes uint64
+	// Flips counts Rowhammer failures observed.
+	Flips uint64
+}
+
+// Bank is a behavioural model of one DRAM bank: per-row disturbance
+// accounting with a configurable blast radius and Rowhammer threshold.
+//
+// Activations of row r disturb rows r±1..r±BlastRadius. Refreshing a row
+// resets its disturbance count, and — because a refresh is internally an
+// activation of that row — disturbs *its* neighbours in turn. This is the
+// physical mechanism behind transitive attacks such as Half-Double
+// (Section IV-E, Figure 10), and the model reproduces it faithfully.
+type Bank struct {
+	params Params
+	trh    int
+
+	// hammers[r] counts disturbances to row r since r was last refreshed.
+	hammers []int
+	// actRun[r] counts activations of row r since a mitigation last
+	// targeted r (the paper's "attack round" length for r, Section III-A).
+	actRun []int
+	// flipped[r] marks rows already reported as failed, so one sustained
+	// over-threshold run yields one Flip.
+	flipped []bool
+
+	// maxDisturbance is the paper's Fig 15 metric: the maximum number of
+	// activations any row received before a mitigation ended its round.
+	maxDisturbance int
+	// maxHammers is the peak disturbance any victim row accumulated.
+	maxHammers int
+
+	refreshCursor int
+	actIndex      uint64
+	stats         Stats
+	flips         []Flip
+
+	// onFlip, when non-nil, is invoked for every failure as it happens.
+	onFlip func(Flip)
+}
+
+// NewBank returns a bank with the given parameters and device Rowhammer
+// threshold trh (the number of disturbances a victim tolerates before
+// flipping). trh <= 0 disables failure detection, which is useful when only
+// disturbance metrics are wanted.
+func NewBank(p Params, trh int) (*Bank, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bank{
+		params:  p,
+		trh:     trh,
+		hammers: make([]int, p.RowsPerBank),
+		actRun:  make([]int, p.RowsPerBank),
+		flipped: make([]bool, p.RowsPerBank),
+	}, nil
+}
+
+// MustNewBank is NewBank for callers with compile-time-correct parameters.
+func MustNewBank(p Params, trh int) *Bank {
+	b, err := NewBank(p, trh)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Params returns the bank's timing/structural parameters.
+func (b *Bank) Params() Params { return b.params }
+
+// Rows returns the number of rows in the bank.
+func (b *Bank) Rows() int { return b.params.RowsPerBank }
+
+// OnFlip registers fn to be called for each Rowhammer failure.
+func (b *Bank) OnFlip(fn func(Flip)) { b.onFlip = fn }
+
+// Activate issues a demand activation to row. It returns the row's
+// activation-run length so callers can track disturbance without re-reading
+// state.
+func (b *Bank) Activate(row int) int {
+	b.mustValidRow(row)
+	b.actIndex++
+	b.stats.DemandACTs++
+	// An activation senses and restores the row's own cells, so the
+	// activated row's disturbance count resets — this is why PrIDE's
+	// multi-level mitigation never needs to refresh the aggressor row
+	// itself (Section IV-E: "the aggressor row A does not need to be
+	// refreshed").
+	b.hammers[row] = 0
+	b.flipped[row] = false
+	b.actRun[row]++
+	if b.actRun[row] > b.maxDisturbance {
+		b.maxDisturbance = b.actRun[row]
+	}
+	b.disturbNeighbors(row)
+	return b.actRun[row]
+}
+
+// disturbNeighbors increments the hammer count of every row within the blast
+// radius of row and detects threshold crossings.
+func (b *Bank) disturbNeighbors(row int) {
+	for d := 1; d <= b.params.BlastRadius; d++ {
+		for _, v := range [2]int{row - d, row + d} {
+			if v < 0 || v >= len(b.hammers) {
+				continue
+			}
+			b.hammers[v]++
+			if b.hammers[v] > b.maxHammers {
+				b.maxHammers = b.hammers[v]
+			}
+			if b.trh > 0 && b.hammers[v] >= b.trh && !b.flipped[v] {
+				b.flipped[v] = true
+				f := Flip{Row: v, Hammers: b.hammers[v], ACTIndex: b.actIndex}
+				b.flips = append(b.flips, f)
+				b.stats.Flips++
+				if b.onFlip != nil {
+					b.onFlip(f)
+				}
+			}
+		}
+	}
+}
+
+// refreshRow resets row's disturbance state. A refresh is internally an
+// activation of the row, so it disturbs the row's own neighbours; that is
+// the "silent activation" transitive attacks exploit.
+func (b *Bank) refreshRow(row int) {
+	if row < 0 || row >= len(b.hammers) {
+		return // refreshes beyond the array edge are harmless no-ops
+	}
+	b.hammers[row] = 0
+	b.flipped[row] = false
+	b.disturbNeighbors(row)
+}
+
+// Mitigate performs a victim refresh for aggressor row at the given
+// mitigation level: rows row-level*R.. and row+level*R.. within one blast
+// radius band at distance level are refreshed (Section IV-E: level m
+// refreshes the m-th neighbours). Level 1 is the ordinary victim refresh.
+// It returns the number of rows refreshed.
+func (b *Bank) Mitigate(row, level int) int {
+	b.mustValidRow(row)
+	if level < 1 {
+		panic(fmt.Sprintf("dram: mitigation level must be >= 1, got %d", level))
+	}
+	b.stats.Mitigations++
+	refreshed := 0
+	r := b.params.BlastRadius
+	// Level m refreshes the band of rows at distances ((m-1)*R, m*R] on
+	// each side: for R=1 that is exactly rows row±m.
+	for d := (level-1)*r + 1; d <= level*r; d++ {
+		for _, v := range [2]int{row - d, row + d} {
+			if v < 0 || v >= len(b.hammers) {
+				continue
+			}
+			b.refreshRow(v)
+			b.stats.MitigativeACTs++
+			refreshed++
+		}
+	}
+	// A mitigation targeting row ends row's attack round (Section III-A).
+	if level == 1 {
+		b.actRun[row] = 0
+	}
+	return refreshed
+}
+
+// StepRefresh models one REF command's worth of periodic refresh: the next
+// RowsPerBank/TREFIsPerTREFW rows in sequence are refreshed. Periodic
+// refreshes reset hammer counts but, as genuine row activations, also
+// disturb neighbours.
+func (b *Bank) StepRefresh() {
+	n := b.params.RowsPerBank / b.params.TREFIsPerTREFW()
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		row := b.refreshCursor
+		b.refreshCursor = (b.refreshCursor + 1) % b.params.RowsPerBank
+		b.refreshRow(row)
+		b.stats.PeriodicRefreshes++
+	}
+}
+
+// HammerCount returns the current disturbance count of row.
+func (b *Bank) HammerCount(row int) int {
+	b.mustValidRow(row)
+	return b.hammers[row]
+}
+
+// ActivationRun returns the length of row's current attack round.
+func (b *Bank) ActivationRun(row int) int {
+	b.mustValidRow(row)
+	return b.actRun[row]
+}
+
+// MaxDisturbance returns the maximum activations any row received before a
+// mitigation ended its round (Fig 15's metric).
+func (b *Bank) MaxDisturbance() int { return b.maxDisturbance }
+
+// MaxHammers returns the peak disturbance any victim accumulated.
+func (b *Bank) MaxHammers() int { return b.maxHammers }
+
+// Flips returns all recorded failures in occurrence order.
+func (b *Bank) Flips() []Flip { return b.flips }
+
+// Stats returns a copy of the bank's activity counters.
+func (b *Bank) Stats() Stats { return b.stats }
+
+// Reset clears all disturbance state and statistics, keeping parameters.
+func (b *Bank) Reset() {
+	for i := range b.hammers {
+		b.hammers[i] = 0
+		b.actRun[i] = 0
+		b.flipped[i] = false
+	}
+	b.maxDisturbance = 0
+	b.maxHammers = 0
+	b.refreshCursor = 0
+	b.actIndex = 0
+	b.stats = Stats{}
+	b.flips = nil
+}
+
+func (b *Bank) mustValidRow(row int) {
+	if row < 0 || row >= b.params.RowsPerBank {
+		panic(fmt.Sprintf("dram: row %d out of range [0,%d)", row, b.params.RowsPerBank))
+	}
+}

@@ -1,0 +1,164 @@
+// Package dram models the DRAM device substrate the PrIDE paper's trackers
+// live in: timing parameters (Table I), banks with per-row disturbance
+// accounting, mitigative victim refreshes with a configurable blast radius,
+// and the transitive ("silent") activations those refreshes induce.
+//
+// The model is behavioural, not cycle-accurate: it advances in units of row
+// activations (ACTs) and refresh intervals (tREFI), which is exactly the
+// granularity at which the paper's security analysis operates.
+package dram
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params captures the DRAM timing parameters of Table I plus the structural
+// parameters the security analysis needs. All durations are physical; the
+// derived quantities used everywhere else (ACTs per tREFI, tREFIs per tREFW)
+// are computed, not stored, so a Params value can never be self-inconsistent.
+type Params struct {
+	// TREFW is the refresh period: every row is refreshed once per tREFW.
+	TREFW time.Duration
+	// TREFI is the time between successive REF commands.
+	TREFI time.Duration
+	// TRFC is the execution time of a REF command, during which the bank
+	// is unavailable and the device performs Rowhammer mitigations.
+	TRFC time.Duration
+	// TRC is the minimum time between successive ACTs to the same bank.
+	TRC time.Duration
+	// TFAWLimit is the number of banks that can be activated concurrently
+	// across the channel due to tFAW power constraints (Section VII-B uses
+	// 22 of 64 banks).
+	TFAWLimit int
+	// BanksPerRank is the number of banks in a rank (32 for DDR5).
+	BanksPerRank int
+	// Banks is the total number of banks in the evaluated system (64 in
+	// the paper's 32GB configuration: 32 banks x 1 rank x 1 channel, with
+	// two sub-ranks of devices... the paper simply states "64 banks").
+	Banks int
+	// RowsPerBank is the number of rows per bank (128K in Table VII).
+	RowsPerBank int
+	// RowBits is the width of a row address in bits (17 for 128K rows).
+	RowBits int
+	// MitigationsPerTREFI is the number of tracker mitigations the device
+	// performs at each REF (the paper's default is 1; DDR5 permits 1 every
+	// one or two tREFI, Section II-E).
+	MitigationsPerTREFI float64
+	// BlastRadius is the number of neighbouring rows on each side of an
+	// aggressor that are disturbed by (and refreshed in response to) its
+	// activations.
+	BlastRadius int
+}
+
+// DDR5 returns the paper's default DDR5 configuration (Table I, Table VII).
+func DDR5() Params {
+	return Params{
+		TREFW:               32 * time.Millisecond,
+		TREFI:               3900 * time.Nanosecond,
+		TRFC:                350 * time.Nanosecond,
+		TRC:                 45 * time.Nanosecond,
+		TFAWLimit:           22,
+		BanksPerRank:        32,
+		Banks:               64,
+		RowsPerBank:         128 * 1024,
+		RowBits:             17,
+		MitigationsPerTREFI: 1,
+		BlastRadius:         1,
+	}
+}
+
+// DDR4 returns a DDR4-like configuration used for the PARFM comparison
+// (Mithril evaluates PARFM with a 166-ACT mitigation window).
+func DDR4() Params {
+	return Params{
+		TREFW:               64 * time.Millisecond,
+		TREFI:               7800 * time.Nanosecond,
+		TRFC:                350 * time.Nanosecond,
+		TRC:                 45 * time.Nanosecond,
+		TFAWLimit:           16,
+		BanksPerRank:        16,
+		Banks:               32,
+		RowsPerBank:         64 * 1024,
+		RowBits:             16,
+		MitigationsPerTREFI: 1,
+		BlastRadius:         1,
+	}
+}
+
+// ACTsPerTREFI returns the maximum number of activations that fit in one
+// tREFI window: (tREFI - tRFC) / tRC, rounded to the nearest integer. For
+// the DDR5 defaults this is 79 (the paper's W, Table I); for DDR4 it is 166
+// (the PARFM window Mithril uses).
+func (p Params) ACTsPerTREFI() int {
+	num := int64(p.TREFI - p.TRFC)
+	den := int64(p.TRC)
+	return int((num + den/2) / den)
+}
+
+// TREFIsPerTREFW returns how many refresh commands occur per refresh period
+// (8192 for DDR5: 32ms / 3.9us).
+func (p Params) TREFIsPerTREFW() int {
+	return int(p.TREFW / p.TREFI)
+}
+
+// ACTsPerTREFW returns the maximum number of activations within a full
+// refresh period (about 650K for DDR5, Section II-E).
+func (p Params) ACTsPerTREFW() int {
+	return p.ACTsPerTREFI() * p.TREFIsPerTREFW()
+}
+
+// MitigationWindow returns W, the number of demand activations per tracker
+// mitigation opportunity. With 1 mitigation per tREFI this is ACTsPerTREFI
+// (79); with 1 per two tREFI it is 158 (the paper's 0.5x rate).
+func (p Params) MitigationWindow() int {
+	if p.MitigationsPerTREFI <= 0 {
+		panic("dram: MitigationsPerTREFI must be positive")
+	}
+	return int(float64(p.ACTsPerTREFI()) / p.MitigationsPerTREFI)
+}
+
+// Validate reports whether the parameter set is internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.TREFI <= 0 || p.TREFW <= 0 || p.TRC <= 0:
+		return fmt.Errorf("dram: non-positive timing parameter: %+v", p)
+	case p.TRFC >= p.TREFI:
+		return fmt.Errorf("dram: tRFC (%v) must be less than tREFI (%v)", p.TRFC, p.TREFI)
+	case p.TREFI >= p.TREFW:
+		return fmt.Errorf("dram: tREFI (%v) must be less than tREFW (%v)", p.TREFI, p.TREFW)
+	case p.RowsPerBank <= 0:
+		return fmt.Errorf("dram: RowsPerBank must be positive, got %d", p.RowsPerBank)
+	case p.RowBits <= 0 || 1<<p.RowBits < p.RowsPerBank:
+		return fmt.Errorf("dram: RowBits %d cannot address %d rows", p.RowBits, p.RowsPerBank)
+	case p.BlastRadius < 1:
+		return fmt.Errorf("dram: BlastRadius must be >= 1, got %d", p.BlastRadius)
+	case p.MitigationsPerTREFI <= 0:
+		return fmt.Errorf("dram: MitigationsPerTREFI must be positive, got %v", p.MitigationsPerTREFI)
+	case p.Banks <= 0 || p.TFAWLimit <= 0 || p.TFAWLimit > p.Banks:
+		return fmt.Errorf("dram: inconsistent bank counts: Banks=%d tFAW=%d", p.Banks, p.TFAWLimit)
+	}
+	return nil
+}
+
+// ThresholdEntry is one row of the paper's Table II: the published Rowhammer
+// threshold for a DRAM generation.
+type ThresholdEntry struct {
+	Generation string
+	// SingleSided is TRH-S; 0 means "not reported".
+	SingleSided int
+	// DoubleSidedLow/High bound TRH-D; 0 means "not reported".
+	DoubleSidedLow  int
+	DoubleSidedHigh int
+	Source          string
+}
+
+// ThresholdHistory reproduces Table II: Rowhammer thresholds over time.
+func ThresholdHistory() []ThresholdEntry {
+	return []ThresholdEntry{
+		{Generation: "DDR3-old", SingleSided: 139_000, Source: "Kim et al., ISCA 2014"},
+		{Generation: "DDR3-new", DoubleSidedLow: 22_400, DoubleSidedHigh: 22_400, Source: "Kim et al., ISCA 2020"},
+		{Generation: "DDR4", DoubleSidedLow: 10_000, DoubleSidedHigh: 17_500, Source: "Kim et al., ISCA 2020"},
+		{Generation: "LPDDR4", DoubleSidedLow: 4_800, DoubleSidedHigh: 9_000, Source: "Kim et al. 2020; Kogler et al. 2022"},
+	}
+}

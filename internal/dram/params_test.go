@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDDR5DerivedParameters(t *testing.T) {
+	p := DDR5()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DDR5 defaults invalid: %v", err)
+	}
+	// Table I: ACTs-per-tREFI = (tREFI - tRFC)/tRC = (3900-350)/45 = 78.9,
+	// which the paper reports as 79.
+	if got := p.ACTsPerTREFI(); got != 79 {
+		t.Fatalf("ACTsPerTREFI = %d, want the paper's 79", got)
+	}
+	if got := p.TREFIsPerTREFW(); got != 8205 {
+		t.Fatalf("TREFIsPerTREFW = %d, want 8205", got)
+	}
+	// Section II-E: ~650K activations per tREFW.
+	acts := p.ACTsPerTREFW()
+	if acts < 600_000 || acts > 700_000 {
+		t.Fatalf("ACTsPerTREFW = %d, want ~650K", acts)
+	}
+}
+
+func TestMitigationWindow(t *testing.T) {
+	p := DDR5()
+	w1 := p.MitigationWindow()
+	p.MitigationsPerTREFI = 0.5
+	w05 := p.MitigationWindow()
+	if w05 != 2*w1 {
+		t.Fatalf("halving the mitigation rate must double W: got %d vs %d", w05, w1)
+	}
+	p.MitigationsPerTREFI = 2
+	if got := p.MitigationWindow(); got != w1/2 {
+		t.Fatalf("doubling the mitigation rate must halve W: got %d, want %d", got, w1/2)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero tREFI", func(p *Params) { p.TREFI = 0 }},
+		{"tRFC >= tREFI", func(p *Params) { p.TRFC = p.TREFI }},
+		{"tREFI >= tREFW", func(p *Params) { p.TREFI = p.TREFW }},
+		{"no rows", func(p *Params) { p.RowsPerBank = 0 }},
+		{"rowbits too small", func(p *Params) { p.RowBits = 10 }},
+		{"blast radius zero", func(p *Params) { p.BlastRadius = 0 }},
+		{"zero mitigation rate", func(p *Params) { p.MitigationsPerTREFI = 0 }},
+		{"tFAW > banks", func(p *Params) { p.TFAWLimit = p.Banks + 1 }},
+		{"negative tRC", func(p *Params) { p.TRC = -time.Nanosecond }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := DDR5()
+			c.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestDDR4Valid(t *testing.T) {
+	p := DDR4()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DDR4 defaults invalid: %v", err)
+	}
+	// Mithril's PARFM window for DDR4 is ~166 ACTs per tREFI.
+	if w := p.ACTsPerTREFI(); w < 160 || w > 170 {
+		t.Fatalf("DDR4 ACTsPerTREFI = %d, want ~166", w)
+	}
+}
+
+func TestThresholdHistoryShape(t *testing.T) {
+	h := ThresholdHistory()
+	if len(h) != 4 {
+		t.Fatalf("Table II has 4 generations, got %d", len(h))
+	}
+	if h[0].SingleSided != 139_000 {
+		t.Fatalf("DDR3-old TRH-S = %d, want 139K", h[0].SingleSided)
+	}
+	// Thresholds must be non-increasing across generations (the paper's
+	// point: TRH dropped from 139K to 4.8K).
+	last := h[0].SingleSided
+	for _, e := range h[1:] {
+		v := e.DoubleSidedLow
+		if v == 0 {
+			v = e.SingleSided
+		}
+		if v > last {
+			t.Fatalf("thresholds should decline over generations: %s has %d after %d", e.Generation, v, last)
+		}
+		last = v
+	}
+	if last != 4_800 {
+		t.Fatalf("latest TRH-D = %d, want 4.8K", last)
+	}
+}

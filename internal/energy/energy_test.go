@@ -1,0 +1,102 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableXMatchesPaper(t *testing.T) {
+	// Table X: ACT / non-ACT / total energy factors.
+	rows := TableX(DefaultModel())
+	want := []struct {
+		scheme           string
+		act, nonact, tot float64
+		tolAct           float64
+	}{
+		{"PrIDE", 1.054, 1.002, 1.006, 0.01},
+		{"PrIDE+RFM40", 1.086, 1.002, 1.008, 0.02},
+		// Note: the paper's RFM16 total (1.024) is below what its own 13%%
+		// ACT share implies from its ACT/non-ACT columns (1.038); we match
+		// the columns and accept the recomputed total (see EXPERIMENTS.md).
+		{"PrIDE+RFM16", 1.226, 1.010, 1.024, 0.06},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Scheme != w.scheme {
+			t.Fatalf("row %d scheme = %s, want %s", i, r.Scheme, w.scheme)
+		}
+		if math.Abs(r.ACTEnergyFactor-w.act) > w.tolAct {
+			t.Errorf("%s ACT factor = %.3f, paper says %.3f", w.scheme, r.ACTEnergyFactor, w.act)
+		}
+		if math.Abs(r.NonACTEnergyFactor-w.nonact) > 0.01 {
+			t.Errorf("%s non-ACT factor = %.3f, paper says %.3f", w.scheme, r.NonACTEnergyFactor, w.nonact)
+		}
+		if math.Abs(r.TotalFactor-w.tot) > 0.015 {
+			t.Errorf("%s total factor = %.3f, paper says %.3f", w.scheme, r.TotalFactor, w.tot)
+		}
+	}
+}
+
+func TestTotalEnergyOrdering(t *testing.T) {
+	rows := TableX(DefaultModel())
+	if !(rows[0].TotalFactor < rows[1].TotalFactor && rows[1].TotalFactor < rows[2].TotalFactor) {
+		t.Fatalf("energy must increase with mitigation rate: %+v", rows)
+	}
+	// Section VII-E: ACT energy is only 13% of the bill, so even the 23%
+	// ACT increase of RFM16 stays under 3% total.
+	if rows[2].TotalFactor > 1.04 {
+		t.Fatalf("RFM16 total = %v, want < 1.04", rows[2].TotalFactor)
+	}
+}
+
+func TestEvaluateComposition(t *testing.T) {
+	m := DefaultModel()
+	// No extra activity: only RNG leakage remains.
+	base := m.Evaluate(Activity{Scheme: "idle", ExecTimeFactor: 1})
+	if base.ACTEnergyFactor != 1 {
+		t.Fatalf("no-activity ACT factor = %v, want 1", base.ACTEnergyFactor)
+	}
+	if base.NonACTEnergyFactor <= 1 {
+		t.Fatal("RNG leakage must raise non-ACT energy")
+	}
+	// Victim refreshes raise ACT energy by exactly their rate.
+	vr := m.Evaluate(Activity{Scheme: "vr", VictimRefreshesPerACT: 0.1, ExecTimeFactor: 1})
+	if math.Abs(vr.ACTEnergyFactor-base.ACTEnergyFactor-0.1) > 1e-12 {
+		t.Fatalf("victim refreshes at 0.1/ACT raised ACT factor by %v, want 0.1",
+			vr.ACTEnergyFactor-base.ACTEnergyFactor)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []func(*Model){
+		func(m *Model) { m.ACTEnergyPJ = 0 },
+		func(m *Model) { m.Banks = 0 },
+		func(m *Model) { m.ACTShare = 0 },
+		func(m *Model) { m.ACTShare = 1 },
+		func(m *Model) { m.NonACTPowerMW = 0 },
+	}
+	for i, mutate := range bad {
+		m := DefaultModel()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted", i)
+		}
+	}
+}
+
+func TestEvaluatePanicsOnBadActivity(t *testing.T) {
+	m := DefaultModel()
+	for _, a := range []Activity{
+		{VictimRefreshesPerACT: -1, ExecTimeFactor: 1},
+		{ExecTimeFactor: 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("activity %+v accepted", a)
+				}
+			}()
+			m.Evaluate(a)
+		}()
+	}
+}

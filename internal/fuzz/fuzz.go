@@ -1,0 +1,205 @@
+// Package fuzz implements guided adversarial search for worst-case attack
+// patterns — the methodology behind Blacksmith (and behind the paper's
+// Section VII-F evaluation) turned into a reusable harness: mutate pattern
+// parameters, keep what increases the tracker's maximum disturbance, repeat.
+//
+// Against counter-driven trackers the search climbs quickly (their worst
+// case is pattern-shaped); against PrIDE it plateaus at the bounded
+// disturbance the analytic model predicts, because no pattern parameter can
+// influence PrIDE's policy decisions. That contrast is the paper's central
+// claim, demonstrated by search rather than by enumeration.
+package fuzz
+
+import (
+	"fmt"
+
+	"pride/internal/patterns"
+	"pride/internal/rng"
+	"pride/internal/sim"
+)
+
+// Genome is a mutable encoding of a Blacksmith-family attack pattern.
+type Genome struct {
+	Base        int
+	Pairs       int
+	Period      int
+	Frequencies []int
+	Phases      []int
+	Amplitudes  []int
+	DecoyRows   []int
+}
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Attack is the per-evaluation trial configuration.
+	Attack sim.AttackConfig
+	// Rounds is the number of mutate-evaluate iterations.
+	Rounds int
+	// Population is the number of genomes kept between rounds.
+	Population int
+	// MaxPairs bounds the genome size.
+	MaxPairs int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Rounds < 1:
+		return fmt.Errorf("fuzz: Rounds must be >= 1, got %d", c.Rounds)
+	case c.Population < 1:
+		return fmt.Errorf("fuzz: Population must be >= 1, got %d", c.Population)
+	case c.MaxPairs < 1:
+		return fmt.Errorf("fuzz: MaxPairs must be >= 1, got %d", c.MaxPairs)
+	case c.Attack.ACTs < 1:
+		return fmt.Errorf("fuzz: Attack.ACTs must be >= 1, got %d", c.Attack.ACTs)
+	}
+	return nil
+}
+
+// Result reports a campaign's outcome.
+type Result struct {
+	// BestDisturbance is the highest max-disturbance found.
+	BestDisturbance int
+	// BestPattern is the pattern that achieved it.
+	BestPattern *patterns.Pattern
+	// History records the best disturbance after each round, for
+	// plateau/climb analysis.
+	History []int
+	// Evaluations counts attack simulations performed.
+	Evaluations int
+}
+
+// Search runs a (mu+lambda)-style hill climb against the scheme and returns
+// the worst pattern found.
+func Search(cfg Config, scheme sim.Scheme, seed uint64) Result {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	r := rng.New(seed)
+	rows := cfg.Attack.Params.RowsPerBank
+
+	type candidate struct {
+		g     Genome
+		score int
+	}
+
+	evaluate := func(g Genome) (int, *patterns.Pattern) {
+		pat := g.Build()
+		res := sim.RunAttack(cfg.Attack, scheme, pat, r.Uint64())
+		return res.MaxDisturbance, pat
+	}
+
+	pop := make([]candidate, cfg.Population)
+	evals := 0
+	for i := range pop {
+		pop[i].g = RandomGenome(rows, cfg.MaxPairs, r)
+		pop[i].score, _ = evaluate(pop[i].g)
+		evals++
+	}
+
+	best := pop[0]
+	for _, c := range pop[1:] {
+		if c.score > best.score {
+			best = c
+		}
+	}
+
+	res := Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range pop {
+			child := pop[i].g.Mutate(rows, cfg.MaxPairs, r)
+			score, _ := evaluate(child)
+			evals++
+			if score >= pop[i].score {
+				pop[i] = candidate{g: child, score: score}
+			}
+			if pop[i].score > best.score {
+				best = pop[i]
+			}
+		}
+		res.History = append(res.History, best.score)
+	}
+	_, bestPat := evaluate(best.g)
+	evals++
+	res.BestDisturbance = best.score
+	res.BestPattern = bestPat
+	res.Evaluations = evals
+	return res
+}
+
+// RandomGenome draws a fresh genome within the bank's rows.
+func RandomGenome(rows, maxPairs int, r *rng.Stream) Genome {
+	pairs := 1 + r.Intn(maxPairs)
+	g := Genome{
+		Base:   rows/8 + r.Intn(rows/2),
+		Pairs:  pairs,
+		Period: 8 << r.Intn(3),
+	}
+	for i := 0; i < pairs; i++ {
+		g.Frequencies = append(g.Frequencies, 1<<(1+r.Intn(4)))
+		g.Phases = append(g.Phases, r.Intn(8))
+		g.Amplitudes = append(g.Amplitudes, 1+r.Intn(4))
+	}
+	decoys := r.Intn(8)
+	for i := 0; i < decoys; i++ {
+		g.DecoyRows = append(g.DecoyRows, rows/16+r.Intn(rows/2))
+	}
+	return g
+}
+
+// Mutate returns a tweaked copy: one parameter class is perturbed.
+func (g Genome) Mutate(rows, maxPairs int, r *rng.Stream) Genome {
+	out := g.clone()
+	switch r.Intn(6) {
+	case 0: // shift the aggressor block
+		out.Base = rows/8 + r.Intn(rows/2)
+	case 1: // change one frequency
+		i := r.Intn(out.Pairs)
+		out.Frequencies[i] = 1 << (1 + r.Intn(4))
+	case 2: // change one phase
+		i := r.Intn(out.Pairs)
+		out.Phases[i] = r.Intn(out.Period)
+	case 3: // change one amplitude
+		i := r.Intn(out.Pairs)
+		out.Amplitudes[i] = 1 + r.Intn(4)
+	case 4: // add or drop a pair
+		if out.Pairs < maxPairs && r.Bernoulli(0.5) {
+			out.Pairs++
+			out.Frequencies = append(out.Frequencies, 1<<(1+r.Intn(4)))
+			out.Phases = append(out.Phases, r.Intn(8))
+			out.Amplitudes = append(out.Amplitudes, 1+r.Intn(4))
+		} else if out.Pairs > 1 {
+			out.Pairs--
+			out.Frequencies = out.Frequencies[:out.Pairs]
+			out.Phases = out.Phases[:out.Pairs]
+			out.Amplitudes = out.Amplitudes[:out.Pairs]
+		}
+	default: // rework decoys
+		out.DecoyRows = nil
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			out.DecoyRows = append(out.DecoyRows, rows/16+r.Intn(rows/2))
+		}
+	}
+	return out
+}
+
+func (g Genome) clone() Genome {
+	out := g
+	out.Frequencies = append([]int(nil), g.Frequencies...)
+	out.Phases = append([]int(nil), g.Phases...)
+	out.Amplitudes = append([]int(nil), g.Amplitudes...)
+	out.DecoyRows = append([]int(nil), g.DecoyRows...)
+	return out
+}
+
+// Build materializes the genome as a pattern.
+func (g Genome) Build() *patterns.Pattern {
+	return patterns.Blacksmith(patterns.BlacksmithConfig{
+		Base:        g.Base,
+		Pairs:       g.Pairs,
+		Period:      g.Period,
+		Frequencies: g.Frequencies,
+		Phases:      g.Phases,
+		Amplitudes:  g.Amplitudes,
+		DecoyRows:   g.DecoyRows,
+	})
+}

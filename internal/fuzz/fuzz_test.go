@@ -1,0 +1,123 @@
+package fuzz
+
+import (
+	"testing"
+
+	"pride/internal/analytic"
+	"pride/internal/dram"
+	"pride/internal/rng"
+	"pride/internal/sim"
+)
+
+func fuzzParams() dram.Params {
+	p := dram.DDR5()
+	p.RowsPerBank = 4096
+	p.RowBits = 12
+	return p
+}
+
+func fuzzConfig() Config {
+	return Config{
+		Attack:     sim.AttackConfig{Params: fuzzParams(), ACTs: 60_000},
+		Rounds:     6,
+		Population: 4,
+		MaxPairs:   8,
+	}
+}
+
+func TestSearchReturnsValidResult(t *testing.T) {
+	res := Search(fuzzConfig(), sim.PrIDEScheme(), 1)
+	if res.BestPattern == nil || res.BestPattern.Len() == 0 {
+		t.Fatal("no best pattern returned")
+	}
+	if res.BestDisturbance <= 0 {
+		t.Fatal("non-positive best disturbance")
+	}
+	if len(res.History) != 6 {
+		t.Fatalf("history length %d, want 6", len(res.History))
+	}
+	if res.Evaluations < 4*7 {
+		t.Fatalf("evaluations = %d, suspiciously few", res.Evaluations)
+	}
+	// History is non-decreasing (elitist search).
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("best score regressed: %v", res.History)
+		}
+	}
+}
+
+func TestPrIDEResistsGuidedSearch(t *testing.T) {
+	// The headline: even a guided adversary cannot push PrIDE past its
+	// analytic TRH*. (The paper evaluates 500 random patterns; this is
+	// the stronger, search-based statement.)
+	res := Search(fuzzConfig(), sim.PrIDEScheme(), 2)
+	bound := analytic.EvaluateScheme(analytic.SchemePrIDE, fuzzParams(), analytic.DefaultTargetTTFYears)
+	if float64(res.BestDisturbance) > bound.TRHStar {
+		t.Fatalf("guided search pushed PrIDE to %d, above TRH* %.0f",
+			res.BestDisturbance, bound.TRHStar)
+	}
+}
+
+func TestSearchClimbsAgainstPRoHIT(t *testing.T) {
+	// Against a pattern-dependent tracker the search must find patterns
+	// substantially worse than PrIDE's plateau.
+	cfg := fuzzConfig()
+	var prohit sim.Scheme
+	for _, s := range sim.Fig15Schemes() {
+		if s.Name == "PRoHIT" {
+			prohit = s
+		}
+	}
+	resP := Search(cfg, prohit, 3)
+	resPride := Search(cfg, sim.PrIDEScheme(), 3)
+	if resP.BestDisturbance <= resPride.BestDisturbance {
+		t.Fatalf("search against PRoHIT (%d) found nothing worse than PrIDE (%d)",
+			resP.BestDisturbance, resPride.BestDisturbance)
+	}
+}
+
+func TestGenomeMutationStaysValid(t *testing.T) {
+	r := rng.New(4)
+	g := RandomGenome(4096, 8, r)
+	for i := 0; i < 300; i++ {
+		g = g.Mutate(4096, 8, r)
+		if g.Pairs < 1 || g.Pairs > 8 {
+			t.Fatalf("pairs out of range: %d", g.Pairs)
+		}
+		if len(g.Frequencies) != g.Pairs || len(g.Phases) != g.Pairs || len(g.Amplitudes) != g.Pairs {
+			t.Fatalf("parameter arrays out of sync with pairs: %+v", g)
+		}
+		pat := g.Build() // must not panic
+		for _, row := range pat.Sequence {
+			if row < 0 || row >= 4096 {
+				t.Fatalf("mutated genome accesses row %d", row)
+			}
+		}
+	}
+}
+
+func TestMutateDoesNotAliasParent(t *testing.T) {
+	r := rng.New(5)
+	parent := RandomGenome(4096, 8, r)
+	wantFreq := append([]int(nil), parent.Frequencies...)
+	for i := 0; i < 50; i++ {
+		parent.Mutate(4096, 8, r)
+	}
+	for i := range wantFreq {
+		if parent.Frequencies[i] != wantFreq[i] {
+			t.Fatal("Mutate modified its receiver")
+		}
+	}
+}
+
+func TestSearchPanicsOnBadConfig(t *testing.T) {
+	cfg := fuzzConfig()
+	cfg.Rounds = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Search(cfg, sim.PrIDEScheme(), 1)
+}

@@ -1,0 +1,180 @@
+// Package memctrl models the memory-controller-side machinery the paper's
+// schemes rely on: the per-bank Rolling Accumulation of ACTs (RAA) counter
+// that drives Refresh Management (RFM, Section V-A), the regular REF cadence
+// that gives in-DRAM trackers their mitigation opportunities, and the
+// dispatch of tracker decisions to the DRAM bank.
+//
+// The controller advances in activation granularity: every ACTsPerTREFI
+// demand activations constitute one tREFI, at whose boundary a REF command
+// is issued. This matches the granularity of the paper's security analysis
+// (worst case: the attacker saturates the command bus).
+package memctrl
+
+import (
+	"fmt"
+
+	"pride/internal/baseline"
+	"pride/internal/dram"
+	"pride/internal/tracker"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Params are the DRAM timing/structure parameters.
+	Params dram.Params
+	// RFMThreshold, when positive, issues an RFM command (an extra
+	// mitigation opportunity) every time the bank's RAA counter reaches
+	// it (Section V-A). Zero disables RFM.
+	RFMThreshold int
+	// MitigationEveryNREF is how many REF commands pass between tracker
+	// mitigations (DDR5 allows 1 or 2; the paper defaults to 1).
+	MitigationEveryNREF int
+	// PeriodicRefresh, when true, models the regular refresh sweep
+	// (resetting row hammer counts once per tREFW). Attack experiments
+	// shorter than a tREFW can disable it for speed.
+	PeriodicRefresh bool
+}
+
+// DefaultConfig returns the paper's default controller configuration for
+// the given parameters: mitigation every REF, no RFM.
+func DefaultConfig(p dram.Params) Config {
+	return Config{Params: p, MitigationEveryNREF: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.MitigationEveryNREF < 1 {
+		return fmt.Errorf("memctrl: MitigationEveryNREF must be >= 1, got %d", c.MitigationEveryNREF)
+	}
+	if c.RFMThreshold < 0 {
+		return fmt.Errorf("memctrl: RFMThreshold must be >= 0, got %d", c.RFMThreshold)
+	}
+	return nil
+}
+
+// Stats counts controller-level events for the performance and energy
+// models.
+type Stats struct {
+	// ACTs is the number of demand activations issued.
+	ACTs uint64
+	// REFs is the number of refresh commands issued.
+	REFs uint64
+	// RFMs is the number of RFM commands issued.
+	RFMs uint64
+	// Mitigations is the number of tracker mitigations dispatched.
+	Mitigations uint64
+	// VictimRefreshes is the number of rows refreshed by mitigations.
+	VictimRefreshes uint64
+}
+
+// Controller drives one DRAM bank and its tracker.
+type Controller struct {
+	cfg  Config
+	bank *dram.Bank
+	trk  tracker.Tracker
+
+	actsInTREFI         int
+	refsSinceMitigation int
+	raa                 int
+	stats               Stats
+}
+
+// New returns a controller gluing bank and trk under cfg. It panics on an
+// invalid configuration (experiment-setup-time failure).
+func New(cfg Config, bank *dram.Bank, trk tracker.Tracker) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if bank == nil || trk == nil {
+		panic("memctrl: nil bank or tracker")
+	}
+	return &Controller{cfg: cfg, bank: bank, trk: trk}
+}
+
+// Bank returns the controlled bank.
+func (c *Controller) Bank() *dram.Bank { return c.bank }
+
+// Tracker returns the controlled tracker.
+func (c *Controller) Tracker() tracker.Tracker { return c.trk }
+
+// Stats returns a copy of the event counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Activate issues one demand activation: the bank hammers its neighbours,
+// the tracker observes the row, immediate (controller-side) mitigations are
+// drained, the RAA counter advances, and tREFI boundaries trigger REF.
+func (c *Controller) Activate(row int) {
+	c.stats.ACTs++
+	c.bank.Activate(row)
+	c.trk.OnActivate(row)
+
+	// Controller-side schemes (PARA, Graphene) mitigate inline.
+	if im, ok := c.trk.(baseline.ImmediateMitigator); ok {
+		for _, m := range im.DrainImmediate() {
+			c.dispatch(m)
+		}
+	}
+
+	// RFM: one extra mitigation opportunity per threshold ACTs.
+	if c.cfg.RFMThreshold > 0 {
+		c.raa++
+		if c.raa >= c.cfg.RFMThreshold {
+			c.raa = 0
+			c.stats.RFMs++
+			c.mitigationOpportunity()
+		}
+	}
+
+	c.actsInTREFI++
+	if c.actsInTREFI >= c.cfg.Params.ACTsPerTREFI() {
+		c.actsInTREFI = 0
+		c.ref()
+	}
+}
+
+// Idle advances time by one tREFI with no demand traffic (the bus is
+// quiet, but REF keeps firing). Attackers never want this; victims do.
+func (c *Controller) Idle() {
+	c.actsInTREFI = 0
+	c.ref()
+}
+
+// ref issues one REF command: the periodic refresh sweep (optional) plus the
+// in-DRAM tracker's mitigation opportunity at the configured cadence.
+func (c *Controller) ref() {
+	c.stats.REFs++
+	if c.cfg.PeriodicRefresh {
+		c.bank.StepRefresh()
+	}
+	c.refsSinceMitigation++
+	if c.refsSinceMitigation >= c.cfg.MitigationEveryNREF {
+		c.refsSinceMitigation = 0
+		c.mitigationOpportunity()
+	}
+}
+
+// mitigationOpportunity lets the tracker pick a victim and dispatches it.
+func (c *Controller) mitigationOpportunity() {
+	if m, ok := c.trk.OnMitigate(); ok {
+		c.dispatch(m)
+	}
+}
+
+// dispatch performs one mitigation on the bank.
+func (c *Controller) dispatch(m tracker.Mitigation) {
+	c.stats.Mitigations++
+	c.stats.VictimRefreshes += uint64(c.bank.Mitigate(m.Row, m.Level))
+}
+
+// Reset clears bank, tracker and controller state.
+func (c *Controller) Reset() {
+	c.bank.Reset()
+	c.trk.Reset()
+	c.actsInTREFI = 0
+	c.refsSinceMitigation = 0
+	c.raa = 0
+	c.stats = Stats{}
+}

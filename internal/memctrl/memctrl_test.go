@@ -1,0 +1,211 @@
+package memctrl
+
+import (
+	"testing"
+
+	"pride/internal/baseline"
+	"pride/internal/core"
+	"pride/internal/dram"
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+func smallParams() dram.Params {
+	p := dram.DDR5()
+	p.RowsPerBank = 2048
+	p.RowBits = 11
+	return p
+}
+
+func newPride(seed uint64) *core.PrIDE {
+	return core.New(core.DefaultConfig(79), rng.New(seed))
+}
+
+func TestREFCadence(t *testing.T) {
+	p := smallParams()
+	c := New(DefaultConfig(p), dram.MustNewBank(p, 0), newPride(1))
+	w := p.ACTsPerTREFI()
+	for i := 0; i < 5*w; i++ {
+		c.Activate(100)
+	}
+	if got := c.Stats().REFs; got != 5 {
+		t.Fatalf("REFs = %d after 5 windows, want 5", got)
+	}
+	if got := c.Stats().ACTs; got != uint64(5*w) {
+		t.Fatalf("ACTs = %d, want %d", got, 5*w)
+	}
+}
+
+func TestMitigationEverySecondREF(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	cfg.MitigationEveryNREF = 2
+
+	// p=1 tracker: every ACT inserts, so every opportunity mitigates.
+	tcfg := core.DefaultConfig(79)
+	tcfg.InsertionProb = 1
+	tcfg.TransitiveProtection = false
+	c := New(cfg, dram.MustNewBank(p, 0), core.New(tcfg, rng.New(2)))
+
+	w := p.ACTsPerTREFI()
+	for i := 0; i < 10*w; i++ {
+		c.Activate(100 + i%3)
+	}
+	st := c.Stats()
+	if st.REFs != 10 {
+		t.Fatalf("REFs = %d, want 10", st.REFs)
+	}
+	if st.Mitigations != 5 {
+		t.Fatalf("mitigations = %d with every-2-REF cadence, want 5", st.Mitigations)
+	}
+}
+
+func TestRFMIssuesExtraMitigations(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	cfg.RFMThreshold = 16
+
+	tcfg := core.RFMConfig(core.RFM16)
+	tcfg.InsertionProb = 1 // force full queues so every opportunity fires
+	c := New(cfg, dram.MustNewBank(p, 0), core.New(tcfg, rng.New(3)))
+
+	w := p.ACTsPerTREFI()
+	for i := 0; i < 10*w; i++ {
+		c.Activate(100 + i%5)
+	}
+	st := c.Stats()
+	wantRFMs := uint64(10 * w / 16)
+	if st.RFMs != wantRFMs {
+		t.Fatalf("RFMs = %d, want %d (one per 16 ACTs)", st.RFMs, wantRFMs)
+	}
+	// Mitigations come from both REF and RFM opportunities.
+	if st.Mitigations <= st.REFs {
+		t.Fatalf("mitigations = %d should exceed REF-only %d", st.Mitigations, st.REFs)
+	}
+}
+
+func TestImmediateMitigationDispatch(t *testing.T) {
+	p := smallParams()
+	bank := dram.MustNewBank(p, 0)
+	para := baseline.NewPARA(1, rng.New(4)) // mitigate every ACT
+	c := New(DefaultConfig(p), bank, para)
+	c.Activate(500)
+	st := c.Stats()
+	if st.Mitigations != 1 {
+		t.Fatalf("PARA immediate mitigations = %d, want 1", st.Mitigations)
+	}
+	if st.VictimRefreshes != 2 {
+		t.Fatalf("victim refreshes = %d, want 2 (both neighbours)", st.VictimRefreshes)
+	}
+	if bank.HammerCount(499) > 1 {
+		t.Fatalf("victim 499 hammers = %d after immediate mitigation", bank.HammerCount(499))
+	}
+}
+
+func TestVictimRefreshAccounting(t *testing.T) {
+	p := smallParams()
+	tcfg := core.DefaultConfig(79)
+	tcfg.InsertionProb = 1
+	tcfg.TransitiveProtection = false
+	c := New(DefaultConfig(p), dram.MustNewBank(p, 0), core.New(tcfg, rng.New(5)))
+	w := p.ACTsPerTREFI()
+	for i := 0; i < w; i++ {
+		c.Activate(1000)
+	}
+	st := c.Stats()
+	if st.Mitigations != 1 {
+		t.Fatalf("mitigations = %d, want 1", st.Mitigations)
+	}
+	if st.VictimRefreshes != 2 {
+		t.Fatalf("victim refreshes = %d, want 2", st.VictimRefreshes)
+	}
+}
+
+func TestIdleAdvancesREF(t *testing.T) {
+	p := smallParams()
+	c := New(DefaultConfig(p), dram.MustNewBank(p, 0), newPride(6))
+	for i := 0; i < 7; i++ {
+		c.Idle()
+	}
+	if got := c.Stats().REFs; got != 7 {
+		t.Fatalf("REFs after 7 idle tREFIs = %d, want 7", got)
+	}
+}
+
+func TestPeriodicRefreshClearsHammers(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	cfg.PeriodicRefresh = true
+	// A tracker that never mitigates isolates the periodic sweep.
+	tcfg := core.DefaultConfig(79)
+	tcfg.InsertionProb = 1e-12
+	tcfg.TransitiveProtection = false
+	c := New(cfg, dram.MustNewBank(p, 0), core.New(tcfg, rng.New(7)))
+	w := p.ACTsPerTREFI()
+	victim := 201
+	for i := 0; i < p.TREFIsPerTREFW()*w+w; i++ {
+		c.Activate(200)
+	}
+	// After a full tREFW of REFs, the victim's count must have been reset
+	// at least once: its current count is far below the total ACT count.
+	if got := c.Bank().HammerCount(victim); got >= int(c.Stats().ACTs)/2 {
+		t.Fatalf("victim hammers = %d never reset by periodic refresh", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	p := smallParams()
+	c := New(DefaultConfig(p), dram.MustNewBank(p, 0), newPride(8))
+	for i := 0; i < 500; i++ {
+		c.Activate(i % 100)
+	}
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Fatalf("stats after Reset: %+v", c.Stats())
+	}
+	if c.Bank().MaxDisturbance() != 0 || c.Tracker().Occupancy() != 0 {
+		t.Fatal("bank/tracker state survived Reset")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := smallParams()
+	cases := []Config{
+		{Params: p, MitigationEveryNREF: 0},
+		{Params: p, MitigationEveryNREF: 1, RFMThreshold: -1},
+		{Params: dram.Params{}, MitigationEveryNREF: 1},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New with nil bank did not panic")
+			}
+		}()
+		New(DefaultConfig(p), nil, newPride(9))
+	}()
+}
+
+func TestTrackerInterfaceThreading(t *testing.T) {
+	// The controller must work with any tracker.Tracker.
+	p := smallParams()
+	var trackers = []tracker.Tracker{
+		newPride(10),
+		baseline.NewDSAC(20, 11, rng.New(11)),
+		baseline.NewTRR(16, 11),
+		baseline.NewPARFM(79, 11, rng.New(12)),
+	}
+	for _, trk := range trackers {
+		c := New(DefaultConfig(p), dram.MustNewBank(p, 0), trk)
+		for i := 0; i < 1000; i++ {
+			c.Activate(i % 50)
+		}
+		if c.Stats().ACTs != 1000 {
+			t.Errorf("%s: ACTs = %d", trk.Name(), c.Stats().ACTs)
+		}
+	}
+}

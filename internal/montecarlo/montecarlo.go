@@ -1,0 +1,235 @@
+// Package montecarlo provides the stochastic counterparts of the analytical
+// models in internal/analytic, following the paper's methodology (footnote 1
+// of Section IV-C): stream millions of tREFI windows through a FIFO tracker
+// with probabilistic insertion and measure, per window position, how often an
+// inserted entry is evicted without mitigation.
+//
+// The Monte-Carlo results are cross-validated against the exact DP model in
+// tests and regenerated for Fig 8 and Fig 18 by cmd/pride-security and
+// cmd/pride-attack.
+package montecarlo
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+)
+
+// LossConfig parameterizes a loss-probability simulation.
+type LossConfig struct {
+	// Entries is the tracker size N.
+	Entries int
+	// Window is W, the activations per mitigation window.
+	Window int
+	// InsertionProb is the sampling probability p.
+	InsertionProb float64
+	// Periods is the number of tREFI windows to simulate (the paper uses
+	// 100 million; tests use far fewer since the estimator is unbiased).
+	Periods int
+}
+
+func (c LossConfig) validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("montecarlo: Entries must be positive, got %d", c.Entries)
+	case c.Window <= 0:
+		return fmt.Errorf("montecarlo: Window must be positive, got %d", c.Window)
+	case c.InsertionProb <= 0 || c.InsertionProb > 1:
+		return fmt.Errorf("montecarlo: InsertionProb must be in (0,1], got %v", c.InsertionProb)
+	case c.Periods <= 0:
+		return fmt.Errorf("montecarlo: Periods must be positive, got %d", c.Periods)
+	}
+	return nil
+}
+
+// PositionStats accumulates, for one window position k, how many insertions
+// happened there and how they were resolved.
+type PositionStats struct {
+	Insertions uint64
+	Evicted    uint64
+	Mitigated  uint64
+}
+
+// LossProb returns the measured loss probability: evictions divided by
+// resolved insertions. Unresolved entries (still buffered when the
+// simulation ends) are excluded.
+func (s PositionStats) LossProb() float64 {
+	resolved := s.Evicted + s.Mitigated
+	if resolved == 0 {
+		return 0
+	}
+	return float64(s.Evicted) / float64(resolved)
+}
+
+// LossResult is the outcome of a loss-probability simulation.
+type LossResult struct {
+	// PerPosition has one entry per window position (index 0 = position 1,
+	// the earliest and riskiest).
+	PerPosition []PositionStats
+	// StartOccupancy histograms the buffer occupancy at window starts,
+	// for cross-checking the Appendix-A Markov chain.
+	StartOccupancy []uint64
+}
+
+// WorstLoss returns the maximum per-position measured loss probability —
+// the quantity the paper's model upper-bounds.
+func (r LossResult) WorstLoss() float64 {
+	worst := 0.0
+	for _, s := range r.PerPosition {
+		if l := s.LossProb(); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// OccupancyDistribution returns the start-of-window occupancy distribution
+// as probabilities.
+func (r LossResult) OccupancyDistribution() []float64 {
+	total := uint64(0)
+	for _, c := range r.StartOccupancy {
+		total += c
+	}
+	out := make([]float64, len(r.StartOccupancy))
+	if total == 0 {
+		return out
+	}
+	for i, c := range r.StartOccupancy {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// taggedEntry is a FIFO slot carrying the window position it was inserted at
+// so its eventual fate can be attributed.
+type taggedEntry struct {
+	position int // 1-based position within its insertion window
+}
+
+// SimulateLoss streams cfg.Periods windows through an N-entry FIFO tracker
+// with probabilistic insertion, FIFO eviction and one FIFO mitigation per
+// window, and attributes every eviction/mitigation to the insertion position
+// of the affected entry (the paper's Monte-Carlo methodology).
+func SimulateLoss(cfg LossConfig, r *rng.Stream) LossResult {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if r == nil {
+		panic("montecarlo: nil rng stream")
+	}
+	res := LossResult{
+		PerPosition:    make([]PositionStats, cfg.Window),
+		StartOccupancy: make([]uint64, cfg.Entries+1),
+	}
+	// Circular FIFO of tagged entries.
+	buf := make([]taggedEntry, cfg.Entries)
+	ptr, occ := 0, 0
+
+	for period := 0; period < cfg.Periods; period++ {
+		res.StartOccupancy[occ]++
+		for k := 1; k <= cfg.Window; k++ {
+			if !r.Bernoulli(cfg.InsertionProb) {
+				continue
+			}
+			res.PerPosition[k-1].Insertions++
+			if occ == cfg.Entries {
+				// FIFO eviction: the oldest entry is lost.
+				old := buf[ptr]
+				res.PerPosition[old.position-1].Evicted++
+				ptr = (ptr + 1) % cfg.Entries
+				occ--
+			}
+			buf[(ptr+occ)%cfg.Entries] = taggedEntry{position: k}
+			occ++
+		}
+		// One mitigation per window: pop the oldest.
+		if occ > 0 {
+			old := buf[ptr]
+			res.PerPosition[old.position-1].Mitigated++
+			ptr = (ptr + 1) % cfg.Entries
+			occ--
+		}
+	}
+	return res
+}
+
+// RoundConfig parameterizes an attack-round failure simulation: an aggressor
+// row is activated `TRH` times, spread one per activation slot from the
+// worst-case position, while background insertions compete; the round fails
+// if the aggressor is never mitigated.
+type RoundConfig struct {
+	Entries       int
+	Window        int
+	InsertionProb float64
+	// TRH is the round length in aggressor activations.
+	TRH int
+	// Rounds is the number of independent rounds to simulate.
+	Rounds int
+}
+
+// RoundResult reports measured attack-round outcomes.
+type RoundResult struct {
+	Rounds   int
+	Failures int
+}
+
+// FailureProb returns the measured round-failure probability.
+func (r RoundResult) FailureProb() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Rounds)
+}
+
+// SimulateRounds measures the round-failure probability: the probability
+// that TRH consecutive aggressor activations never result in a mitigation of
+// the aggressor. Every activation slot is an aggressor activation (the
+// closed-page worst case), and the aggressor's entry competes with nothing
+// else — the pessimistic single-row round of Section III-A. The measured
+// probability must not exceed the analytic (1-p̂)^(TRH-tardiness) bound.
+func SimulateRounds(cfg RoundConfig, r *rng.Stream) RoundResult {
+	if cfg.Entries <= 0 || cfg.Window <= 0 || cfg.TRH <= 0 || cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
+	}
+	if cfg.InsertionProb <= 0 || cfg.InsertionProb > 1 {
+		panic(fmt.Sprintf("montecarlo: invalid insertion probability %v", cfg.InsertionProb))
+	}
+	if r == nil {
+		panic("montecarlo: nil rng stream")
+	}
+	const aggressor = 1 // single-row round: every slot activates the aggressor
+
+	res := RoundResult{Rounds: cfg.Rounds}
+	type slot struct{ row int }
+	buf := make([]slot, cfg.Entries)
+	for round := 0; round < cfg.Rounds; round++ {
+		ptr, occ := 0, 0
+		mitigated := false
+		pos := 0
+		for act := 0; act < cfg.TRH && !mitigated; act++ {
+			if r.Bernoulli(cfg.InsertionProb) {
+				if occ == cfg.Entries {
+					ptr = (ptr + 1) % cfg.Entries
+					occ--
+				}
+				buf[(ptr+occ)%cfg.Entries] = slot{row: aggressor}
+				occ++
+			}
+			pos++
+			if pos == cfg.Window {
+				pos = 0
+				if occ > 0 {
+					if buf[ptr].row == aggressor {
+						mitigated = true
+					}
+					ptr = (ptr + 1) % cfg.Entries
+					occ--
+				}
+			}
+		}
+		if !mitigated {
+			res.Failures++
+		}
+	}
+	return res
+}

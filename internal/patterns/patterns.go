@@ -1,0 +1,266 @@
+// Package patterns generates the Rowhammer attack access patterns the paper
+// evaluates against (Section VII-F, Appendix C): classic single/double-sided
+// hammering, TRRespass many-sided patterns, Blacksmith frequency-domain
+// patterns, Half-Double transitive patterns, victim-sharing patterns, and
+// randomized fuzz suites built from those families.
+//
+// A Pattern is a deterministic, infinitely repeating activation sequence; the
+// simulator replays it against a (bank, tracker) pair and measures
+// disturbance. Generators take explicit seeds so every figure is exactly
+// reproducible.
+package patterns
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+)
+
+// Pattern is a repeating row-activation sequence.
+type Pattern struct {
+	// Name describes the pattern family and parameters.
+	Name string
+	// Sequence is one period of row activations.
+	Sequence []int
+	// Aggressors lists the rows the attack intends as aggressors (used by
+	// the metrics to distinguish decoys).
+	Aggressors []int
+
+	pos int
+}
+
+// Next returns the next row to activate, cycling over the period.
+func (p *Pattern) Next() int {
+	if len(p.Sequence) == 0 {
+		panic(fmt.Sprintf("patterns: pattern %q has an empty sequence", p.Name))
+	}
+	row := p.Sequence[p.pos]
+	p.pos++
+	if p.pos == len(p.Sequence) {
+		p.pos = 0
+	}
+	return row
+}
+
+// Reset rewinds the pattern to the beginning of its period.
+func (p *Pattern) Reset() { p.pos = 0 }
+
+// Len returns the period length.
+func (p *Pattern) Len() int { return len(p.Sequence) }
+
+// SingleSided returns the classic single-aggressor pattern: row is hammered
+// continuously.
+func SingleSided(row int) *Pattern {
+	return &Pattern{
+		Name:       fmt.Sprintf("single-sided(row=%d)", row),
+		Sequence:   []int{row},
+		Aggressors: []int{row},
+	}
+}
+
+// DoubleSided returns the double-sided pattern around victim: the two
+// adjacent rows are hammered alternately, sharing the victim (Section VI,
+// BR=1 victim sharing).
+func DoubleSided(victim int) *Pattern {
+	return &Pattern{
+		Name:       fmt.Sprintf("double-sided(victim=%d)", victim),
+		Sequence:   []int{victim - 1, victim + 1},
+		Aggressors: []int{victim - 1, victim + 1},
+	}
+}
+
+// VictimSharing returns the generalized victim-sharing pattern of Figure 13:
+// all aggressor rows within blastRadius of the victim are hammered round-
+// robin (BR=1 gives 2 aggressors, BR=2 gives 4).
+func VictimSharing(victim, blastRadius int) *Pattern {
+	if blastRadius < 1 {
+		panic(fmt.Sprintf("patterns: blast radius must be >= 1, got %d", blastRadius))
+	}
+	aggs := make([]int, 0, 2*blastRadius)
+	for d := 1; d <= blastRadius; d++ {
+		aggs = append(aggs, victim-d, victim+d)
+	}
+	seq := append([]int(nil), aggs...)
+	return &Pattern{
+		Name:       fmt.Sprintf("victim-sharing(victim=%d,BR=%d)", victim, blastRadius),
+		Sequence:   seq,
+		Aggressors: aggs,
+	}
+}
+
+// HalfDouble returns the Half-Double transitive pattern (Figure 10): the
+// far aggressors at distance 2 from the victim are hammered heavily, with
+// occasional accesses to the distance-1 rows. Mitigations of the far
+// aggressors refresh the distance-1 rows, and those silent refresh
+// activations hammer the victim.
+func HalfDouble(victim int, farHammersPerNear int) *Pattern {
+	if farHammersPerNear < 1 {
+		panic(fmt.Sprintf("patterns: farHammersPerNear must be >= 1, got %d", farHammersPerNear))
+	}
+	far := []int{victim - 2, victim + 2}
+	near := []int{victim - 1, victim + 1}
+	seq := make([]int, 0, 2*farHammersPerNear+2)
+	for i := 0; i < farHammersPerNear; i++ {
+		seq = append(seq, far[0], far[1])
+	}
+	seq = append(seq, near[0], near[1])
+	return &Pattern{
+		Name:       fmt.Sprintf("half-double(victim=%d)", victim),
+		Sequence:   seq,
+		Aggressors: append(far, near...),
+	}
+}
+
+// TRRespass returns a many-sided pattern: nAggressors rows, spaced
+// `spacing` rows apart starting at base, hammered round-robin. Exceeding
+// the tracker capacity evicts tracked aggressors (Section II-F).
+func TRRespass(base, nAggressors, spacing int) *Pattern {
+	if nAggressors < 1 || spacing < 1 {
+		panic(fmt.Sprintf("patterns: bad TRRespass parameters n=%d spacing=%d", nAggressors, spacing))
+	}
+	aggs := make([]int, nAggressors)
+	for i := range aggs {
+		aggs[i] = base + i*spacing
+	}
+	return &Pattern{
+		Name:       fmt.Sprintf("trrespass(n=%d)", nAggressors),
+		Sequence:   append([]int(nil), aggs...),
+		Aggressors: aggs,
+	}
+}
+
+// BlacksmithConfig parameterizes a Blacksmith frequency-domain pattern
+// (Jattke et al., Oakland 2022): aggressor pairs are scheduled into a
+// repeating period at a per-pair frequency, phase and amplitude, with decoy
+// rows filling the remaining slots — the structure that defeats
+// deterministic in-DRAM samplers.
+type BlacksmithConfig struct {
+	// Base is the first aggressor row; pairs are spaced 3 rows apart so
+	// each pair double-sides its own victim.
+	Base int
+	// Pairs is the number of double-sided aggressor pairs.
+	Pairs int
+	// Period is the schedule length in activation slots.
+	Period int
+	// Frequencies[i] is pair i's schedule period in slots (the pair fires
+	// every Frequencies[i] slots).
+	Frequencies []int
+	// Phases[i] is pair i's offset within its frequency.
+	Phases []int
+	// Amplitudes[i] is how many back-to-back repeats the pair gets each
+	// time it fires.
+	Amplitudes []int
+	// DecoyRows fill unassigned slots round-robin.
+	DecoyRows []int
+}
+
+// Blacksmith builds the pattern for cfg.
+func Blacksmith(cfg BlacksmithConfig) *Pattern {
+	if cfg.Pairs < 1 || cfg.Period < 1 {
+		panic(fmt.Sprintf("patterns: bad Blacksmith config %+v", cfg))
+	}
+	if len(cfg.Frequencies) != cfg.Pairs || len(cfg.Phases) != cfg.Pairs || len(cfg.Amplitudes) != cfg.Pairs {
+		panic("patterns: Blacksmith per-pair parameter lengths must equal Pairs")
+	}
+	slots := make([][]int, cfg.Period)
+	aggs := make([]int, 0, 2*cfg.Pairs)
+	for i := 0; i < cfg.Pairs; i++ {
+		a1 := cfg.Base + 3*i
+		a2 := a1 + 2 // double-sides the row between them
+		aggs = append(aggs, a1, a2)
+		freq, phase, amp := cfg.Frequencies[i], cfg.Phases[i], cfg.Amplitudes[i]
+		if freq < 1 || amp < 1 {
+			panic(fmt.Sprintf("patterns: Blacksmith pair %d has freq=%d amp=%d", i, freq, amp))
+		}
+		for slot := phase % cfg.Period; slot < cfg.Period; slot += freq {
+			for rep := 0; rep < amp; rep++ {
+				slots[slot] = append(slots[slot], a1, a2)
+			}
+		}
+	}
+	seq := make([]int, 0, 2*cfg.Period)
+	decoy := 0
+	for _, s := range slots {
+		if len(s) == 0 {
+			if len(cfg.DecoyRows) > 0 {
+				seq = append(seq, cfg.DecoyRows[decoy%len(cfg.DecoyRows)])
+				decoy++
+			}
+			continue
+		}
+		seq = append(seq, s...)
+	}
+	if len(seq) == 0 {
+		panic("patterns: Blacksmith produced an empty sequence")
+	}
+	return &Pattern{
+		Name:       fmt.Sprintf("blacksmith(pairs=%d,period=%d)", cfg.Pairs, cfg.Period),
+		Sequence:   seq,
+		Aggressors: aggs,
+	}
+}
+
+// CounterStarver builds the decoy-count-gradient pattern that defeats
+// counter-driven trackers (the structure TRRespass/Blacksmith fuzzing
+// discovers against DSAC-like designs, Section VII-F):
+//
+//   - nDecoys decoy rows are hammered in bursts, keeping their tracked
+//     counters far above any aggressor's. The mitigation policy (max
+//     counter) therefore always retires decoys.
+//   - The nAggressors true aggressor rows are interleaved at low per-row
+//     rates: when tracked they hold the MINIMUM counter, so the insertion
+//     policy (replace-min with probability 1/(min+1)) both starves their
+//     insertion and churns them out before they can accumulate counts.
+//
+// The aggressors' activation counts therefore grow without bound between
+// mitigations — while the same sequence against PrIDE is just traffic, each
+// activation sampled with the same probability p.
+func CounterStarver(base, nAggressors, nDecoys, decoyBurst, aggressorReps int) *Pattern {
+	if nAggressors < 1 || nDecoys < 1 || decoyBurst < 1 || aggressorReps < 1 {
+		panic(fmt.Sprintf("patterns: bad CounterStarver parameters n=%d d=%d burst=%d reps=%d",
+			nAggressors, nDecoys, decoyBurst, aggressorReps))
+	}
+	aggs := make([]int, nAggressors)
+	for i := range aggs {
+		aggs[i] = base + 3*i
+	}
+	decoyBase := base + 3*nAggressors + 8
+	seq := make([]int, 0, nDecoys*(decoyBurst+nAggressors*aggressorReps))
+	for d := 0; d < nDecoys; d++ {
+		decoy := decoyBase + 3*d
+		for i := 0; i < decoyBurst; i++ {
+			seq = append(seq, decoy)
+		}
+		for rep := 0; rep < aggressorReps; rep++ {
+			seq = append(seq, aggs...)
+		}
+	}
+	return &Pattern{
+		Name:       fmt.Sprintf("counter-starver(agg=%d,decoys=%d)", nAggressors, nDecoys),
+		Sequence:   seq,
+		Aggressors: aggs,
+	}
+}
+
+// UniformRandom returns a pattern of period activations drawn uniformly
+// from [0, rows): the unstructured fuzz component of the Fig 15 suite.
+func UniformRandom(rows, period int, r *rng.Stream) *Pattern {
+	if rows < 1 || period < 1 {
+		panic(fmt.Sprintf("patterns: bad UniformRandom rows=%d period=%d", rows, period))
+	}
+	seq := make([]int, period)
+	seen := map[int]bool{}
+	for i := range seq {
+		seq[i] = r.Intn(rows)
+		seen[seq[i]] = true
+	}
+	aggs := make([]int, 0, len(seen))
+	for row := range seen {
+		aggs = append(aggs, row)
+	}
+	return &Pattern{
+		Name:       fmt.Sprintf("uniform-random(rows=%d)", len(seen)),
+		Sequence:   seq,
+		Aggressors: aggs,
+	}
+}

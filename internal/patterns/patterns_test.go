@@ -1,0 +1,264 @@
+package patterns
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pride/internal/rng"
+)
+
+func TestSingleSided(t *testing.T) {
+	p := SingleSided(42)
+	for i := 0; i < 5; i++ {
+		if got := p.Next(); got != 42 {
+			t.Fatalf("Next() = %d, want 42", got)
+		}
+	}
+}
+
+func TestDoubleSidedAlternates(t *testing.T) {
+	p := DoubleSided(100)
+	want := []int{99, 101, 99, 101}
+	for i, w := range want {
+		if got := p.Next(); got != w {
+			t.Fatalf("Next()[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if len(p.Aggressors) != 2 {
+		t.Fatalf("aggressors = %v", p.Aggressors)
+	}
+}
+
+func TestVictimSharingBR2(t *testing.T) {
+	p := VictimSharing(100, 2)
+	if len(p.Aggressors) != 4 {
+		t.Fatalf("BR=2 aggressors = %v, want 4 rows", p.Aggressors)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < p.Len(); i++ {
+		seen[p.Next()] = true
+	}
+	for _, want := range []int{98, 99, 101, 102} {
+		if !seen[want] {
+			t.Fatalf("row %d missing from BR=2 pattern", want)
+		}
+	}
+}
+
+func TestHalfDoubleComposition(t *testing.T) {
+	p := HalfDouble(100, 8)
+	far, near := 0, 0
+	for i := 0; i < p.Len(); i++ {
+		switch p.Next() {
+		case 98, 102:
+			far++
+		case 99, 101:
+			near++
+		default:
+			t.Fatal("unexpected row in half-double pattern")
+		}
+	}
+	if far != 16 || near != 2 {
+		t.Fatalf("far=%d near=%d, want 16 far and 2 near per period", far, near)
+	}
+}
+
+func TestTRRespassSpacing(t *testing.T) {
+	p := TRRespass(1000, 5, 4)
+	want := []int{1000, 1004, 1008, 1012, 1016}
+	for i, w := range want {
+		if p.Aggressors[i] != w {
+			t.Fatalf("aggressors = %v, want %v", p.Aggressors, want)
+		}
+	}
+}
+
+func TestPatternCycles(t *testing.T) {
+	p := TRRespass(10, 3, 1)
+	first := make([]int, 6)
+	for i := range first {
+		first[i] = p.Next()
+	}
+	if first[0] != first[3] || first[1] != first[4] || first[2] != first[5] {
+		t.Fatalf("pattern does not cycle: %v", first)
+	}
+	p.Reset()
+	if got := p.Next(); got != first[0] {
+		t.Fatalf("Reset did not rewind: %d vs %d", got, first[0])
+	}
+}
+
+func TestBlacksmithSchedule(t *testing.T) {
+	p := Blacksmith(BlacksmithConfig{
+		Base:        100,
+		Pairs:       2,
+		Period:      8,
+		Frequencies: []int{2, 4},
+		Phases:      []int{0, 1},
+		Amplitudes:  []int{1, 2},
+		DecoyRows:   []int{500, 600},
+	})
+	if len(p.Aggressors) != 4 {
+		t.Fatalf("aggressors = %v, want 4", p.Aggressors)
+	}
+	// Pair 1 (rows 100,102) fires in slots 0,2,4,6 (4 times, amp 1);
+	// pair 2 (rows 103,105) fires in slots 1,5 (2 times, amp 2).
+	counts := map[int]int{}
+	for i := 0; i < p.Len(); i++ {
+		counts[p.Next()]++
+	}
+	if counts[100] != 4 || counts[102] != 4 {
+		t.Fatalf("pair-1 counts = %d/%d, want 4/4", counts[100], counts[102])
+	}
+	if counts[103] != 4 || counts[105] != 4 { // 2 firings x amplitude 2
+		t.Fatalf("pair-2 counts = %d/%d, want 4/4", counts[103], counts[105])
+	}
+	// Slots 3 and 7 were free: two decoy accesses.
+	if counts[500]+counts[600] != 2 {
+		t.Fatalf("decoy accesses = %d, want 2", counts[500]+counts[600])
+	}
+}
+
+func TestBlacksmithNonUniformFrequencies(t *testing.T) {
+	// Different frequencies must yield different access counts — the
+	// frequency-domain structure that defeats deterministic samplers.
+	p := Blacksmith(BlacksmithConfig{
+		Base:        100,
+		Pairs:       2,
+		Period:      16,
+		Frequencies: []int{2, 8},
+		Phases:      []int{0, 0},
+		Amplitudes:  []int{1, 1},
+	})
+	counts := map[int]int{}
+	for i := 0; i < p.Len(); i++ {
+		counts[p.Next()]++
+	}
+	if counts[100] <= counts[103] {
+		t.Fatalf("high-frequency pair (%d) should out-access low-frequency pair (%d)",
+			counts[100], counts[103])
+	}
+}
+
+func TestUniformRandomWithinRange(t *testing.T) {
+	p := UniformRandom(1000, 500, rng.New(1))
+	for i := 0; i < p.Len(); i++ {
+		if row := p.Next(); row < 0 || row >= 1000 {
+			t.Fatalf("row %d out of range", row)
+		}
+	}
+}
+
+func TestFig15SuiteComposition(t *testing.T) {
+	suite := Fig15Suite(4096, 30, 7)
+	if len(suite) != 31 { // 30 + Half-Double
+		t.Fatalf("suite size = %d, want 31", len(suite))
+	}
+	_ = suite
+	families := map[string]int{}
+	for _, p := range suite {
+		switch {
+		case len(p.Name) >= 9 && p.Name[:9] == "trrespass":
+			families["trrespass"]++
+		case len(p.Name) >= 10 && p.Name[:10] == "blacksmith":
+			families["blacksmith"]++
+		case len(p.Name) >= 7 && p.Name[:7] == "uniform":
+			families["uniform"]++
+		case len(p.Name) >= 15 && p.Name[:15] == "counter-starver":
+			families["starver"]++
+		case len(p.Name) >= 11 && p.Name[:11] == "half-double":
+			families["halfdouble"]++
+		default:
+			t.Fatalf("unknown family: %s", p.Name)
+		}
+	}
+	for fam, n := range families {
+		if n == 0 {
+			t.Fatalf("family %s missing from suite", fam)
+		}
+	}
+}
+
+func TestFig18SuiteScale(t *testing.T) {
+	suite := Fig18Suite(8192, 100, 9)
+	if len(suite) != 9 { // 500/100 + 400/100
+		t.Fatalf("scaled suite = %d patterns, want 9", len(suite))
+	}
+	full := Fig18Suite(8192, 100, 9)
+	for i := range suite {
+		if suite[i].Name != full[i].Name || suite[i].Len() != full[i].Len() {
+			t.Fatal("Fig18Suite not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a := Fig15Suite(4096, 12, 42)
+	b := Fig15Suite(4096, 12, 42)
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Len() != b[i].Len() {
+			t.Fatalf("pattern %d differs across identical seeds", i)
+		}
+		for j := range a[i].Sequence {
+			if a[i].Sequence[j] != b[i].Sequence[j] {
+				t.Fatalf("pattern %d sequence differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSuiteRowsWithinBank(t *testing.T) {
+	const rowLimit = 2048
+	for _, p := range Fig15Suite(rowLimit, 60, 3) {
+		for _, row := range p.Sequence {
+			if row < 0 || row >= rowLimit {
+				t.Fatalf("pattern %s accesses row %d outside [0,%d)", p.Name, row, rowLimit)
+			}
+		}
+	}
+}
+
+// Property: every generated pattern has a non-empty sequence and at least
+// one aggressor, for arbitrary seeds.
+func TestSuitePropertiesHold(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		for _, p := range []*Pattern{
+			RandomTRRespass(4096, 32, r.Fork()),
+			RandomBlacksmith(4096, 8, r.Fork()),
+			UniformRandom(4096, 64, r.Fork()),
+		} {
+			if p.Len() == 0 || len(p.Aggressors) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"victim sharing BR0": func() { VictimSharing(10, 0) },
+		"half-double 0":      func() { HalfDouble(10, 0) },
+		"trrespass n0":       func() { TRRespass(10, 0, 1) },
+		"blacksmith empty":   func() { Blacksmith(BlacksmithConfig{}) },
+		"blacksmith lens": func() {
+			Blacksmith(BlacksmithConfig{Pairs: 2, Period: 8, Frequencies: []int{1}})
+		},
+		"uniform 0":    func() { UniformRandom(0, 10, rng.New(1)) },
+		"empty next":   func() { (&Pattern{}).Next() },
+		"fig18 scale0": func() { Fig18Suite(4096, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+package patterns
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The trace file format is line-oriented and diff-friendly, so attack
+// patterns can be exported, archived alongside experiment results, edited by
+// hand, and replayed bit-identically:
+//
+//	# optional comments
+//	name: blacksmith(pairs=8,period=32)
+//	aggressors: 1000 1002 1003 1005
+//	seq: 1000 1002 1000 1002 3000
+//	seq: 1003 1005
+//
+// Multiple seq lines concatenate. Row addresses are decimal.
+
+// WriteTrace serializes p to w in the trace file format.
+func WriteTrace(w io.Writer, p *Pattern) error {
+	if p == nil || len(p.Sequence) == 0 {
+		return fmt.Errorf("patterns: cannot serialize an empty pattern")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "name: %s\n", p.Name)
+	fmt.Fprintf(bw, "aggressors:")
+	aggs := append([]int(nil), p.Aggressors...)
+	sort.Ints(aggs)
+	for _, a := range aggs {
+		fmt.Fprintf(bw, " %d", a)
+	}
+	fmt.Fprintln(bw)
+	const perLine = 16
+	for i := 0; i < len(p.Sequence); i += perLine {
+		end := i + perLine
+		if end > len(p.Sequence) {
+			end = len(p.Sequence)
+		}
+		fmt.Fprintf(bw, "seq:")
+		for _, row := range p.Sequence[i:end] {
+			fmt.Fprintf(bw, " %d", row)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a pattern from the trace file format. Unknown keys are
+// rejected (a typo in a hand-edited trace should fail loudly, not silently
+// change the experiment).
+func ReadTrace(r io.Reader) (*Pattern, error) {
+	p := &Pattern{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("patterns: trace line %d: missing ':' in %q", lineNo, line)
+		}
+		rest = strings.TrimSpace(rest)
+		switch strings.TrimSpace(key) {
+		case "name":
+			p.Name = rest
+		case "aggressors":
+			rows, err := parseRows(rest)
+			if err != nil {
+				return nil, fmt.Errorf("patterns: trace line %d: %v", lineNo, err)
+			}
+			p.Aggressors = append(p.Aggressors, rows...)
+		case "seq":
+			rows, err := parseRows(rest)
+			if err != nil {
+				return nil, fmt.Errorf("patterns: trace line %d: %v", lineNo, err)
+			}
+			p.Sequence = append(p.Sequence, rows...)
+		default:
+			return nil, fmt.Errorf("patterns: trace line %d: unknown key %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("patterns: reading trace: %v", err)
+	}
+	if len(p.Sequence) == 0 {
+		return nil, fmt.Errorf("patterns: trace contains no seq lines")
+	}
+	if p.Name == "" {
+		p.Name = "trace"
+	}
+	if len(p.Aggressors) == 0 {
+		// Derive: every distinct row is a potential aggressor.
+		seen := map[int]bool{}
+		for _, row := range p.Sequence {
+			if !seen[row] {
+				seen[row] = true
+				p.Aggressors = append(p.Aggressors, row)
+			}
+		}
+	}
+	return p, nil
+}
+
+func parseRows(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(s)
+	rows := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad row %q", f)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative row %d", v)
+		}
+		rows = append(rows, v)
+	}
+	return rows, nil
+}

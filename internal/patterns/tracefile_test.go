@@ -1,0 +1,111 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pride/internal/rng"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Blacksmith(BlacksmithConfig{
+		Base: 100, Pairs: 3, Period: 16,
+		Frequencies: []int{2, 4, 8},
+		Phases:      []int{0, 1, 2},
+		Amplitudes:  []int{1, 2, 1},
+		DecoyRows:   []int{900},
+	})
+	var sb strings.Builder
+	if err := WriteTrace(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Fatalf("name %q != %q", got.Name, orig.Name)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("length %d != %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Sequence {
+		if got.Sequence[i] != orig.Sequence[i] {
+			t.Fatalf("sequence differs at %d", i)
+		}
+	}
+	if len(got.Aggressors) != len(orig.Aggressors) {
+		t.Fatalf("aggressors %v != %v", got.Aggressors, orig.Aggressors)
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		p := RandomTRRespass(4096, 16, rng.New(seed))
+		var sb strings.Builder
+		if WriteTrace(&sb, p) != nil {
+			return false
+		}
+		got, err := ReadTrace(strings.NewReader(sb.String()))
+		if err != nil || got.Len() != p.Len() {
+			return false
+		}
+		for i := range p.Sequence {
+			if got.Sequence[i] != p.Sequence[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTraceTolerances(t *testing.T) {
+	in := `
+# a hand-written trace
+name: my-attack
+
+seq: 1 2 3
+# interleaved comment
+seq: 4 5
+`
+	p, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "my-attack" || p.Len() != 5 {
+		t.Fatalf("parsed %q len %d", p.Name, p.Len())
+	}
+	// Aggressors derived from distinct rows when omitted.
+	if len(p.Aggressors) != 5 {
+		t.Fatalf("derived aggressors = %v", p.Aggressors)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"no seq":        "name: x\n",
+		"bad row":       "seq: 1 two 3\n",
+		"negative":      "seq: -4\n",
+		"unknown key":   "bogus: 1\nseq: 1\n",
+		"missing colon": "seq 1 2 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteTraceRejectsEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrace(&sb, &Pattern{Name: "empty"}); err == nil {
+		t.Fatal("empty pattern serialized")
+	}
+	if err := WriteTrace(&sb, nil); err == nil {
+		t.Fatal("nil pattern serialized")
+	}
+}

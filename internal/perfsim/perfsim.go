@@ -1,0 +1,276 @@
+// Package perfsim is the performance model substituting for the paper's
+// gem5 simulations (Table VII, Fig 14): a bank-level DDR5 timing simulator
+// driven by workload traces, with a simple out-of-order core model.
+//
+// Figure 14's entire effect is DRAM-side: an RFM command makes a bank
+// unavailable for 180ns every RFM_TH activations, and mitigations for plain
+// PrIDE hide inside the tRFC of regular REF commands (hence zero slowdown).
+// The model therefore tracks, per bank, when the bank is next free —
+// accounting for tRC occupancy, REF blackouts and RFM blackouts — and
+// charges the core for the exposed portion of each miss latency, divided by
+// the workload's memory-level parallelism.
+package perfsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pride/internal/dram"
+	"pride/internal/workload"
+)
+
+// Config parameterizes a performance simulation (Table VII's system).
+type Config struct {
+	// Params are the DRAM parameters.
+	Params dram.Params
+	// CoreGHz is the core clock (Table VII: 3 GHz).
+	CoreGHz float64
+	// BaseCPI is the core's cycles-per-instruction when no DRAM miss is
+	// outstanding (8-wide fetch, so well below 1).
+	BaseCPI float64
+	// TRCDNs, TCLNs are activation-to-read and read latencies in ns
+	// (Table VII: 14.2ns each).
+	TRCDNs float64
+	TCLNs  float64
+	// RFMThreshold issues an RFM blocking the bank every threshold ACTs
+	// to that bank (0 = disabled).
+	RFMThreshold int
+	// RFMBlockNs is the bank-unavailable time per RFM (Section VII-A:
+	// 180ns, enough to refresh two rows on each side).
+	RFMBlockNs float64
+	// Banks is the number of banks the trace spreads over.
+	Banks int
+	// RowsPerBank for trace generation.
+	RowsPerBank int
+	// Cores is the number of cores running rate copies of the workload
+	// (Table VII: 4). The aggregate request rate scales with it.
+	Cores int
+	// RFMForceMargin is the RAA multiple at which a deferred RFM must be
+	// issued even if it delays demand traffic (the RAAIMT-to-RAAMMT
+	// margin of DDR5 refresh management).
+	RFMForceMargin float64
+}
+
+// DefaultConfig returns the paper's Table VII configuration.
+func DefaultConfig() Config {
+	return Config{
+		Params:         dram.DDR5(),
+		CoreGHz:        3.0,
+		BaseCPI:        0.25,
+		TRCDNs:         14.2,
+		TCLNs:          14.2,
+		RFMBlockNs:     180,
+		Banks:          32,
+		RowsPerBank:    128 * 1024,
+		Cores:          4,
+		RFMForceMargin: 1.25,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.CoreGHz <= 0 || c.BaseCPI <= 0:
+		return fmt.Errorf("perfsim: core parameters must be positive: %+v", c)
+	case c.TRCDNs < 0 || c.TCLNs < 0 || c.RFMBlockNs < 0:
+		return fmt.Errorf("perfsim: negative latency: %+v", c)
+	case c.Banks < 1 || c.RowsPerBank < 1:
+		return fmt.Errorf("perfsim: bad bank shape: %+v", c)
+	case c.RFMThreshold < 0:
+		return fmt.Errorf("perfsim: negative RFM threshold: %d", c.RFMThreshold)
+	case c.Cores < 1:
+		return fmt.Errorf("perfsim: Cores must be >= 1, got %d", c.Cores)
+	case c.RFMForceMargin < 1:
+		return fmt.Errorf("perfsim: RFMForceMargin must be >= 1, got %v", c.RFMForceMargin)
+	}
+	return c.Params.Validate()
+}
+
+// Result reports one workload's simulated performance.
+type Result struct {
+	Workload string
+	// IPC is instructions per core cycle.
+	IPC float64
+	// AvgLatencyNs is the mean exposed DRAM latency per request.
+	AvgLatencyNs float64
+	// RFMs counts RFM commands issued across banks.
+	RFMs uint64
+	// Requests is the number of DRAM requests simulated.
+	Requests int
+}
+
+// bankState tracks one bank's timing.
+type bankState struct {
+	freeAt  float64 // ns at which the bank can next accept a command
+	openRow int
+	acts    int  // RAA counter: ACTs since the last RFM
+	pending bool // an RFM is owed but deferred into idle slack
+}
+
+// Run simulates `requests` DRAM requests of the workload through the banked
+// timing model and returns the achieved IPC.
+func Run(cfg Config, spec workload.Spec, requests int, seed uint64) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if requests < 1 {
+		panic(fmt.Sprintf("perfsim: requests must be positive, got %d", requests))
+	}
+	trace := workload.Trace(spec, cfg.Banks, cfg.RowsPerBank, requests, seed)
+
+	banks := make([]bankState, cfg.Banks)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	trcNs := float64(cfg.Params.TRC) / float64(time.Nanosecond)
+	trefiNs := float64(cfg.Params.TREFI) / float64(time.Nanosecond)
+	trfcNs := float64(cfg.Params.TRFC) / float64(time.Nanosecond)
+
+	now := 0.0 // ns
+	instrs := 0.0
+	totalExposed := 0.0
+	var rfms uint64
+	nsPerInstr := cfg.BaseCPI / cfg.CoreGHz
+
+	for _, req := range trace {
+		// The cores retire the gap instructions before the miss; with
+		// `Cores` rate copies sharing the channel, aggregate requests
+		// arrive Cores times as often per wall-clock nanosecond.
+		now += float64(req.InstrGap) * nsPerInstr / float64(cfg.Cores)
+		instrs += float64(req.InstrGap)
+
+		b := &banks[req.Bank]
+
+		// REF blackout: each bank is refreshed for tRFC at every tREFI
+		// boundary. If the request lands inside a blackout, it waits.
+		refPhase := now - float64(int(now/trefiNs))*trefiNs
+		start := now
+		if refPhase < trfcNs {
+			start = now + (trfcNs - refPhase)
+		}
+		// Lazy RFM issue (DDR5's RAAIMT/RAAMMT margin): a pending RFM is
+		// absorbed by idle bank time when possible; it only delays demand
+		// traffic once the RAA counter exhausts its margin (2x threshold),
+		// which is how controllers keep RFM off the critical path for all
+		// but the most bank-intensive phases.
+		if b.pending {
+			if idle := now - b.freeAt; idle >= cfg.RFMBlockNs {
+				b.pending = false
+				b.acts -= cfg.RFMThreshold
+				rfms++
+			} else if float64(b.acts) >= cfg.RFMForceMargin*float64(cfg.RFMThreshold) {
+				b.freeAt += cfg.RFMBlockNs
+				b.pending = false
+				b.acts -= cfg.RFMThreshold
+				rfms++
+			}
+		}
+
+		if b.freeAt > start {
+			start = b.freeAt
+		}
+
+		var svc float64
+		if req.Row == b.openRow {
+			svc = cfg.TCLNs
+		} else {
+			// Row miss: precharge+activate consumes the bank for tRC.
+			svc = cfg.TRCDNs + cfg.TCLNs
+			b.openRow = req.Row
+			b.freeAt = start + trcNs
+			b.acts++
+			if cfg.RFMThreshold > 0 && b.acts >= cfg.RFMThreshold {
+				b.pending = true
+			}
+		}
+		done := start + svc
+		latency := done - now
+		// The OoO cores overlap misses: each core hides latency behind
+		// MLP outstanding misses, and the Cores rate copies overlap each
+		// other, so the aggregate timeline advances by latency/(MLP*Cores)
+		// per request.
+		exposed := latency / (spec.MLP * float64(cfg.Cores))
+		totalExposed += latency
+		now += exposed
+	}
+
+	cycles := now * cfg.CoreGHz
+	res := Result{
+		Workload:     spec.Name,
+		AvgLatencyNs: totalExposed / float64(requests),
+		RFMs:         rfms,
+		Requests:     requests,
+	}
+	if cycles > 0 {
+		res.IPC = instrs / cycles
+	}
+	return res
+}
+
+// NormalizedRow is one bar group of Fig 14: a workload's IPC under each
+// scheme, normalized to the no-RFM baseline.
+type NormalizedRow struct {
+	Workload string
+	// Normalized maps scheme name to IPC relative to baseline.
+	Normalized map[string]float64
+}
+
+// SchemePerf names a perfsim configuration variant for Fig 14.
+type SchemePerf struct {
+	Name         string
+	RFMThreshold int
+}
+
+// Fig14Schemes returns the paper's performance line-up: the DDR5 baseline,
+// PrIDE (identical timing — its mitigations hide in tRFC), and the RFM
+// co-designs.
+func Fig14Schemes() []SchemePerf {
+	return []SchemePerf{
+		{Name: "Baseline", RFMThreshold: 0},
+		{Name: "PrIDE", RFMThreshold: 0}, // in-tRFC mitigation: no timing change
+		{Name: "PrIDE+RFM40", RFMThreshold: 40},
+		{Name: "PrIDE+RFM16", RFMThreshold: 16},
+	}
+}
+
+// Fig14 runs every workload under every scheme and returns normalized
+// performance (Fig 14). requests controls fidelity (the paper simulates
+// 250M instructions; tests use far fewer).
+func Fig14(cfg Config, specs []workload.Spec, requests int, seed uint64) []NormalizedRow {
+	rows := make([]NormalizedRow, 0, len(specs))
+	for _, spec := range specs {
+		row := NormalizedRow{Workload: spec.Name, Normalized: map[string]float64{}}
+		var baseIPC float64
+		for _, s := range Fig14Schemes() {
+			c := cfg
+			c.RFMThreshold = s.RFMThreshold
+			res := Run(c, spec, requests, seed)
+			if s.Name == "Baseline" {
+				baseIPC = res.IPC
+				row.Normalized[s.Name] = 1
+				continue
+			}
+			row.Normalized[s.Name] = res.IPC / baseIPC
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// GeoMean returns the geometric mean of the normalized IPC for one scheme
+// across rows (Fig 14's rightmost bars).
+func GeoMean(rows []NormalizedRow, scheme string) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, r := range rows {
+		v := r.Normalized[scheme]
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(rows)))
+}

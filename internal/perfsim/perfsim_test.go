@@ -1,0 +1,165 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+
+	"pride/internal/workload"
+)
+
+func mcfLike() workload.Spec {
+	return workload.Spec{Name: "mcf", MPKI: 55, RowHitRate: 0.25, MLP: 3.5}
+}
+
+func computeBound() workload.Spec {
+	return workload.Spec{Name: "povray", MPKI: 0.1, RowHitRate: 0.6, MLP: 1.2}
+}
+
+func TestPrIDEHasZeroSlowdown(t *testing.T) {
+	// Fig 14: PrIDE's mitigations hide inside tRFC, so its timing is
+	// bit-identical to the baseline.
+	cfg := DefaultConfig()
+	base := Run(cfg, mcfLike(), 30_000, 1)
+	pride := Run(cfg, mcfLike(), 30_000, 1) // same config: PrIDE adds no commands
+	if base.IPC != pride.IPC {
+		t.Fatalf("PrIDE IPC %v differs from baseline %v", pride.IPC, base.IPC)
+	}
+}
+
+func TestRFMSlowdownOrdering(t *testing.T) {
+	// RFM16 blocks banks ~2.5x as often as RFM40: slowdown must be worse.
+	cfg := DefaultConfig()
+	base := Run(cfg, mcfLike(), 40_000, 2)
+	cfg.RFMThreshold = 40
+	rfm40 := Run(cfg, mcfLike(), 40_000, 2)
+	cfg.RFMThreshold = 16
+	rfm16 := Run(cfg, mcfLike(), 40_000, 2)
+	if !(rfm16.IPC < rfm40.IPC && rfm40.IPC <= base.IPC) {
+		t.Fatalf("IPC ordering violated: base %v, RFM40 %v, RFM16 %v",
+			base.IPC, rfm40.IPC, rfm16.IPC)
+	}
+}
+
+func TestFig14GeoMeansMatchPaper(t *testing.T) {
+	// Fig 14's headline numbers: PrIDE 0%, RFM40 ~0.1%, RFM16 ~1.6%
+	// average slowdown. Our synthetic traces must land in the same
+	// regime: RFM40 under 1%, RFM16 in the ~0.5-4% band.
+	rows := Fig14(DefaultConfig(), workload.All(), 12_000, 3)
+	pride := GeoMean(rows, "PrIDE")
+	rfm40 := GeoMean(rows, "PrIDE+RFM40")
+	rfm16 := GeoMean(rows, "PrIDE+RFM16")
+	if pride != 1 {
+		t.Fatalf("PrIDE geomean = %v, want exactly 1 (zero slowdown)", pride)
+	}
+	s40, s16 := 1-rfm40, 1-rfm16
+	if s40 < 0 || s40 > 0.005 {
+		t.Fatalf("RFM40 slowdown = %.4f, paper says ~0.001", s40)
+	}
+	if s16 < 0.003 || s16 > 0.04 {
+		t.Fatalf("RFM16 slowdown = %.4f, paper says ~0.016", s16)
+	}
+	// The paper's ratio is strongly nonlinear (0.1%% vs 1.6%%): RFM16 must
+	// cost several times RFM40, not the naive 2.5x of the block rates.
+	if s16 < 3*s40 {
+		t.Fatalf("RFM16 slowdown %.4f not >> RFM40 %.4f", s16, s40)
+	}
+}
+
+func TestMemoryBoundWorkloadsSufferMore(t *testing.T) {
+	// The Fig 14 shape: RFM's cost scales with ACT rate, so mcf/lbm lose
+	// more than povray/exchange2.
+	cfg := DefaultConfig()
+	cfg.RFMThreshold = 16
+	baseCfg := DefaultConfig()
+
+	mcfBase := Run(baseCfg, mcfLike(), 40_000, 4)
+	mcfRFM := Run(cfg, mcfLike(), 40_000, 4)
+	povBase := Run(baseCfg, computeBound(), 4_000, 4)
+	povRFM := Run(cfg, computeBound(), 4_000, 4)
+
+	mcfSlow := 1 - mcfRFM.IPC/mcfBase.IPC
+	povSlow := 1 - povRFM.IPC/povBase.IPC
+	if mcfSlow <= povSlow {
+		t.Fatalf("memory-bound slowdown %.4f not worse than compute-bound %.4f", mcfSlow, povSlow)
+	}
+}
+
+func TestRFMCountMatchesThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RFMThreshold = 16
+	res := Run(cfg, mcfLike(), 30_000, 5)
+	// Roughly one RFM per 16 row misses (row hits don't activate).
+	misses := float64(res.Requests) * (1 - mcfLike().RowHitRate)
+	want := misses / 16
+	if math.Abs(float64(res.RFMs)-want)/want > 0.15 {
+		t.Fatalf("RFMs = %d, want ~%.0f", res.RFMs, want)
+	}
+}
+
+func TestHigherMPKILowersIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	low := Run(cfg, workload.Spec{Name: "a", MPKI: 1, RowHitRate: 0.5, MLP: 2}, 5_000, 6)
+	high := Run(cfg, workload.Spec{Name: "b", MPKI: 50, RowHitRate: 0.5, MLP: 2}, 5_000, 6)
+	if high.IPC >= low.IPC {
+		t.Fatalf("MPKI=50 IPC %v not below MPKI=1 IPC %v", high.IPC, low.IPC)
+	}
+}
+
+func TestRowHitsAreFaster(t *testing.T) {
+	cfg := DefaultConfig()
+	hits := Run(cfg, workload.Spec{Name: "h", MPKI: 30, RowHitRate: 0.95, MLP: 2}, 20_000, 7)
+	misses := Run(cfg, workload.Spec{Name: "m", MPKI: 30, RowHitRate: 0.05, MLP: 2}, 20_000, 7)
+	if hits.AvgLatencyNs >= misses.AvgLatencyNs {
+		t.Fatalf("row-hit latency %v not below row-miss latency %v",
+			hits.AvgLatencyNs, misses.AvgLatencyNs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Run(cfg, mcfLike(), 10_000, 42)
+	b := Run(cfg, mcfLike(), 10_000, 42)
+	if a != b {
+		t.Fatalf("identical runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.CoreGHz = 0 },
+		func(c *Config) { c.BaseCPI = -1 },
+		func(c *Config) { c.Banks = 0 },
+		func(c *Config) { c.RFMThreshold = -1 },
+		func(c *Config) { c.TRCDNs = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if got := GeoMean(nil, "x"); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	rows := []NormalizedRow{
+		{Workload: "a", Normalized: map[string]float64{"s": 0.5}},
+		{Workload: "b", Normalized: map[string]float64{"s": 2.0}},
+	}
+	if got := GeoMean(rows, "s"); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("GeoMean(0.5,2) = %v, want 1", got)
+	}
+	if got := GeoMean(rows, "missing"); got != 0 {
+		t.Fatalf("GeoMean of missing scheme = %v, want 0", got)
+	}
+}
+
+func BenchmarkRun10K(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		Run(cfg, mcfLike(), 10_000, uint64(i))
+	}
+}

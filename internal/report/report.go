@@ -1,0 +1,148 @@
+// Package report formats experiment results as aligned ASCII tables and CSV
+// series, and renders the human-readable time-to-failure strings Table IX
+// uses ("> 1 Mln years", "153 days", "< 1 sec").
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be useful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v != 0 && (v < 0.01 && v > -0.01):
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Headers)
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes the table as comma-separated values (headers first).
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.Headers)
+	for _, row := range t.rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	quoted := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		quoted[i] = c
+	}
+	fmt.Fprintf(w, "%s\n", strings.Join(quoted, ","))
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatTTFYears renders a time-to-failure in Table IX's style.
+func FormatTTFYears(years float64) string {
+	const (
+		minute = 60.0
+		hour   = 60 * minute
+		day    = 24 * hour
+		yearS  = 365.25 * day
+	)
+	switch {
+	case years > 1e6:
+		return "> 1 Mln years"
+	case years >= 2:
+		return fmt.Sprintf("%.0f years", years)
+	case years >= 1:
+		return fmt.Sprintf("%.1f years", years)
+	default:
+		secs := years * yearS
+		switch {
+		case secs >= 2*day:
+			return fmt.Sprintf("%.0f days", secs/day)
+		case secs >= 2*hour:
+			return fmt.Sprintf("%.0f hours", secs/hour)
+		case secs >= 2*minute:
+			return fmt.Sprintf("%.0f mins", secs/minute)
+		case secs >= 1:
+			return fmt.Sprintf("%.0f sec", secs)
+		default:
+			return "< 1 sec"
+		}
+	}
+}

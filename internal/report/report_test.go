@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table T", "Scheme", "TRH*")
+	tb.AddRow("PrIDE", 3830.0)
+	tb.AddRow("PARA-DRFM", 17000.0)
+	out := tb.String()
+	if !strings.Contains(out, "Table T") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "PrIDE") || !strings.Contains(out, "3830") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// All table lines are equally wide (aligned columns).
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("misaligned line %q (want width %d)", l, width)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	got := sb.String()
+	if !strings.Contains(got, `"with,comma"`) {
+		t.Fatalf("comma not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"with""quote"`) {
+		t.Fatalf("quote not escaped: %q", got)
+	}
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("headers missing: %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3830:   "3830",
+		0.5:    "0.500",
+		1.6:    "1.600",
+		0.0001: "1.00e-04",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatTTFYears(t *testing.T) {
+	const year = 1.0
+	const sec = year / (365.25 * 24 * 3600)
+	cases := []struct {
+		years float64
+		want  string
+	}{
+		{2e6, "> 1 Mln years"},
+		{2936, "2936 years"},
+		{36, "36 years"},
+		{153.0 / 365.25, "153 days"},
+		{32 * 60 * sec, "32 mins"},
+		{23 * sec, "23 sec"},
+		{0.4 * sec, "< 1 sec"},
+		{140, "140 years"},
+	}
+	for _, c := range cases {
+		if got := FormatTTFYears(c.years); got != c.want {
+			t.Errorf("FormatTTFYears(%v) = %q, want %q", c.years, got, c.want)
+		}
+	}
+}

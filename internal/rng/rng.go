@@ -1,0 +1,213 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the PrIDE simulation stack.
+//
+// The paper's threat model (Section II-A) assumes the attacker cannot read
+// the seed of the in-DRAM random number generator, so for *security analysis*
+// the sampler is modelled as an ideal Bernoulli source. For *simulation* we
+// need reproducibility: every experiment takes an explicit 64-bit seed and
+// derives independent streams with SplitMix64, so that two runs with the same
+// seed produce bit-identical results regardless of evaluation order.
+package rng
+
+import "math"
+
+// Source is the minimal interface the simulators need: a stream of uniform
+// 64-bit values plus derived helpers. It deliberately mirrors a subset of
+// math/rand so callers can swap implementations, but every implementation in
+// this package is allocation-free and inlineable.
+type Source interface {
+	// Uint64 returns the next 64 uniformly distributed bits.
+	Uint64() uint64
+}
+
+// SplitMix64 is a tiny, statistically strong generator that is primarily used
+// for seeding other generators (its output function is a bijection, so
+// distinct seeds give distinct streams). See Steele et al., OOPSLA 2014.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 advances the state and returns the next value.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// XorShift64Star is the workhorse generator for the Monte-Carlo engines:
+// one xor-shift round plus a multiplication, passing BigCrush on the high
+// 32 bits. Period 2^64-1; the all-zero state is forbidden and remapped.
+type XorShift64Star struct {
+	state uint64
+}
+
+// NewXorShift64Star returns a generator seeded via SplitMix64 so that
+// low-entropy seeds (0, 1, 2, ...) still yield well-mixed states.
+func NewXorShift64Star(seed uint64) *XorShift64Star {
+	sm := NewSplitMix64(seed)
+	st := sm.Uint64()
+	if st == 0 {
+		st = 0x9E3779B97F4A7C15 // any nonzero constant
+	}
+	return &XorShift64Star{state: st}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (x *XorShift64Star) Uint64() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// PCG32 is a permuted-congruential generator producing 32-bit outputs from
+// 64-bit state. It models the small hardware PRNG a DRAM vendor would embed
+// next to each bank (the paper budgets a 7-bit TRNG; we only need its
+// *behavioural* role, a uniform sampler).
+type PCG32 struct {
+	state uint64
+	inc   uint64
+}
+
+// NewPCG32 returns a PCG32 with the given seed and stream selector.
+func NewPCG32(seed, stream uint64) *PCG32 {
+	p := &PCG32{inc: stream<<1 | 1}
+	p.state = 0
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+	return p
+}
+
+// Uint32 returns the next 32-bit value.
+func (p *PCG32) Uint32() uint32 {
+	old := p.state
+	p.state = old*6364136223846793005 + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64-bit value (two 32-bit draws).
+func (p *PCG32) Uint64() uint64 {
+	return uint64(p.Uint32())<<32 | uint64(p.Uint32())
+}
+
+// Stream wraps a Source with convenience samplers. The zero value is not
+// usable; construct with NewStream.
+type Stream struct {
+	src Source
+}
+
+// NewStream returns a Stream drawing from src.
+func NewStream(src Source) *Stream {
+	return &Stream{src: src}
+}
+
+// New returns a Stream backed by a fresh XorShift64Star with the given seed.
+func New(seed uint64) *Stream {
+	return NewStream(NewXorShift64Star(seed))
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (s *Stream) Uint64() uint64 { return s.src.Uint64() }
+
+// Float64 returns a uniform float64 in [0,1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.src.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p. Probabilities outside [0,1]
+// saturate (p<=0 never fires, p>=1 always fires), matching how a hardware
+// comparator against a fixed threshold behaves.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0, mirroring
+// math/rand, because a zero-sized choice is always a caller bug.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := s.src.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0,n) using Fisher-Yates.
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p: the number of failures before the first success (support
+// {0,1,2,...}). Used to fast-forward sparse insertion events in large
+// Monte-Carlo runs. Panics if p is outside (0,1].
+func (s *Stream) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := s.Float64()
+	// Inverse CDF; u in [0,1) keeps the log argument in (0,1].
+	return int(math.Log1p(-u) / math.Log1p(-p))
+}
+
+// Fork derives an independent Stream from this one. The derived stream's
+// seed is drawn from the parent, so a single experiment seed fans out into
+// arbitrarily many decorrelated streams deterministically.
+func (s *Stream) Fork() *Stream {
+	return New(s.src.Uint64())
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}

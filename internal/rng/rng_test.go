@@ -1,0 +1,278 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the public-domain splitmix64.c with seed 0.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64(0) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXorShiftNonZeroState(t *testing.T) {
+	// Any seed must produce a usable generator, including seeds that
+	// SplitMix64 maps close to zero.
+	for seed := uint64(0); seed < 100; seed++ {
+		x := NewXorShift64Star(seed)
+		if x.state == 0 {
+			t.Fatalf("seed %d produced zero state", seed)
+		}
+		a, b := x.Uint64(), x.Uint64()
+		if a == b {
+			t.Fatalf("seed %d produced repeated outputs %#x", seed, a)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at draw %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	for _, p := range []float64{1.0 / 79, 0.1, 0.5, 0.9} {
+		s := New(uint64(p * 1e6))
+		const n = 300000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// 5-sigma binomial tolerance.
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("Bernoulli(%v) rate = %v, want within %v", p, got, tol)
+		}
+	}
+}
+
+func TestBernoulliSaturation(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) did not fire")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) fired")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) did not fire")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 79, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn(%d): value %d drawn %d times, want ~%v", n, v, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		s := New(seed)
+		size := int(n%32) + 1
+		p := s.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	p := 1.0 / 79
+	s := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if g := s.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	s.Geometric(0)
+}
+
+func TestForkDecorrelated(t *testing.T) {
+	parent := New(21)
+	a := parent.Fork()
+	b := parent.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams collided on %d of 1000 draws", same)
+	}
+}
+
+func TestPCG32Deterministic(t *testing.T) {
+	a := NewPCG32(42, 54)
+	b := NewPCG32(42, 54)
+	for i := 0; i < 100; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatal("PCG32 not deterministic")
+		}
+	}
+	c := NewPCG32(42, 55) // different stream must diverge
+	d := NewPCG32(42, 54)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if c.Uint32() != d.Uint32() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("PCG32 streams 54 and 55 identical")
+	}
+}
+
+func TestMul128(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul128(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul128(%#x,%#x) = (%#x,%#x), want (%#x,%#x)",
+				c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkXorShift64Star(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	s := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if s.Bernoulli(1.0 / 79) {
+			n++
+		}
+	}
+	_ = n
+}

@@ -1,0 +1,206 @@
+// Package sim is the full-system attack simulator: it replays attack
+// patterns (internal/patterns) through a memory controller
+// (internal/memctrl) driving a DRAM bank (internal/dram) protected by a
+// tracker (internal/core or internal/baseline), and measures the paper's
+// evaluation metrics — Maximum Disturbance for Fig 15 and per-row measured
+// loss probability for Fig 18 / Appendix C.
+package sim
+
+import (
+	"fmt"
+
+	"pride/internal/baseline"
+	"pride/internal/core"
+	"pride/internal/dram"
+	"pride/internal/memctrl"
+	"pride/internal/patterns"
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+// Scheme bundles a tracker factory with the controller settings the scheme
+// needs (RFM threshold, mitigation cadence). Factories take a private RNG
+// stream so trials with different seeds are independent.
+type Scheme struct {
+	Name string
+	// RFMThreshold configures the controller's RAA counter (0 = no RFM).
+	RFMThreshold int
+	// MitigationEveryNREF is the REF-to-mitigation cadence (default 1).
+	MitigationEveryNREF int
+	// New constructs a fresh tracker for one trial.
+	New func(p dram.Params, r *rng.Stream) tracker.Tracker
+}
+
+// PrIDEScheme returns the paper's default PrIDE configuration as a Scheme.
+func PrIDEScheme() Scheme {
+	return Scheme{
+		Name:                "PrIDE",
+		MitigationEveryNREF: 1,
+		New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+			cfg := core.DefaultConfig(p.ACTsPerTREFI())
+			cfg.RowBits = p.RowBits
+			return core.New(cfg, r)
+		},
+	}
+}
+
+// PrIDERFMScheme returns PrIDE co-designed with RFM at the given threshold.
+func PrIDERFMScheme(threshold int) Scheme {
+	return Scheme{
+		Name:                fmt.Sprintf("PrIDE+RFM%d", threshold),
+		RFMThreshold:        threshold,
+		MitigationEveryNREF: 1,
+		New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+			cfg := core.RFMConfig(threshold)
+			cfg.RowBits = p.RowBits
+			return core.New(cfg, r)
+		},
+	}
+}
+
+// Fig15Schemes returns the tracker line-up of Figure 15: PRoHIT, DSAC,
+// PARA-MC, PARFM, and PrIDE without RFM, plus the PrIDE RFM co-designs.
+func Fig15Schemes() []Scheme {
+	return []Scheme{
+		{
+			Name:                "PRoHIT",
+			MitigationEveryNREF: 1,
+			New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+				return baseline.NewPRoHIT(baseline.DefaultPRoHITEntries, p.RowBits,
+					baseline.DefaultPRoHITInsertProb, baseline.DefaultPRoHITPromoteProb, r)
+			},
+		},
+		{
+			Name:                "DSAC",
+			MitigationEveryNREF: 1,
+			New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+				return baseline.NewDSAC(baseline.DefaultDSACEntries, p.RowBits, r)
+			},
+		},
+		{
+			Name:                "PARA-MC",
+			MitigationEveryNREF: 1,
+			New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+				return baseline.NewPARA(1/float64(p.ACTsPerTREFI()+1), r)
+			},
+		},
+		{
+			Name:                "PARFM",
+			MitigationEveryNREF: 1,
+			New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+				return baseline.NewPARFM(p.ACTsPerTREFI(), p.RowBits, r)
+			},
+		},
+		PrIDEScheme(),
+		PrIDERFMScheme(core.RFM40),
+		PrIDERFMScheme(core.RFM16),
+	}
+}
+
+// RowPolicy selects the DRAM page policy for a trial.
+type RowPolicy int
+
+const (
+	// ClosedPage precharges after every access, so every access is an
+	// activation — the attacker's best case, and the paper's default
+	// assumption (Section IV-D).
+	ClosedPage RowPolicy = iota
+	// OpenPage keeps the last row open: consecutive accesses to the same
+	// row do not re-activate it, so an attacker must interleave rows to
+	// hammer (Section IV-D: "there must be an intervening access to
+	// another row to cause multiple activations to the same target row").
+	OpenPage
+)
+
+// AttackConfig parameterizes one attack trial.
+type AttackConfig struct {
+	Params dram.Params
+	// ACTs is the trial length in demand activations (the paper attacks
+	// for a full refresh window, ~650K ACTs; tests scale down).
+	ACTs int
+	// TRH, when positive, enables bit-flip detection at that device
+	// threshold.
+	TRH int
+	// Policy is the page policy; the zero value is the paper's
+	// closed-page worst case.
+	Policy RowPolicy
+}
+
+// AttackResult reports one trial's metrics.
+type AttackResult struct {
+	Scheme  string
+	Pattern string
+	// MaxDisturbance is the maximum activations any row received before a
+	// mitigation ended its round (Fig 15's metric).
+	MaxDisturbance int
+	// MaxHammers is the peak disturbance any victim accumulated,
+	// including transitive (silent) activations.
+	MaxHammers int
+	// Flips is the number of Rowhammer failures (when TRH > 0).
+	Flips int
+	// Mitigations is the number of mitigations dispatched.
+	Mitigations uint64
+}
+
+// RunAttack replays one pattern against one scheme for cfg.ACTs activations
+// and returns the measured metrics.
+func RunAttack(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint64) AttackResult {
+	if cfg.ACTs <= 0 {
+		panic(fmt.Sprintf("sim: ACTs must be positive, got %d", cfg.ACTs))
+	}
+	bank := dram.MustNewBank(cfg.Params, cfg.TRH)
+	trk := s.New(cfg.Params, rng.New(seed))
+	mcfg := memctrl.DefaultConfig(cfg.Params)
+	mcfg.RFMThreshold = s.RFMThreshold
+	if s.MitigationEveryNREF > 0 {
+		mcfg.MitigationEveryNREF = s.MitigationEveryNREF
+	}
+	ctrl := memctrl.New(mcfg, bank, trk)
+
+	pat.Reset()
+	openRow := -1
+	for i := 0; i < cfg.ACTs; i++ {
+		row := pat.Next()
+		if cfg.Policy == OpenPage {
+			// Same-row accesses hit the open row buffer: no activation,
+			// no hammering, no tracker event. The slot is still consumed
+			// (the access occupies the command bus).
+			if row == openRow {
+				continue
+			}
+			openRow = row
+		}
+		ctrl.Activate(row)
+	}
+	return AttackResult{
+		Scheme:         s.Name,
+		Pattern:        pat.Name,
+		MaxDisturbance: bank.MaxDisturbance(),
+		MaxHammers:     bank.MaxHammers(),
+		Flips:          len(bank.Flips()),
+		Mitigations:    ctrl.Stats().Mitigations,
+	}
+}
+
+// MaxDisturbanceOverSuite runs every pattern in the suite against a scheme
+// across `seeds` trials each and returns the worst disturbance observed —
+// one bar of Figure 15.
+func MaxDisturbanceOverSuite(cfg AttackConfig, s Scheme, suite []*patterns.Pattern, seeds int, baseSeed uint64) AttackResult {
+	worst := AttackResult{Scheme: s.Name}
+	seedStream := rng.New(baseSeed)
+	for _, pat := range suite {
+		for t := 0; t < seeds; t++ {
+			res := RunAttack(cfg, s, pat, seedStream.Uint64())
+			if res.MaxDisturbance > worst.MaxDisturbance {
+				worst.MaxDisturbance = res.MaxDisturbance
+				worst.Pattern = pat.Name
+			}
+			if res.MaxHammers > worst.MaxHammers {
+				worst.MaxHammers = res.MaxHammers
+			}
+			worst.Flips += res.Flips
+			worst.Mitigations += res.Mitigations
+		}
+	}
+	return worst
+}

@@ -1,0 +1,143 @@
+// Package system simulates a whole DRAM subsystem under attack: many banks,
+// each with its own independently-seeded tracker, concurrently hammered the
+// way Section VII-C's time-to-fail analysis assumes (all banks continuously
+// attacked, tFAW limiting how many are active at once).
+//
+// Its purpose is end-to-end validation of the analytic TTF chain: at low
+// device thresholds failures happen within simulable time, so the measured
+// time-to-first-flip can be compared against analytic.SystemTTFYears — the
+// same math that generates Table IX — rather than trusting the closed form
+// alone.
+package system
+
+import (
+	"fmt"
+	"time"
+
+	"pride/internal/dram"
+	"pride/internal/memctrl"
+	"pride/internal/patterns"
+	"pride/internal/rng"
+	"pride/internal/sim"
+)
+
+// Config parameterizes a system-level attack simulation.
+type Config struct {
+	// Params are the per-bank DRAM parameters.
+	Params dram.Params
+	// Banks is the number of concurrently attacked banks (the paper's
+	// tFAW-limited 22; each gets its own tracker and RNG stream).
+	Banks int
+	// TRH is the device double-sided Rowhammer threshold under test.
+	TRH int
+	// MaxTREFI bounds the simulation length in refresh intervals.
+	MaxTREFI int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Banks < 1:
+		return fmt.Errorf("system: Banks must be >= 1, got %d", c.Banks)
+	case c.TRH < 2:
+		return fmt.Errorf("system: TRH must be >= 2, got %d", c.TRH)
+	case c.MaxTREFI < 1:
+		return fmt.Errorf("system: MaxTREFI must be >= 1, got %d", c.MaxTREFI)
+	}
+	return nil
+}
+
+// Result reports one system-level trial.
+type Result struct {
+	// Failed reports whether any bank flipped within the horizon.
+	Failed bool
+	// TimeToFail is the simulated time of the first flip (valid when
+	// Failed).
+	TimeToFail time.Duration
+	// FailedBank is the index of the first failing bank.
+	FailedBank int
+	// TREFIsSimulated counts elapsed refresh intervals.
+	TREFIsSimulated int
+}
+
+// bank bundles one bank's simulation state.
+type bankState struct {
+	ctrl *memctrl.Controller
+	pat  *patterns.Pattern
+	dead bool
+}
+
+// Run simulates every bank being double-sided-hammered continuously until
+// the first bit flip or the horizon. Each bank runs the scheme with an
+// independent RNG stream; time advances in lockstep, one tREFI at a time
+// (W activations per bank per tREFI — the saturated-bus worst case of the
+// paper's analysis).
+func Run(cfg Config, s sim.Scheme, seed uint64) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	seeds := rng.New(seed)
+	banks := make([]bankState, cfg.Banks)
+	for i := range banks {
+		b := dram.MustNewBank(cfg.Params, cfg.TRH)
+		trk := s.New(cfg.Params, seeds.Fork())
+		mcfg := memctrl.DefaultConfig(cfg.Params)
+		mcfg.RFMThreshold = s.RFMThreshold
+		if s.MitigationEveryNREF > 0 {
+			mcfg.MitigationEveryNREF = s.MitigationEveryNREF
+		}
+		banks[i] = bankState{
+			ctrl: memctrl.New(mcfg, b, trk),
+			// Distinct victims per bank; the pattern is the classic
+			// double-sided hammer (Section VI's worst case for the
+			// reported TRH-D).
+			pat: patterns.DoubleSided(cfg.Params.RowsPerBank / 2),
+		}
+	}
+
+	w := cfg.Params.ACTsPerTREFI()
+	for trefi := 1; trefi <= cfg.MaxTREFI; trefi++ {
+		for bi := range banks {
+			b := &banks[bi]
+			for a := 0; a < w; a++ {
+				b.ctrl.Activate(b.pat.Next())
+			}
+			if len(b.ctrl.Bank().Flips()) > 0 {
+				return Result{
+					Failed:          true,
+					TimeToFail:      time.Duration(trefi) * cfg.Params.TREFI,
+					FailedBank:      bi,
+					TREFIsSimulated: trefi,
+				}
+			}
+		}
+	}
+	return Result{TREFIsSimulated: cfg.MaxTREFI}
+}
+
+// MeasureMTTF runs `trials` independent system simulations and returns the
+// mean time-to-fail in seconds over the failing trials, plus how many
+// trials failed within the horizon. Comparing the mean against
+// analytic.SystemTTFYears validates the Eq. 1 / Section VII-C chain
+// empirically.
+func MeasureMTTF(cfg Config, s sim.Scheme, trials int, seed uint64) (meanSeconds float64, failed int) {
+	if trials < 1 {
+		panic(fmt.Sprintf("system: trials must be >= 1, got %d", trials))
+	}
+	seeds := rng.New(seed)
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		res := Run(cfg, s, seeds.Uint64())
+		if res.Failed {
+			failed++
+			total += res.TimeToFail.Seconds()
+		}
+	}
+	if failed == 0 {
+		return 0, 0
+	}
+	return total / float64(failed), failed
+}

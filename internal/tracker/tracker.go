@@ -1,0 +1,51 @@
+// Package tracker defines the interface shared by every in-DRAM (and
+// controller-side) Rowhammer tracker in this repository: the paper's PrIDE
+// as well as the baselines it is compared against (TRR, DSAC, PRoHIT, PARA,
+// PARFM, Graphene).
+//
+// A tracker, per Section II-G of the paper, is an N-entry structure managed
+// by three policies — insertion, eviction, and mitigation — and the interface
+// mirrors exactly the two events those policies react to: a demand activation
+// and a mitigation opportunity.
+package tracker
+
+// Mitigation describes one mitigative action selected by a tracker: refresh
+// the neighbours of Row at distance band Level (Level 1 = the immediately
+// adjacent rows; Level m = the m-th neighbours, used by PrIDE's
+// transitive-attack defence, Section IV-E).
+type Mitigation struct {
+	Row   int
+	Level int
+}
+
+// Tracker is the canonical in-DRAM tracker abstraction.
+//
+// Implementations are single-goroutine objects: a DRAM bank's mitigation
+// engine is inherently serial, and the simulators drive one tracker per bank
+// from one goroutine. None of the implementations in this repository are
+// safe for concurrent use, by design.
+type Tracker interface {
+	// Name returns a short scheme identifier ("PrIDE", "DSAC", ...).
+	Name() string
+
+	// OnActivate observes one demand activation of row. The tracker may
+	// update internal state (sample the row, bump counters, ...).
+	OnActivate(row int)
+
+	// OnMitigate is called at each mitigation opportunity (every REF for
+	// the default 1-per-tREFI rate, plus every RFM when co-designed with
+	// refresh management). It returns the mitigation the device should
+	// perform and true, or false if the tracker has nothing to mitigate.
+	OnMitigate() (Mitigation, bool)
+
+	// Occupancy returns the number of currently valid tracking entries.
+	Occupancy() int
+
+	// StorageBits returns the per-bank SRAM cost of the tracker in bits,
+	// used for Table XI style storage comparisons.
+	StorageBits() int
+
+	// Reset restores the tracker to its initial (empty) state without
+	// reseeding any internal randomness source.
+	Reset()
+}
