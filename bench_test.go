@@ -13,6 +13,8 @@
 package pride_test
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"pride/internal/analytic"
@@ -245,6 +247,61 @@ func BenchmarkFig18LossValidation(b *testing.B) {
 		ratio = worst / model
 	}
 	b.ReportMetric(ratio, "measured/model")
+}
+
+// lossEngine10M is the acceptance workload for the parallel trial runner: a
+// fixed-seed 10M-period single-entry loss run (1/10th of the paper's Fig 8
+// budget).
+var lossEngine10M = montecarlo.LossConfig{
+	Entries: 1, Window: 79, InsertionProb: 1.0 / 79, Periods: 10_000_000,
+}
+
+// BenchmarkLossEngine compares the sharded Monte-Carlo loss engine across
+// worker counts on the fixed-seed 10M-period run. Every variant asserts its
+// merged result is bit-identical to the serial (workers=1) reference, so the
+// speedup numbers are for provably the same computation. On an idle machine
+// with >= 8 cores the workers=8 case should run >= 3x faster than workers=1:
+//
+//	go test -bench=LossEngine -benchtime=1x
+func BenchmarkLossEngine(b *testing.B) {
+	const seed = 1
+	reference := montecarlo.SimulateLossParallel(lossEngine10M, seed, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			worst := 0.0
+			for i := 0; i < b.N; i++ {
+				res := montecarlo.SimulateLossParallel(lossEngine10M, seed, workers)
+				if !reflect.DeepEqual(res, reference) {
+					b.Fatalf("workers=%d merged output differs from serial", workers)
+				}
+				worst = res.WorstLoss()
+			}
+			b.ReportMetric(worst, "worstLoss")
+		})
+	}
+}
+
+// BenchmarkAttackSuiteEngine compares the parallel attack-suite runner
+// against its own serial (workers=1) execution on a reduced Fig 15 workload,
+// asserting worker-count invariance of the merged result.
+func BenchmarkAttackSuiteEngine(b *testing.B) {
+	p := dram.DDR5()
+	p.RowsPerBank = 8192
+	p.RowBits = 13
+	suite := patterns.Fig15Suite(p.RowsPerBank, 8, 1)
+	cfg := sim.AttackConfig{Params: p, ACTs: 100_000}
+	reference := sim.MaxDisturbanceOverSuiteParallel(cfg, sim.PrIDEScheme(), suite, 2, 1, 1)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := sim.MaxDisturbanceOverSuiteParallel(cfg, sim.PrIDEScheme(), suite, 2, 1, workers)
+				if res != reference {
+					b.Fatalf("workers=%d merged output differs from serial", workers)
+				}
+			}
+			b.ReportMetric(float64(reference.MaxDisturbance), "maxDist")
+		})
+	}
 }
 
 // BenchmarkAblationEviction compares the loss probability of PrIDE's

@@ -8,11 +8,13 @@
 //	pride-attack -fig 15 -patterns 500 -seeds 100 -acts 650000   # paper scale
 //	pride-attack -fig 15                                          # quick run
 //	pride-attack -fig 18 -scale 1                                 # all 900 traces
+//	pride-attack -fig 15 -workers 1                               # serial execution
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -21,51 +23,69 @@ import (
 	"pride/internal/patterns"
 	"pride/internal/report"
 	"pride/internal/sim"
+	"pride/internal/trialrunner"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the CLI surface (flag
+// parsing, error paths, exit codes) is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pride-attack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig      = flag.Int("fig", 15, "figure to regenerate (15 or 18)")
-		trace    = flag.String("trace", "", "replay a trace file against every Fig 15 scheme instead of a figure")
-		nPat     = flag.Int("patterns", 60, "Fig 15: number of random patterns (paper: 500)")
-		seeds    = flag.Int("seeds", 3, "Fig 15: trials per pattern with different seeds (paper: 100)")
-		acts     = flag.Int("acts", 200_000, "activations per trial (a full tREFW is ~650K)")
-		scale    = flag.Int("scale", 30, "Fig 18: trace-count divisor (1 = the paper's 900 traces)")
-		lossActs = flag.Int("loss-acts", 400_000, "Fig 18: activations per trace")
-		seed     = flag.Uint64("seed", 1, "base seed")
-		csv      = flag.Bool("csv", false, "emit CSV")
+		fig      = fs.Int("fig", 15, "figure to regenerate (15 or 18)")
+		trace    = fs.String("trace", "", "replay a trace file against every Fig 15 scheme instead of a figure")
+		nPat     = fs.Int("patterns", 60, "Fig 15: number of random patterns (paper: 500)")
+		seeds    = fs.Int("seeds", 3, "Fig 15: trials per pattern with different seeds (paper: 100)")
+		acts     = fs.Int("acts", 200_000, "activations per trial (a full tREFW is ~650K)")
+		scale    = fs.Int("scale", 30, "Fig 18: trace-count divisor (1 = the paper's 900 traces)")
+		lossActs = fs.Int("loss-acts", 400_000, "Fig 18: activations per trace")
+		seed     = fs.Uint64("seed", 1, "base seed")
+		csv      = fs.Bool("csv", false, "emit CSV")
+		workers  = fs.Int("workers", trialrunner.DefaultWorkers(),
+			"worker goroutines for attack trials (>= 1; 1 = serial; results are worker-count invariant)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := trialrunner.ValidateWorkers(*workers); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	if *trace != "" {
 		t, err := replayTrace(*trace, *acts, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if *csv {
-			t.CSV(os.Stdout)
+			t.CSV(stdout)
 		} else {
-			t.Render(os.Stdout)
+			t.Render(stdout)
 		}
-		return
+		return 0
 	}
 
 	var t *report.Table
 	switch *fig {
 	case 15:
-		t = fig15(*nPat, *seeds, *acts, *seed)
+		t = fig15(*nPat, *seeds, *acts, *seed, *workers)
 	case 18:
-		t = fig18(*scale, *lossActs, *seed)
+		t = fig18(*scale, *lossActs, *seed, *workers)
 	default:
-		fmt.Fprintln(os.Stderr, "unknown figure: use -fig 15 or -fig 18")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "unknown figure: use -fig 15 or -fig 18")
+		return 2
 	}
 	if *csv {
-		t.CSV(os.Stdout)
+		t.CSV(stdout)
 	} else {
-		t.Render(os.Stdout)
+		t.Render(stdout)
 	}
+	return 0
 }
 
 // replayTrace runs one exported trace file against every Fig 15 scheme.
@@ -102,7 +122,7 @@ func replayTrace(path string, acts int, seed uint64) (*report.Table, error) {
 	return t, nil
 }
 
-func fig15(nPat, seeds, acts int, seed uint64) *report.Table {
+func fig15(nPat, seeds, acts int, seed uint64, workers int) *report.Table {
 	p := dram.DDR5()
 	p.RowsPerBank = 8192 // attacks span a small row window; smaller banks are faster
 	p.RowBits = 13
@@ -115,13 +135,13 @@ func fig15(nPat, seeds, acts int, seed uint64) *report.Table {
 			len(suite), seeds, acts, pride.TRHStar),
 		"Tracker", "Max Disturbance", "Worst Pattern", "Peak Victim Hammers")
 	for _, s := range sim.Fig15Schemes() {
-		res := sim.MaxDisturbanceOverSuite(cfg, s, suite, seeds, seed+uint64(len(s.Name)))
+		res := sim.MaxDisturbanceOverSuiteParallel(cfg, s, suite, seeds, seed+uint64(len(s.Name)), workers)
 		t.AddRow(s.Name, res.MaxDisturbance, res.Pattern, res.MaxHammers)
 	}
 	return t
 }
 
-func fig18(scale, acts int, seed uint64) *report.Table {
+func fig18(scale, acts int, seed uint64, workers int) *report.Table {
 	const rowLimit = 8192
 	w := dram.DDR5().ACTsPerTREFI()
 	suite := patterns.Fig18Suite(rowLimit, scale, seed)
@@ -130,9 +150,9 @@ func fig18(scale, acts int, seed uint64) *report.Table {
 		"Entries", "Model L", "Worst Measured L", "Traces Above Model (3-sigma)", "Traces")
 	for _, n := range []int{4, 6, 16} {
 		model := analytic.LossProbability(n, w, 1/float64(w))
+		measurements := sim.MeasureSuiteLossParallel(n, w, suite, acts, seed, workers)
 		worst, above := 0.0, 0
-		for i, pat := range suite {
-			m := sim.MeasurePatternLoss(n, w, pat, acts, seed+uint64(i))
+		for _, m := range measurements {
 			// The paper reports the row with the highest loss probability.
 			// A max over many sparsely-sampled rows is an order statistic,
 			// so compare each row against the model with a binomial

@@ -10,7 +10,7 @@ import (
 )
 
 func TestFig15TableListsAllSchemes(t *testing.T) {
-	tbl := fig15(4, 1, 30_000, 1)
+	tbl := fig15(4, 1, 30_000, 1, 2)
 	out := tbl.String()
 	for _, scheme := range []string{"PRoHIT", "DSAC", "PARA-MC", "PARFM",
 		"PrIDE", "PrIDE+RFM40", "PrIDE+RFM16"} {
@@ -21,12 +21,56 @@ func TestFig15TableListsAllSchemes(t *testing.T) {
 }
 
 func TestFig18TableCoversThreeSizes(t *testing.T) {
-	tbl := fig18(300, 60_000, 1)
+	tbl := fig18(300, 60_000, 1, 2)
 	out := tbl.String()
 	for _, n := range []string{"| 4 ", "| 6 ", "| 16 "} {
 		if !strings.Contains(out, n) {
 			t.Errorf("buffer size row %q missing:\n%s", n, out)
 		}
+	}
+}
+
+func TestFiguresWorkerCountInvariant(t *testing.T) {
+	// The rendered tables must be byte-identical for every -workers value.
+	want15 := fig15(3, 2, 20_000, 5, 1).String()
+	want18 := fig18(300, 40_000, 5, 1).String()
+	for _, workers := range []int{2, 4} {
+		if got := fig15(3, 2, 20_000, 5, workers).String(); got != want15 {
+			t.Errorf("fig15 output differs between workers 1 and %d", workers)
+		}
+		if got := fig18(300, 40_000, 5, workers).String(); got != want18 {
+			t.Errorf("fig18 output differs between workers 1 and %d", workers)
+		}
+	}
+}
+
+func TestRunWorkersFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-fig", "15", "-patterns", "3", "-seeds", "1",
+		"-acts", "20000", "-workers", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Fig 15") {
+		t.Fatalf("figure missing from output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadWorkers(t *testing.T) {
+	for _, bad := range []string{"0", "-1"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-fig", "15", "-workers", bad}, &out, &errOut); code != 2 {
+			t.Errorf("-workers %s: exit code %d, want 2", bad, code)
+		}
+		if !strings.Contains(errOut.String(), "workers") {
+			t.Errorf("-workers %s: no diagnostic on stderr: %q", bad, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-fig", "99"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown figure: exit code %d, want 2", code)
 	}
 }
 

@@ -7,40 +7,58 @@
 //	pride-security -fig 8 -csv       # one figure as CSV series
 //	pride-security -all              # everything
 //	pride-security -fig 8 -mc-periods 100000000   # paper-scale Monte-Carlo
+//	pride-security -fig 8 -workers 1              # serial execution
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pride/internal/analytic"
 	"pride/internal/dram"
 	"pride/internal/montecarlo"
 	"pride/internal/report"
-	"pride/internal/rng"
+	"pride/internal/trialrunner"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the CLI surface (flag
+// parsing, error paths, exit codes) is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pride-security", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table     = flag.Int("table", 0, "paper table number to regenerate (1,2,3,4,5,6,8,9,11,12)")
-		fig       = flag.Int("fig", 0, "paper figure number to regenerate (8, 9)")
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		mcPeriods = flag.Int("mc-periods", 2_000_000, "Monte-Carlo tREFI periods for Fig 8 (paper: 100M)")
-		seed      = flag.Uint64("seed", 1, "Monte-Carlo seed")
-		ttf       = flag.Float64("ttf", analytic.DefaultTargetTTFYears, "target time-to-fail per bank, years")
+		table     = fs.Int("table", 0, "paper table number to regenerate (1,2,3,4,5,6,8,9,11,12)")
+		fig       = fs.Int("fig", 0, "paper figure number to regenerate (8, 9)")
+		all       = fs.Bool("all", false, "regenerate every table and figure")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		mcPeriods = fs.Int("mc-periods", 20_000_000, "Monte-Carlo tREFI periods for Fig 8 (paper: 100M)")
+		seed      = fs.Uint64("seed", 1, "Monte-Carlo seed")
+		ttf       = fs.Float64("ttf", analytic.DefaultTargetTTFYears, "target time-to-fail per bank, years")
+		workers   = fs.Int("workers", trialrunner.DefaultWorkers(),
+			"worker goroutines for Monte-Carlo runs (>= 1; 1 = serial; results are worker-count invariant)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := trialrunner.ValidateWorkers(*workers); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	p := dram.DDR5()
 	emit := func(t *report.Table) {
 		if *csv {
-			t.CSV(os.Stdout)
+			t.CSV(stdout)
 		} else {
-			t.Render(os.Stdout)
+			t.Render(stdout)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	ran := false
@@ -63,7 +81,7 @@ func main() {
 		ran = true
 	}
 	if want(0, 8) {
-		emit(fig8(p, *mcPeriods, *seed))
+		emit(fig8(p, *mcPeriods, *seed, *workers))
 		ran = true
 	}
 	if want(3, 0) {
@@ -103,9 +121,10 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected: use -table N, -fig N or -all (see -help)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "nothing selected: use -table N, -fig N or -all (see -help)")
+		return 2
 	}
+	return 0
 }
 
 func table1(p dram.Params) *report.Table {
@@ -140,11 +159,11 @@ func table2() *report.Table {
 	return t
 }
 
-func fig8(p dram.Params, periods int, seed uint64) *report.Table {
+func fig8(p dram.Params, periods int, seed uint64, workers int) *report.Table {
 	w := p.ACTsPerTREFI()
-	res := montecarlo.SimulateLoss(montecarlo.LossConfig{
+	res := montecarlo.SimulateLossParallel(montecarlo.LossConfig{
 		Entries: 1, Window: w, InsertionProb: 1 / float64(w), Periods: periods,
-	}, rng.New(seed))
+	}, seed, workers)
 	t := report.NewTable(
 		fmt.Sprintf("Fig 8: single-entry loss probability vs position (W=%d, %d MC periods)", w, periods),
 		"Position K", "Analytical L_K", "Monte-Carlo L_K")

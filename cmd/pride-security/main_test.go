@@ -14,7 +14,7 @@ func TestEveryTableBuilderProducesRows(t *testing.T) {
 	builders := map[string]func() string{
 		"table1":  func() string { return table1(p).String() },
 		"table2":  func() string { return table2().String() },
-		"fig8":    func() string { return fig8(p, 20_000, 1).String() },
+		"fig8":    func() string { return fig8(p, 20_000, 1, 2).String() },
 		"table3":  func() string { return table3(p, ttf).String() },
 		"fig9":    func() string { return fig9(p, ttf).String() },
 		"table4":  func() string { return table4(p, ttf).String() },
@@ -57,12 +57,56 @@ func TestTable11ShowsPrIDEConstantStorage(t *testing.T) {
 
 func TestFig8TableHasAllPositions(t *testing.T) {
 	p := dram.DDR5()
-	tbl := fig8(p, 5_000, 1)
+	tbl := fig8(p, 5_000, 1, 1)
 	out := tbl.String()
 	// Header + separator + title + one row per position.
 	want := p.ACTsPerTREFI() + 3
 	if got := strings.Count(strings.TrimSpace(out), "\n") + 1; got != want {
 		t.Fatalf("fig8 rows = %d, want %d", got, want)
+	}
+}
+
+func TestFig8WorkerCountInvariant(t *testing.T) {
+	// The headline determinism guarantee at the CLI layer: the rendered
+	// Fig 8 table is byte-identical for every -workers value.
+	p := dram.DDR5()
+	want := fig8(p, 30_000, 9, 1).String()
+	for _, workers := range []int{2, 4, 7} {
+		if got := fig8(p, 30_000, 9, workers).String(); got != want {
+			t.Fatalf("fig8 output differs between -workers 1 and -workers %d", workers)
+		}
+	}
+}
+
+func TestRunWorkersFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table", "11", "-workers", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table XI") {
+		t.Fatalf("table missing from output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadWorkers(t *testing.T) {
+	for _, bad := range []string{"0", "-3"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-table", "11", "-workers", bad}, &out, &errOut); code != 2 {
+			t.Errorf("-workers %s: exit code %d, want 2", bad, code)
+		}
+		if !strings.Contains(errOut.String(), "workers") {
+			t.Errorf("-workers %s: no diagnostic on stderr: %q", bad, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("empty selection: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nothing selected") {
+		t.Fatalf("missing usage hint: %q", errOut.String())
 	}
 }
 

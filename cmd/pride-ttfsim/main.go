@@ -13,11 +13,13 @@
 //
 //	pride-ttfsim                       # sweep victim thresholds
 //	pride-ttfsim -trhd 300 -trials 50  # one device class, more trials
+//	pride-ttfsim -workers 1            # serial execution
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pride/internal/analytic"
@@ -25,19 +27,40 @@ import (
 	"pride/internal/report"
 	"pride/internal/sim"
 	"pride/internal/system"
+	"pride/internal/trialrunner"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the CLI surface (flag
+// parsing, error paths, exit codes) is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pride-ttfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		trhd    = flag.Int("trhd", 0, "device TRH-D to test (0 = sweep 150..500)")
-		banks   = flag.Int("banks", 4, "concurrently attacked banks")
-		trials  = flag.Int("trials", 10, "independent trials per point")
-		horizon = flag.Int("horizon", 200_000, "simulation horizon in tREFI")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		rfm     = flag.Int("rfm", 0, "RFM threshold (0 = plain PrIDE)")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		trhd    = fs.Int("trhd", 0, "device TRH-D to test (0 = sweep 150..500)")
+		banks   = fs.Int("banks", 4, "concurrently attacked banks")
+		trials  = fs.Int("trials", 20, "independent trials per point")
+		horizon = fs.Int("horizon", 200_000, "simulation horizon in tREFI")
+		seed    = fs.Uint64("seed", 1, "base seed")
+		rfm     = fs.Int("rfm", 0, "RFM threshold (0 = plain PrIDE)")
+		csv     = fs.Bool("csv", false, "emit CSV")
+		workers = fs.Int("workers", trialrunner.DefaultWorkers(),
+			"worker goroutines for the trial pool (>= 1; 1 = serial; results are worker-count invariant)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := trialrunner.ValidateWorkers(*workers); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *trials < 1 {
+		fmt.Fprintln(stderr, "-trials must be >= 1")
+		return 2
+	}
 
 	params := dram.DDR5()
 	params.RowsPerBank = 4096
@@ -54,8 +77,8 @@ func main() {
 		scheme = sim.PrIDERFMScheme(40)
 		analyticScheme = analytic.SchemePrIDERFM40
 	default:
-		fmt.Fprintln(os.Stderr, "-rfm must be 0, 16 or 40")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "-rfm must be 0, 16 or 40")
+		return 2
 	}
 	r := analytic.EvaluateScheme(analyticScheme, params, analytic.DefaultTargetTTFYears)
 
@@ -71,7 +94,7 @@ func main() {
 	for _, d := range points {
 		victimThreshold := 2 * d // the shared victim absorbs both aggressors' hammers
 		cfg := system.Config{Params: params, Banks: *banks, TRH: victimThreshold, MaxTREFI: *horizon}
-		mean, failed := system.MeasureMTTF(cfg, scheme, *trials, *seed+uint64(d))
+		mean, failed := system.MeasureMTTFParallel(cfg, scheme, *trials, *seed+uint64(d), *workers)
 		predicted := analytic.SystemTTFYears(r, float64(victimThreshold), *banks) * analytic.SecondsPerYear
 		if failed == 0 {
 			t.AddRow(d, fmt.Sprintf("0/%d", *trials), "> horizon",
@@ -85,10 +108,11 @@ func main() {
 			fmt.Sprintf("%.1f", mean/predicted))
 	}
 	if *csv {
-		t.CSV(os.Stdout)
+		t.CSV(stdout)
 	} else {
-		t.Render(os.Stdout)
+		t.Render(stdout)
 	}
-	fmt.Println("\nMargin > 1 everywhere confirms the analytic model is a sound (pessimistic)")
-	fmt.Println("guarantee; the margin shrinks as TRH-D grows beyond the tardiness term N*W.")
+	fmt.Fprintln(stdout, "\nMargin > 1 everywhere confirms the analytic model is a sound (pessimistic)")
+	fmt.Fprintln(stdout, "guarantee; the margin shrinks as TRH-D grows beyond the tardiness term N*W.")
+	return 0
 }

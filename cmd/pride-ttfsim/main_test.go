@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// shortArgs shrinks the experiment so a smoke run finishes in test time
+// while still measuring at least one failing point.
+func shortArgs(extra ...string) []string {
+	base := []string{"-trhd", "150", "-banks", "2", "-trials", "3", "-horizon", "30000"}
+	return append(base, extra...)
+}
+
+func TestRunProducesMeasurementTable(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(shortArgs("-workers", "2"), &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Measured vs analytic system TTF", "PrIDE", "150"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	// The whole report must be byte-identical across -workers values.
+	render := func(workers string) string {
+		var out, errOut strings.Builder
+		if code := run(shortArgs("-workers", workers), &out, &errOut); code != 0 {
+			t.Fatalf("workers=%s: exit code %d, stderr: %s", workers, code, errOut.String())
+		}
+		return out.String()
+	}
+	want := render("1")
+	for _, workers := range []string{"2", "4"} {
+		if got := render(workers); got != want {
+			t.Fatalf("-workers %s output differs from -workers 1:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestRunRejectsBadWorkers(t *testing.T) {
+	for _, bad := range []string{"0", "-2"} {
+		var out, errOut strings.Builder
+		if code := run(shortArgs("-workers", bad), &out, &errOut); code != 2 {
+			t.Errorf("-workers %s: exit code %d, want 2", bad, code)
+		}
+		if !strings.Contains(errOut.String(), "workers") {
+			t.Errorf("-workers %s: no diagnostic on stderr: %q", bad, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"bad rfm":      shortArgs("-rfm", "7"),
+		"zero trials":  {"-trhd", "150", "-trials", "0"},
+		"unknown flag": {"-definitely-not-a-flag"},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, code)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(shortArgs("-workers", "2", "-csv"), &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), ",") {
+		t.Fatalf("CSV mode produced no comma-separated output:\n%s", out.String())
+	}
+}

@@ -68,6 +68,64 @@ func TestCrossValidateOccupancyChain(t *testing.T) {
 	}
 }
 
+func TestCrossValidateParallelWorstPositionLoss(t *testing.T) {
+	// Mirror of TestCrossValidateWorstPositionLoss for the sharded engine:
+	// the parallel loss estimator must agree with the exact DP model across
+	// randomized configurations. Budgets above one chunk exercise the merge
+	// path; the tolerance is the same as the serial cross-check.
+	check := func(seed uint64, nRaw, wRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		w := int(wRaw%60) + 20
+		p := 1 / float64(w)
+
+		model := analytic.NewLossModel(n, w, p)
+		want := 0.0
+		pi := model.StationaryOccupancy()
+		for x := 0; x < n; x++ {
+			want += pi[x] * model.LossFromStart(x, 1)
+		}
+
+		res := SimulateLossParallel(LossConfig{
+			Entries: n, Window: w, InsertionProb: p, Periods: 60_000,
+		}, seed, 4)
+		s := res.PerPosition[0]
+		resolved := s.Evicted + s.Mitigated
+		if resolved < 200 {
+			return true // too few samples at this position; skip
+		}
+		got := s.LossProb()
+		tol := 5*math.Sqrt(want*(1-want)/float64(resolved)) + 0.02
+		return math.Abs(got-want) <= tol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossValidateParallelOccupancyChain(t *testing.T) {
+	// The merged start-occupancy histogram of the sharded engine must still
+	// match the Appendix-A Markov chain's stationary distribution.
+	check := func(seed uint64, nRaw, wRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		w := int(wRaw%50) + 30
+		p := 1 / float64(w)
+		want := analytic.NewLossModel(n, w, p).StationaryOccupancy()
+		res := SimulateLossParallel(LossConfig{
+			Entries: n, Window: w, InsertionProb: p, Periods: 40_000,
+		}, seed, 4)
+		got := res.OccupancyDistribution()
+		for x := 0; x < n; x++ {
+			if math.Abs(got[x]-want[x]) > 0.025 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCrossValidateHigherInsertionProbability(t *testing.T) {
 	// The models must also agree away from p = 1/W (the RFM co-designs
 	// use p = 1/17 with W = 16-ish windows).

@@ -1,0 +1,108 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+	"pride/internal/trialrunner"
+)
+
+// Sharding plan: a simulation budget is cut into independent chunks, each
+// driven by its own index-derived RNG stream (rng.Derived(seed, chunk)).
+// The plan is a pure function of the budget — never of the worker count —
+// so the merged result is bit-for-bit identical for any number of workers,
+// including 1. Chunks target a pool-friendly count while staying large
+// enough that the per-chunk warm-up transient (each chunk starts with an
+// empty FIFO rather than a stationary one) stays statistically negligible.
+const (
+	// targetChunks is the sharding granularity: enough chunks that pools of
+	// any practical width load-balance, few enough that per-chunk overhead
+	// and warm-up bias vanish.
+	targetChunks = 64
+	// minLossChunkPeriods floors the chunk size so tiny budgets are not
+	// atomized (the warm-up transient is tens of windows per chunk).
+	minLossChunkPeriods = 4096
+	// minRoundChunk floors the per-chunk round count; rounds carry no
+	// cross-round state at all, so the floor only bounds scheduling
+	// overhead.
+	minRoundChunk = 512
+)
+
+// chunkSizes cuts total into deterministic shard sizes of at least minChunk,
+// independent of worker count.
+func chunkSizes(total, minChunk int) []int {
+	chunk := (total + targetChunks - 1) / targetChunks
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	n := (total + chunk - 1) / chunk
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = chunk
+	}
+	sizes[n-1] = total - (n-1)*chunk
+	return sizes
+}
+
+// merge accumulates o into r (same configuration, so equal slice lengths).
+func (r *LossResult) merge(o LossResult) {
+	for i := range o.PerPosition {
+		r.PerPosition[i].Insertions += o.PerPosition[i].Insertions
+		r.PerPosition[i].Evicted += o.PerPosition[i].Evicted
+		r.PerPosition[i].Mitigated += o.PerPosition[i].Mitigated
+	}
+	for i := range o.StartOccupancy {
+		r.StartOccupancy[i] += o.StartOccupancy[i]
+	}
+}
+
+// SimulateLossParallel shards cfg.Periods into independent chunks and runs
+// them on `workers` goroutines, merging per-position and occupancy counters
+// in chunk order. Chunk i always consumes stream rng.Derived(seed, i), so
+// the result is a pure function of (cfg, seed): workers only changes how
+// fast it arrives. workers == 1 runs every chunk inline on the calling
+// goroutine.
+//
+// The estimator is the same unbiased one as SimulateLoss; the only
+// difference from one long serial stream is that each chunk restarts from an
+// empty FIFO, a warm-up transient of tens of windows per >=4096-window
+// chunk. The cross-validation tests hold the parallel engine to the exact DP
+// model with the same tolerances as the serial one.
+func SimulateLossParallel(cfg LossConfig, seed uint64, workers int) LossResult {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	sizes := chunkSizes(cfg.Periods, minLossChunkPeriods)
+	return trialrunner.Run(workers, len(sizes),
+		func(i int) LossResult {
+			c := cfg
+			c.Periods = sizes[i]
+			return SimulateLoss(c, rng.Derived(seed, uint64(i)))
+		},
+		func(acc, next LossResult) LossResult {
+			acc.merge(next)
+			return acc
+		})
+}
+
+// SimulateRoundsParallel shards cfg.Rounds across `workers` goroutines.
+// Rounds are fully independent (each resets the tracker), so sharding is
+// exact, not merely unbiased: the chunk plan and per-chunk streams depend
+// only on (cfg, seed) and the merged counts are worker-count invariant.
+func SimulateRoundsParallel(cfg RoundConfig, seed uint64, workers int) RoundResult {
+	if cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
+	}
+	sizes := chunkSizes(cfg.Rounds, minRoundChunk)
+	return trialrunner.Run(workers, len(sizes),
+		func(i int) RoundResult {
+			c := cfg
+			c.Rounds = sizes[i]
+			return SimulateRounds(c, rng.Derived(seed, uint64(i)))
+		},
+		func(acc, next RoundResult) RoundResult {
+			acc.Rounds += next.Rounds
+			acc.Failures += next.Failures
+			return acc
+		})
+}

@@ -45,6 +45,15 @@ func (p *Pattern) Next() int {
 // Reset rewinds the pattern to the beginning of its period.
 func (p *Pattern) Reset() { p.pos = 0 }
 
+// Clone returns an independent iterator over the same sequence, rewound to
+// the start. The sequence and aggressor slices are shared (they are
+// read-only after construction), so clones are cheap; only the iteration
+// cursor is private. Parallel trial runners clone per trial so concurrent
+// replays of one pattern do not race on the cursor.
+func (p *Pattern) Clone() *Pattern {
+	return &Pattern{Name: p.Name, Sequence: p.Sequence, Aggressors: p.Aggressors}
+}
+
 // Len returns the period length.
 func (p *Pattern) Len() int { return len(p.Sequence) }
 

@@ -196,8 +196,41 @@ func (s *Stream) Geometric(p float64) int {
 // Fork derives an independent Stream from this one. The derived stream's
 // seed is drawn from the parent, so a single experiment seed fans out into
 // arbitrarily many decorrelated streams deterministically.
+//
+// Fork is inherently sequential: the i-th forked stream depends on the
+// parent's state after i-1 forks. Parallel trial runners that hand trial i
+// to an arbitrary worker need random access instead — use DeriveSeed or
+// Derived for that.
 func (s *Stream) Fork() *Stream {
 	return New(s.src.Uint64())
+}
+
+// splitMixGamma is SplitMix64's Weyl-sequence increment (the golden-ratio
+// constant of Steele et al., OOPSLA 2014).
+const splitMixGamma = 0x9E3779B97F4A7C15
+
+// DeriveSeed returns the seed of sub-stream i of the experiment seed base.
+// It is the (i+1)-th output of SplitMix64(base), computed in O(1) by jumping
+// the Weyl sequence directly to index i, so trial i receives the same seed
+// no matter which worker computes it or in which order trials run.
+//
+// SplitMix64's output function is a bijection over distinct Weyl states, so
+// for a fixed base every index yields a distinct seed, and the XorShift64Star
+// streams seeded from them are decorrelated (each seed lands the generator at
+// an unrelated point of its single 2^64-1 cycle; prefixes of practical length
+// from adjacent indices do not overlap).
+func DeriveSeed(base, i uint64) uint64 {
+	z := base + (i+1)*splitMixGamma
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Derived returns a fresh Stream for sub-stream i of the experiment seed
+// base: Derived(base, i) == New(DeriveSeed(base, i)). It is the random-access
+// counterpart of Fork for sharded, order-independent trial execution.
+func Derived(base, i uint64) *Stream {
+	return New(DeriveSeed(base, i))
 }
 
 // mul128 returns the 128-bit product of a and b as (hi, lo).

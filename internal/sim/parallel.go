@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+
+	"pride/internal/patterns"
+	"pride/internal/rng"
+	"pride/internal/trialrunner"
+)
+
+// The parallel adapters shard a suite evaluation into one trial per
+// (pattern, seed-index) pair. Trial t always replays a private clone of
+// suite[t/seeds] with the index-derived stream seed rng.DeriveSeed(baseSeed,
+// t), and partial results merge in trial order, so the output is a pure
+// function of (cfg, scheme, suite, seeds, baseSeed) — the worker count only
+// changes wall-clock time. workers == 1 runs every trial inline on the
+// calling goroutine.
+
+// mergeWorst folds trial results exactly like the serial suite loop:
+// first-wins maximum for the disturbance headline (and its pattern
+// attribution), running maximum for peak hammers, sums for flips and
+// mitigations.
+func mergeWorst(acc, next AttackResult) AttackResult {
+	if next.MaxDisturbance > acc.MaxDisturbance {
+		acc.MaxDisturbance = next.MaxDisturbance
+		acc.Pattern = next.Pattern
+	}
+	if next.MaxHammers > acc.MaxHammers {
+		acc.MaxHammers = next.MaxHammers
+	}
+	acc.Flips += next.Flips
+	acc.Mitigations += next.Mitigations
+	return acc
+}
+
+// MaxDisturbanceOverSuiteParallel is the worker-pool counterpart of
+// MaxDisturbanceOverSuite: the same trial grid (every pattern x `seeds`
+// trials), with per-trial seeds derived by index instead of drawn
+// sequentially, executed on `workers` goroutines.
+func MaxDisturbanceOverSuiteParallel(cfg AttackConfig, s Scheme, suite []*patterns.Pattern, seeds int, baseSeed uint64, workers int) AttackResult {
+	if len(suite) == 0 || seeds < 1 {
+		panic(fmt.Sprintf("sim: suite of %d patterns x %d seeds has no trials", len(suite), seeds))
+	}
+	trials := len(suite) * seeds
+	results := trialrunner.Map(workers, trials, func(t int) AttackResult {
+		return RunAttack(cfg, s, suite[t/seeds].Clone(), rng.DeriveSeed(baseSeed, uint64(t)))
+	})
+	// Fold from a zero accumulator like the serial loop, so the Pattern
+	// headline is only attributed to trials that actually disturbed rows.
+	worst := AttackResult{Scheme: s.Name}
+	for _, res := range results {
+		worst = mergeWorst(worst, res)
+	}
+	return worst
+}
+
+// MeasureSuiteLossParallel runs the Fig 18 / Appendix C loss measurement for
+// every trace in the suite on `workers` goroutines and returns the
+// measurements in suite order. Trace i always gets seed
+// rng.DeriveSeed(baseSeed, i) and a private pattern clone.
+func MeasureSuiteLossParallel(entries, w int, suite []*patterns.Pattern, acts int, baseSeed uint64, workers int) []LossMeasurement {
+	return trialrunner.Map(workers, len(suite), func(i int) LossMeasurement {
+		return MeasurePatternLoss(entries, w, suite[i].Clone(), acts, rng.DeriveSeed(baseSeed, uint64(i)))
+	})
+}

@@ -1,0 +1,36 @@
+package system
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+	"pride/internal/sim"
+	"pride/internal/trialrunner"
+)
+
+// MeasureMTTFParallel is the worker-pool counterpart of MeasureMTTF: the
+// same independent system-level trials, with trial t's seed derived by index
+// (rng.DeriveSeed(seed, t)) instead of drawn sequentially, executed on
+// `workers` goroutines. Trial results fold in trial order, so the measured
+// mean and failure count are a pure function of (cfg, s, trials, seed) —
+// the worker count only changes wall-clock time. workers == 1 runs every
+// trial inline on the calling goroutine.
+func MeasureMTTFParallel(cfg Config, s sim.Scheme, trials int, seed uint64, workers int) (meanSeconds float64, failed int) {
+	if trials < 1 {
+		panic(fmt.Sprintf("system: trials must be >= 1, got %d", trials))
+	}
+	results := trialrunner.Map(workers, trials, func(t int) Result {
+		return Run(cfg, s, rng.DeriveSeed(seed, uint64(t)))
+	})
+	total := 0.0
+	for _, res := range results {
+		if res.Failed {
+			failed++
+			total += res.TimeToFail.Seconds()
+		}
+	}
+	if failed == 0 {
+		return 0, 0
+	}
+	return total / float64(failed), failed
+}

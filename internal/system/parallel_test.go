@@ -1,0 +1,60 @@
+package system
+
+import (
+	"runtime"
+	"testing"
+
+	"pride/internal/sim"
+)
+
+func sysWorkerGrid() []int {
+	grid := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		grid = append(grid, n)
+	}
+	return grid
+}
+
+func TestMeasureMTTFParallelDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{Params: sysParams(), Banks: 2, TRH: 150, MaxTREFI: 30_000}
+	wantMean, wantFailed := MeasureMTTFParallel(cfg, sim.PrIDEScheme(), 8, 11, 1)
+	if wantFailed == 0 {
+		t.Fatal("no failures at TRH=150; cannot exercise the merge path")
+	}
+	for _, workers := range sysWorkerGrid()[1:] {
+		mean, failed := MeasureMTTFParallel(cfg, sim.PrIDEScheme(), 8, 11, workers)
+		if mean != wantMean || failed != wantFailed {
+			t.Fatalf("workers=%d: (%.17g, %d) != serial (%.17g, %d)",
+				workers, mean, failed, wantMean, wantFailed)
+		}
+	}
+}
+
+func TestMeasureMTTFParallelAgreesWithSerialSampler(t *testing.T) {
+	// Different seed derivation, same estimator: both samplers measure the
+	// same failure process, so at a tiny threshold both must see most
+	// trials fail and the means must be the same order of magnitude.
+	cfg := Config{Params: sysParams(), Banks: 2, TRH: 120, MaxTREFI: 40_000}
+	serialMean, serialFailed := MeasureMTTF(cfg, sim.PrIDEScheme(), 8, 23)
+	parMean, parFailed := MeasureMTTFParallel(cfg, sim.PrIDEScheme(), 8, 23, 4)
+	if serialFailed < 6 || parFailed < 6 {
+		t.Fatalf("insufficient failures: serial %d, parallel %d", serialFailed, parFailed)
+	}
+	lo, hi := serialMean, parMean
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 10*lo {
+		t.Fatalf("serial MTTF %.4g and parallel MTTF %.4g implausibly far apart", serialMean, parMean)
+	}
+}
+
+func TestMeasureMTTFParallelPanicsOnZeroTrials(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 trials did not panic")
+		}
+	}()
+	MeasureMTTFParallel(Config{Params: sysParams(), Banks: 1, TRH: 100, MaxTREFI: 10},
+		sim.PrIDEScheme(), 0, 1, 1)
+}

@@ -1,0 +1,111 @@
+// Package trialrunner shards seeded, independent-trial experiments across a
+// pool of worker goroutines with bit-for-bit deterministic merged output
+// regardless of the worker count.
+//
+// The simulation workloads in this repository (Monte-Carlo loss estimation,
+// attack-suite trials, time-to-fail sampling) all share the same structure:
+// many independent trials, each driven by its own RNG stream, whose partial
+// results combine through an order-insensitive-in-principle but
+// order-fixed-in-practice merge (counter sums, running maxima with
+// first-wins tie-breaking). Two rules make the output worker-count
+// invariant:
+//
+//  1. Trial i derives its RNG stream from the experiment seed by index
+//     (rng.DeriveSeed(base, i)), never from shared mutable state, so the
+//     stream a trial consumes does not depend on which worker runs it or
+//     when.
+//  2. Partial results are merged strictly in trial order (0, 1, 2, ...),
+//     never in completion order, so non-commutative details of the merge
+//     (tie-breaking, float summation order) are fixed.
+//
+// With workers == 1 the runner executes every trial inline on the calling
+// goroutine — the exact serial path, with no goroutines or channels — and
+// any workers >= 2 produces bit-identical merged results.
+package trialrunner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool size: runtime.NumCPU().
+func DefaultWorkers() int {
+	return runtime.NumCPU()
+}
+
+// ValidateWorkers reports whether a worker count is usable. CLIs surface
+// this error for their -workers flag; the Run/Map entry points panic on the
+// same condition because by then it is a programmer error.
+func ValidateWorkers(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("trialrunner: workers must be >= 1, got %d", workers)
+	}
+	return nil
+}
+
+// Map executes trials 0..trials-1 on up to `workers` goroutines and returns
+// their results indexed by trial number. The assignment of trials to workers
+// is dynamic (an atomic work counter, so long trials do not stall the pool),
+// but the returned slice depends only on the trial function.
+func Map[R any](workers, trials int, trial func(i int) R) []R {
+	if err := ValidateWorkers(workers); err != nil {
+		panic(err)
+	}
+	if trials < 0 {
+		panic(fmt.Sprintf("trialrunner: trials must be >= 0, got %d", trials))
+	}
+	results := make([]R, trials)
+	if trials == 0 {
+		return results
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers == 1 {
+		for i := 0; i < trials; i++ {
+			results[i] = trial(i)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				results[i] = trial(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Run executes trials 0..trials-1 across `workers` goroutines and folds the
+// partial results strictly in trial order:
+//
+//	acc := trial(0); acc = merge(acc, trial(1)); ... ; merge(acc, trial(n-1))
+//
+// merge may mutate and return its first argument (every partial result is
+// owned by the fold once its trial completes). Because the fold order is
+// fixed, merge does not need to be commutative — running maxima with
+// first-wins tie-breaking and float accumulation both come out bit-identical
+// for every worker count. Requires trials >= 1.
+func Run[R any](workers, trials int, trial func(i int) R, merge func(acc, next R) R) R {
+	if trials < 1 {
+		panic(fmt.Sprintf("trialrunner: Run requires trials >= 1, got %d", trials))
+	}
+	results := Map(workers, trials, trial)
+	acc := results[0]
+	for i := 1; i < trials; i++ {
+		acc = merge(acc, results[i])
+	}
+	return acc
+}
