@@ -9,9 +9,16 @@
 //	pride-attack -fig 15                                          # quick run
 //	pride-attack -fig 18 -scale 1                                 # all 900 traces
 //	pride-attack -fig 15 -workers 1                               # serial execution
+//	pride-attack -fig 15 -checkpoint f15.ckpt -progress-every 10s
+//
+// With -checkpoint, an interrupted (SIGINT) run saves every completed trial
+// (one file per scheme or buffer size) and a rerun of the identical command
+// resumes them, producing output bit-identical to an uninterrupted run at
+// any -workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +26,7 @@ import (
 	"os"
 
 	"pride/internal/analytic"
+	"pride/internal/cli"
 	"pride/internal/dram"
 	"pride/internal/patterns"
 	"pride/internal/report"
@@ -27,12 +35,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main with its dependencies injected, so the CLI surface (flag
-// parsing, error paths, exit codes) is testable.
-func run(args []string, stdout, stderr io.Writer) int {
+// parsing, error paths, exit codes) is testable. ctx cancellation (SIGINT in
+// production) drains the attack campaigns gracefully: in-flight trials
+// finish, land in the checkpoint when one is configured, and the process
+// exits 130 with a resume hint.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pride-attack", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -47,7 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv      = fs.Bool("csv", false, "emit CSV")
 		workers  = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for attack trials (>= 1; 1 = serial; results are worker-count invariant)")
+		cf cli.CampaignFlags
 	)
+	cf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,15 +85,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var t *report.Table
+	var (
+		t   *report.Table
+		err error
+	)
 	switch *fig {
 	case 15:
-		t = fig15(*nPat, *seeds, *acts, *seed, *workers)
+		t, err = fig15(ctx, *nPat, *seeds, *acts, *seed, *workers, cf, stderr)
 	case 18:
-		t = fig18(*scale, *lossActs, *seed, *workers)
+		t, err = fig18(ctx, *scale, *lossActs, *seed, *workers, cf, stderr)
 	default:
 		fmt.Fprintln(stderr, "unknown figure: use -fig 15 or -fig 18")
 		return 2
+	}
+	if err != nil {
+		return cli.FailureCode(err, cf.Checkpoint, stderr)
 	}
 	if *csv {
 		t.CSV(stdout)
@@ -122,7 +143,7 @@ func replayTrace(path string, acts int, seed uint64) (*report.Table, error) {
 	return t, nil
 }
 
-func fig15(nPat, seeds, acts int, seed uint64, workers int) *report.Table {
+func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int, cf cli.CampaignFlags, stderr io.Writer) (*report.Table, error) {
 	p := dram.DDR5()
 	p.RowsPerBank = 8192 // attacks span a small row window; smaller banks are faster
 	p.RowBits = 13
@@ -135,13 +156,26 @@ func fig15(nPat, seeds, acts int, seed uint64, workers int) *report.Table {
 			len(suite), seeds, acts, pride.TRHStar),
 		"Tracker", "Max Disturbance", "Worst Pattern", "Peak Victim Hammers")
 	for _, s := range sim.Fig15Schemes() {
-		res := sim.MaxDisturbanceOverSuiteParallel(cfg, s, suite, seeds, seed+uint64(len(s.Name)), workers)
+		// One campaign (and one checkpoint file) per scheme: each section
+		// resumes independently and the progress meter names the scheme.
+		section := "fig15-" + s.Name
+		camp, stop := cf.StartCampaign(ctx, section, len(suite)*seeds, workers, stderr)
+		res, err := sim.MaxDisturbanceOverSuiteCampaign(ctx, cfg, s, suite, seeds, seed+uint64(len(s.Name)), sim.CampaignOptions{
+			Workers:    workers,
+			Checkpoint: cf.CheckpointAt(section),
+			Progress:   camp,
+			Observer:   camp,
+		})
+		stop()
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(s.Name, res.MaxDisturbance, res.Pattern, res.MaxHammers)
 	}
-	return t
+	return t, nil
 }
 
-func fig18(scale, acts int, seed uint64, workers int) *report.Table {
+func fig18(ctx context.Context, scale, acts int, seed uint64, workers int, cf cli.CampaignFlags, stderr io.Writer) (*report.Table, error) {
 	const rowLimit = 8192
 	w := dram.DDR5().ACTsPerTREFI()
 	suite := patterns.Fig18Suite(rowLimit, scale, seed)
@@ -150,7 +184,18 @@ func fig18(scale, acts int, seed uint64, workers int) *report.Table {
 		"Entries", "Model L", "Worst Measured L", "Traces Above Model (3-sigma)", "Traces")
 	for _, n := range []int{4, 6, 16} {
 		model := analytic.LossProbability(n, w, 1/float64(w))
-		measurements := sim.MeasureSuiteLossParallel(n, w, suite, acts, seed, workers)
+		section := fmt.Sprintf("fig18-n%d", n)
+		camp, stop := cf.StartCampaign(ctx, section, len(suite), workers, stderr)
+		measurements, err := sim.MeasureSuiteLossCampaign(ctx, n, w, suite, acts, seed, sim.CampaignOptions{
+			Workers:    workers,
+			Checkpoint: cf.CheckpointAt(section),
+			Progress:   camp,
+			Observer:   camp,
+		})
+		stop()
+		if err != nil {
+			return nil, err
+		}
 		worst, above := 0.0, 0
 		for _, m := range measurements {
 			// The paper reports the row with the highest loss probability.
@@ -180,5 +225,5 @@ func fig18(scale, acts int, seed uint64, workers int) *report.Table {
 		}
 		t.AddRow(n, model, worst, above, len(suite))
 	}
-	return t
+	return t, nil
 }

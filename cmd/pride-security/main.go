@@ -8,15 +8,22 @@
 //	pride-security -all              # everything
 //	pride-security -fig 8 -mc-periods 100000000   # paper-scale Monte-Carlo
 //	pride-security -fig 8 -workers 1              # serial execution
+//	pride-security -fig 8 -checkpoint fig8.ckpt -progress-every 10s
+//
+// With -checkpoint, an interrupted (SIGINT) Monte-Carlo run saves its
+// completed chunks and a rerun of the identical command resumes them,
+// producing output bit-identical to an uninterrupted run at any -workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"pride/internal/analytic"
+	"pride/internal/cli"
 	"pride/internal/dram"
 	"pride/internal/montecarlo"
 	"pride/internal/report"
@@ -24,12 +31,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main with its dependencies injected, so the CLI surface (flag
-// parsing, error paths, exit codes) is testable.
-func run(args []string, stdout, stderr io.Writer) int {
+// parsing, error paths, exit codes) is testable. ctx cancellation (SIGINT in
+// production) drains the Monte-Carlo campaign gracefully: in-flight chunks
+// finish, land in the checkpoint when one is configured, and the process
+// exits 130 with a resume hint.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pride-security", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -42,7 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ttf       = fs.Float64("ttf", analytic.DefaultTargetTTFYears, "target time-to-fail per bank, years")
 		workers   = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for Monte-Carlo runs (>= 1; 1 = serial; results are worker-count invariant)")
+		cf cli.CampaignFlags
 	)
+	cf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,7 +95,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ran = true
 	}
 	if want(0, 8) {
-		emit(fig8(p, *mcPeriods, *seed, *workers))
+		t, err := fig8(ctx, p, *mcPeriods, *seed, *workers, cf, stderr)
+		if err != nil {
+			return cli.FailureCode(err, cf.Checkpoint, stderr)
+		}
+		emit(t)
 		ran = true
 	}
 	if want(3, 0) {
@@ -159,18 +177,30 @@ func table2() *report.Table {
 	return t
 }
 
-func fig8(p dram.Params, periods int, seed uint64, workers int) *report.Table {
+// fig8 runs the Monte-Carlo loss campaign behind Figure 8. It is the one
+// long-running section of this command, so it carries the full campaign
+// plumbing: cancellation, -checkpoint resume and -progress-every metering.
+func fig8(ctx context.Context, p dram.Params, periods int, seed uint64, workers int, cf cli.CampaignFlags, stderr io.Writer) (*report.Table, error) {
 	w := p.ACTsPerTREFI()
-	res := montecarlo.SimulateLossParallel(montecarlo.LossConfig{
-		Entries: 1, Window: w, InsertionProb: 1 / float64(w), Periods: periods,
-	}, seed, workers)
+	mc := montecarlo.LossConfig{Entries: 1, Window: w, InsertionProb: 1 / float64(w), Periods: periods}
+	camp, stop := cf.StartCampaign(ctx, "fig8", montecarlo.LossCampaignTrials(mc), workers, stderr)
+	defer stop()
+	res, err := montecarlo.SimulateLossCampaign(ctx, mc, seed, montecarlo.CampaignOptions{
+		Workers:    workers,
+		Checkpoint: cf.CheckpointAt("fig8"),
+		Progress:   camp,
+		Observer:   camp,
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Fig 8: single-entry loss probability vs position (W=%d, %d MC periods)", w, periods),
 		"Position K", "Analytical L_K", "Monte-Carlo L_K")
 	for k := 1; k <= w; k++ {
 		t.AddRow(k, analytic.LossAtPosition(w, k), res.PerPosition[k-1].LossProb())
 	}
-	return t
+	return t, nil
 }
 
 func table3(p dram.Params, ttf float64) *report.Table {

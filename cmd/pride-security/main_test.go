@@ -1,12 +1,31 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"pride/internal/analytic"
+	"pride/internal/cli"
 	"pride/internal/dram"
+	"pride/internal/montecarlo"
+	"pride/internal/trialrunner"
 )
+
+// fig8Quiet calls fig8 with no campaign features enabled, the way the other
+// table builders are exercised.
+func fig8Quiet(t *testing.T, p dram.Params, periods int, seed uint64, workers int) string {
+	t.Helper()
+	tbl, err := fig8(context.Background(), p, periods, seed, workers, cli.CampaignFlags{}, io.Discard)
+	if err != nil {
+		t.Fatalf("fig8: %v", err)
+	}
+	return tbl.String()
+}
 
 func TestEveryTableBuilderProducesRows(t *testing.T) {
 	p := dram.DDR5()
@@ -14,7 +33,7 @@ func TestEveryTableBuilderProducesRows(t *testing.T) {
 	builders := map[string]func() string{
 		"table1":  func() string { return table1(p).String() },
 		"table2":  func() string { return table2().String() },
-		"fig8":    func() string { return fig8(p, 20_000, 1, 2).String() },
+		"fig8":    func() string { return fig8Quiet(t, p, 20_000, 1, 2) },
 		"table3":  func() string { return table3(p, ttf).String() },
 		"fig9":    func() string { return fig9(p, ttf).String() },
 		"table4":  func() string { return table4(p, ttf).String() },
@@ -57,8 +76,7 @@ func TestTable11ShowsPrIDEConstantStorage(t *testing.T) {
 
 func TestFig8TableHasAllPositions(t *testing.T) {
 	p := dram.DDR5()
-	tbl := fig8(p, 5_000, 1, 1)
-	out := tbl.String()
+	out := fig8Quiet(t, p, 5_000, 1, 1)
 	// Header + separator + title + one row per position.
 	want := p.ACTsPerTREFI() + 3
 	if got := strings.Count(strings.TrimSpace(out), "\n") + 1; got != want {
@@ -70,9 +88,9 @@ func TestFig8WorkerCountInvariant(t *testing.T) {
 	// The headline determinism guarantee at the CLI layer: the rendered
 	// Fig 8 table is byte-identical for every -workers value.
 	p := dram.DDR5()
-	want := fig8(p, 30_000, 9, 1).String()
+	want := fig8Quiet(t, p, 30_000, 9, 1)
 	for _, workers := range []int{2, 4, 7} {
-		if got := fig8(p, 30_000, 9, workers).String(); got != want {
+		if got := fig8Quiet(t, p, 30_000, 9, workers); got != want {
 			t.Fatalf("fig8 output differs between -workers 1 and -workers %d", workers)
 		}
 	}
@@ -80,7 +98,7 @@ func TestFig8WorkerCountInvariant(t *testing.T) {
 
 func TestRunWorkersFlag(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-table", "11", "-workers", "2"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-table", "11", "-workers", "2"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "Table XI") {
@@ -91,7 +109,7 @@ func TestRunWorkersFlag(t *testing.T) {
 func TestRunRejectsBadWorkers(t *testing.T) {
 	for _, bad := range []string{"0", "-3"} {
 		var out, errOut strings.Builder
-		if code := run([]string{"-table", "11", "-workers", bad}, &out, &errOut); code != 2 {
+		if code := run(context.Background(), []string{"-table", "11", "-workers", bad}, &out, &errOut); code != 2 {
 			t.Errorf("-workers %s: exit code %d, want 2", bad, code)
 		}
 		if !strings.Contains(errOut.String(), "workers") {
@@ -102,7 +120,7 @@ func TestRunRejectsBadWorkers(t *testing.T) {
 
 func TestRunRejectsEmptySelection(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run(nil, &out, &errOut); code != 2 {
+	if code := run(context.Background(), nil, &out, &errOut); code != 2 {
 		t.Fatalf("empty selection: exit code %d, want 2", code)
 	}
 	if !strings.Contains(errOut.String(), "nothing selected") {
@@ -120,5 +138,94 @@ func TestFormatBytes(t *testing.T) {
 		if got := formatBytes(in); got != want {
 			t.Errorf("formatBytes(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func fig8TestConfig() (montecarlo.LossConfig, uint64) {
+	w := dram.DDR5().ACTsPerTREFI()
+	return montecarlo.LossConfig{
+		Entries: 1, Window: w, InsertionProb: 1 / float64(w), Periods: 40_000,
+	}, 3
+}
+
+func TestRunFig8ResumesFromCheckpointBitIdentical(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"-fig", "8", "-mc-periods", "40000", "-seed", "3", "-workers", "2"}, extra...)
+	}
+	var plain, plainErr strings.Builder
+	if code := run(context.Background(), args(), &plain, &plainErr); code != 0 {
+		t.Fatalf("uninterrupted run failed (%d): %s", code, plainErr.String())
+	}
+
+	// Fabricate the interrupted run: the same campaign the CLI drives,
+	// cancelled after its first completed chunk, checkpointing to the file
+	// the CLI will derive from the base path.
+	base := filepath.Join(t.TempDir(), "sec.ckpt")
+	cfg, seed := fig8TestConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	first := true
+	_, err := montecarlo.SimulateLossCampaign(ctx, cfg, seed, montecarlo.CampaignOptions{
+		Workers:    1,
+		Checkpoint: trialrunner.Checkpoint{Path: base + ".fig8"},
+		Progress: progressFunc(func() {
+			if first {
+				first = false
+				cancel()
+			}
+		}),
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("fabricated interrupt: err = %v", err)
+	}
+	if _, err := os.Stat(base + ".fig8"); err != nil {
+		t.Fatalf("no checkpoint kept after interrupt: %v", err)
+	}
+
+	var resumed, resumedErr strings.Builder
+	if code := run(context.Background(), args("-checkpoint", base), &resumed, &resumedErr); code != 0 {
+		t.Fatalf("resumed run failed (%d): %s", code, resumedErr.String())
+	}
+	if resumed.String() != plain.String() {
+		t.Fatal("resumed stdout is not byte-identical to the uninterrupted run")
+	}
+	if _, err := os.Stat(base + ".fig8"); !os.IsNotExist(err) {
+		t.Fatalf("completed run left its checkpoint behind: %v", err)
+	}
+}
+
+// progressFunc adapts a closure to montecarlo.ProgressSink for tests.
+type progressFunc func()
+
+func (f progressFunc) AddPeriods(int64)     { f() }
+func (f progressFunc) AddMitigations(int64) {}
+
+func TestRunFig8InterruptedExitsWithResumeHint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGINT before any chunk completes
+	base := filepath.Join(t.TempDir(), "sec.ckpt")
+	var out, errOut strings.Builder
+	code := run(ctx, []string{"-fig", "8", "-mc-periods", "40000", "-checkpoint", base}, &out, &errOut)
+	if code != cli.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d; stderr: %s", code, cli.ExitInterrupted, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "resume") {
+		t.Fatalf("no resume hint on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunFig8ProgressLines(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-fig", "8", "-mc-periods", "40000",
+		"-progress-every", "1ms"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	// At minimum the final summary line is emitted when reporting is on.
+	if !strings.Contains(errOut.String(), "progress campaign=fig8") {
+		t.Fatalf("no progress lines on stderr: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), "Fig 8") {
+		t.Fatal("figure missing from stdout")
 	}
 }

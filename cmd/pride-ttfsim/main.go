@@ -14,15 +14,23 @@
 //	pride-ttfsim                       # sweep victim thresholds
 //	pride-ttfsim -trhd 300 -trials 50  # one device class, more trials
 //	pride-ttfsim -workers 1            # serial execution
+//	pride-ttfsim -checkpoint ttf.ckpt -progress-every 10s
+//
+// With -checkpoint, an interrupted (SIGINT) run saves every completed trial
+// (one file per threshold point) and a rerun of the identical command
+// resumes them, producing output bit-identical to an uninterrupted run at
+// any -workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"pride/internal/analytic"
+	"pride/internal/cli"
 	"pride/internal/dram"
 	"pride/internal/report"
 	"pride/internal/sim"
@@ -31,12 +39,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main with its dependencies injected, so the CLI surface (flag
-// parsing, error paths, exit codes) is testable.
-func run(args []string, stdout, stderr io.Writer) int {
+// parsing, error paths, exit codes) is testable. ctx cancellation (SIGINT in
+// production) drains the trial pool gracefully: in-flight trials finish,
+// land in the checkpoint when one is configured, and the process exits 130
+// with a resume hint.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pride-ttfsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -49,7 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv     = fs.Bool("csv", false, "emit CSV")
 		workers = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for the trial pool (>= 1; 1 = serial; results are worker-count invariant)")
+		cf cli.CampaignFlags
 	)
+	cf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -94,7 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, d := range points {
 		victimThreshold := 2 * d // the shared victim absorbs both aggressors' hammers
 		cfg := system.Config{Params: params, Banks: *banks, TRH: victimThreshold, MaxTREFI: *horizon}
-		mean, failed := system.MeasureMTTFParallel(cfg, scheme, *trials, *seed+uint64(d), *workers)
+		// One campaign (and one checkpoint file) per threshold point: each
+		// point resumes independently and the progress meter names it.
+		section := fmt.Sprintf("ttf-trhd%d", d)
+		camp, stop := cf.StartCampaign(ctx, section, *trials, *workers, stderr)
+		mean, failed, err := system.MeasureMTTFCampaign(ctx, cfg, scheme, *trials, *seed+uint64(d), system.CampaignOptions{
+			Workers:    *workers,
+			Checkpoint: cf.CheckpointAt(section),
+			Progress:   camp,
+			Observer:   camp,
+		})
+		stop()
+		if err != nil {
+			return cli.FailureCode(err, cf.Checkpoint, stderr)
+		}
 		predicted := analytic.SystemTTFYears(r, float64(victimThreshold), *banks) * analytic.SecondsPerYear
 		if failed == 0 {
 			t.AddRow(d, fmt.Sprintf("0/%d", *trials), "> horizon",

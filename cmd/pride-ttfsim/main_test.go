@@ -1,8 +1,12 @@
 package main
 
 import (
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pride/internal/cli"
 )
 
 // shortArgs shrinks the experiment so a smoke run finishes in test time
@@ -14,7 +18,7 @@ func shortArgs(extra ...string) []string {
 
 func TestRunProducesMeasurementTable(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run(shortArgs("-workers", "2"), &out, &errOut); code != 0 {
+	if code := run(context.Background(), shortArgs("-workers", "2"), &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	for _, want := range []string{"Measured vs analytic system TTF", "PrIDE", "150"} {
@@ -28,7 +32,7 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 	// The whole report must be byte-identical across -workers values.
 	render := func(workers string) string {
 		var out, errOut strings.Builder
-		if code := run(shortArgs("-workers", workers), &out, &errOut); code != 0 {
+		if code := run(context.Background(), shortArgs("-workers", workers), &out, &errOut); code != 0 {
 			t.Fatalf("workers=%s: exit code %d, stderr: %s", workers, code, errOut.String())
 		}
 		return out.String()
@@ -44,7 +48,7 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 func TestRunRejectsBadWorkers(t *testing.T) {
 	for _, bad := range []string{"0", "-2"} {
 		var out, errOut strings.Builder
-		if code := run(shortArgs("-workers", bad), &out, &errOut); code != 2 {
+		if code := run(context.Background(), shortArgs("-workers", bad), &out, &errOut); code != 2 {
 			t.Errorf("-workers %s: exit code %d, want 2", bad, code)
 		}
 		if !strings.Contains(errOut.String(), "workers") {
@@ -61,7 +65,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	for name, args := range cases {
 		var out, errOut strings.Builder
-		if code := run(args, &out, &errOut); code != 2 {
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
 			t.Errorf("%s: exit code %d, want 2", name, code)
 		}
 	}
@@ -69,10 +73,39 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run(shortArgs("-workers", "2", "-csv"), &out, &errOut); code != 0 {
+	if code := run(context.Background(), shortArgs("-workers", "2", "-csv"), &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), ",") {
 		t.Fatalf("CSV mode produced no comma-separated output:\n%s", out.String())
+	}
+}
+
+func TestRunInterruptedExitsWithResumeHint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGINT before any trial completes
+	base := filepath.Join(t.TempDir(), "ttf.ckpt")
+	var out, errOut strings.Builder
+	code := run(ctx, shortArgs("-checkpoint", base), &out, &errOut)
+	if code != cli.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d; stderr: %s", code, cli.ExitInterrupted, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "resume") {
+		t.Fatalf("no resume hint on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunCheckpointedMatchesPlain(t *testing.T) {
+	var plain, plainErr strings.Builder
+	if code := run(context.Background(), shortArgs("-workers", "2"), &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run failed: %d", code)
+	}
+	base := filepath.Join(t.TempDir(), "ttf.ckpt")
+	var ckpt, ckptErr strings.Builder
+	if code := run(context.Background(), shortArgs("-workers", "3", "-checkpoint", base), &ckpt, &ckptErr); code != 0 {
+		t.Fatalf("checkpointed run failed: %d", code)
+	}
+	if ckpt.String() != plain.String() {
+		t.Fatal("checkpointed stdout differs from plain run")
 	}
 }

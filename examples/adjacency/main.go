@@ -11,6 +11,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"pride/internal/addrmap"
 	"pride/internal/dram"
@@ -18,6 +20,10 @@ import (
 )
 
 func main() {
+	run(os.Stdout)
+}
+
+func run(out io.Writer) {
 	params := dram.DDR5()
 	params.RowsPerBank = 4096
 	params.RowBits = 12
@@ -29,8 +35,8 @@ func main() {
 	// Blacksmith both do) and picks internally adjacent aggressors.
 	victim := 2048
 	aggLo, aggHi := victim-1, victim+1
-	fmt.Printf("Internal victim row %d; aggressors at internal %d and %d\n", victim, aggLo, aggHi)
-	fmt.Printf("Externally those aggressors are rows %d and %d — not adjacent at all.\n\n",
+	fmt.Fprintf(out, "Internal victim row %d; aggressors at internal %d and %d\n", victim, aggLo, aggHi)
+	fmt.Fprintf(out, "Externally those aggressors are rows %d and %d — not adjacent at all.\n\n",
 		scrambler.Unscramble(aggLo), scrambler.Unscramble(aggHi))
 
 	type outcome struct {
@@ -78,8 +84,8 @@ func main() {
 	for _, r := range results {
 		t.AddRow(r.name, r.refreshd, r.flips)
 	}
-	fmt.Print(t)
-	fmt.Println("\nSame tracker quality, same refresh budget — the only difference is WHO knows")
-	fmt.Println("the row adjacency. This is why PrIDE is an in-DRAM design, and why DDR5 added")
-	fmt.Println("DRFM (let the MC name an aggressor, let the DEVICE find its victims).")
+	fmt.Fprint(out, t)
+	fmt.Fprintln(out, "\nSame tracker quality, same refresh budget — the only difference is WHO knows")
+	fmt.Fprintln(out, "the row adjacency. This is why PrIDE is an in-DRAM design, and why DDR5 added")
+	fmt.Fprintln(out, "DRFM (let the MC name an aggressor, let the DEVICE find its victims).")
 }

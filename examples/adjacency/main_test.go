@@ -1,0 +1,16 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdjacencySmoke(t *testing.T) {
+	var out strings.Builder
+	run(&out)
+	for _, want := range []string{"Internal victim row", "MC-side", "In-DRAM", "Bit Flips"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttackDemoSmoke(t *testing.T) {
+	acts := 40_000 // a tenth of the demo budget keeps the smoke test quick
+	var out strings.Builder
+	run(&out, acts)
+	for _, want := range []string{"Worst disturbance", "trrespass", "blacksmith", "PrIDE"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"pride/internal/analytic"
 	"pride/internal/core"
@@ -17,15 +19,19 @@ import (
 )
 
 func main() {
+	run(os.Stdout)
+}
+
+func run(out io.Writer) {
 	// 1. DDR5 parameters straight from the paper's Table I.
 	params := dram.DDR5()
-	fmt.Printf("DDR5: W = %d ACTs per tREFI, ~%dK ACTs per tREFW\n",
+	fmt.Fprintf(out, "DDR5: W = %d ACTs per tREFI, ~%dK ACTs per tREFW\n",
 		params.ACTsPerTREFI(), params.ACTsPerTREFW()/1000)
 
 	// 2. The paper-default PrIDE tracker: 4-entry FIFO, p = 1/80,
 	//    transitive-attack protection. 10 bytes of SRAM per bank.
 	trk := core.New(core.DefaultConfig(params.ACTsPerTREFI()), rng.New(42))
-	fmt.Printf("PrIDE: %d entries, %d bits of SRAM\n",
+	fmt.Fprintf(out, "PrIDE: %d entries, %d bits of SRAM\n",
 		trk.Config().Entries, trk.StorageBits())
 
 	// 3. A bank with a (deliberately low, for demo speed) Rowhammer
@@ -40,17 +46,17 @@ func main() {
 		ctrl.Activate(aggressor)
 	}
 	st := ctrl.Stats()
-	fmt.Printf("\nAfter %d activations of row %d:\n", st.ACTs, aggressor)
-	fmt.Printf("  mitigations dispatched:  %d\n", st.Mitigations)
-	fmt.Printf("  victim rows refreshed:   %d\n", st.VictimRefreshes)
-	fmt.Printf("  longest attack round:    %d ACTs\n", bank.MaxDisturbance())
-	fmt.Printf("  victim peak disturbance: %d hammers\n", bank.MaxHammers())
+	fmt.Fprintf(out, "\nAfter %d activations of row %d:\n", st.ACTs, aggressor)
+	fmt.Fprintf(out, "  mitigations dispatched:  %d\n", st.Mitigations)
+	fmt.Fprintf(out, "  victim rows refreshed:   %d\n", st.VictimRefreshes)
+	fmt.Fprintf(out, "  longest attack round:    %d ACTs\n", bank.MaxDisturbance())
+	fmt.Fprintf(out, "  victim peak disturbance: %d hammers\n", bank.MaxHammers())
 
 	// 5. The analytic guarantee behind it (Eq. 8): across ALL patterns,
 	//    not just this one.
 	r := analytic.EvaluateScheme(analytic.SchemePrIDE, params, analytic.DefaultTargetTTFYears)
-	fmt.Printf("\nAnalytic bound: TRH-S* = %.0f, TRH-D* = %.0f at a %s-per-bank target\n",
+	fmt.Fprintf(out, "\nAnalytic bound: TRH-S* = %.0f, TRH-D* = %.0f at a %s-per-bank target\n",
 		r.TRHStar, r.TRHDoubleSided(), "10,000-year")
-	fmt.Printf("Any DDR5 device with TRH-D above %.0f is safe under PrIDE — for every access pattern.\n",
+	fmt.Fprintf(out, "Any DDR5 device with TRH-D above %.0f is safe under PrIDE — for every access pattern.\n",
 		r.TRHDoubleSided())
 }

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartSmoke(t *testing.T) {
+	var out strings.Builder
+	run(&out)
+	for _, want := range []string{"DDR5", "PrIDE", "mitigations dispatched", "Analytic bound"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"time"
 
 	"pride/internal/analytic"
@@ -21,6 +23,12 @@ import (
 )
 
 func main() {
+	run(os.Stdout, 6_000)
+}
+
+// run sweeps the RFM design space; cycles sets the perf-model horizon per
+// workload (tests use a shorter one than the demo default).
+func run(out io.Writer, cycles int) {
 	params := dram.DDR5()
 	em := energy.DefaultModel()
 
@@ -39,7 +47,7 @@ func main() {
 		// Performance: geometric-mean slowdown across the 34 workloads.
 		slow := 0.0
 		if th > 0 {
-			slow = measureSlowdown(perfsim.DefaultConfig(), th)
+			slow = measureSlowdown(perfsim.DefaultConfig(), th, cycles)
 		}
 
 		// Energy: one 2-row mitigation per REF window plus per-RFM window.
@@ -64,23 +72,23 @@ func main() {
 			fmt.Sprintf("%.2f%%", slow*100),
 			fmt.Sprintf("%.3fx", ov.TotalFactor))
 	}
-	fmt.Print(t)
-	fmt.Println("\nThe sweet spots the paper picks: RFM40 (~2x rate) nearly halves TRH* for ~0.1%")
-	fmt.Println("slowdown; RFM16 (~5x rate) reaches TRH-D* ~400 for ~1.6% slowdown and ~2% energy.")
+	fmt.Fprint(out, t)
+	fmt.Fprintln(out, "\nThe sweet spots the paper picks: RFM40 (~2x rate) nearly halves TRH* for ~0.1%")
+	fmt.Fprintln(out, "slowdown; RFM16 (~5x rate) reaches TRH-D* ~400 for ~1.6% slowdown and ~2% energy.")
 }
 
 // measureSlowdown runs the perf model across all workloads at the given RFM
 // threshold and returns the geometric-mean slowdown vs the no-RFM baseline.
-func measureSlowdown(cfg perfsim.Config, threshold int) float64 {
+func measureSlowdown(cfg perfsim.Config, threshold, cycles int) float64 {
 	specs := workload.All()
 	logSum := 0.0
 	for _, spec := range specs {
 		base := cfg
 		base.RFMThreshold = 0
-		b := perfsim.Run(base, spec, 6_000, 1)
+		b := perfsim.Run(base, spec, cycles, 1)
 		rfm := cfg
 		rfm.RFMThreshold = threshold
-		r := perfsim.Run(rfm, spec, 6_000, 1)
+		r := perfsim.Run(rfm, spec, cycles, 1)
 		ratio := r.IPC / b.IPC
 		if ratio <= 0 {
 			return 0

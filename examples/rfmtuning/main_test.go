@@ -1,0 +1,16 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRFMTuningSmoke(t *testing.T) {
+	var out strings.Builder
+	run(&out, 1_500) // short perf-model horizon; the demo default is 6000
+	for _, want := range []string{"PrIDE+RFM design space", "RFM threshold", "TRH-D*", "off (1 per tREFI)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

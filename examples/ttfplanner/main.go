@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"pride/internal/analytic"
 	"pride/internal/dram"
@@ -19,11 +21,19 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ttfplanner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		trhd   = flag.Int("trhd", 0, "your device's double-sided Rowhammer threshold (0 = survey)")
-		budget = flag.Float64("budget-years", 100, "minimum acceptable system TTF in years")
+		trhd   = fs.Int("trhd", 0, "your device's double-sided Rowhammer threshold (0 = survey)")
+		budget = fs.Float64("budget-years", 100, "minimum acceptable system TTF in years")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	params := dram.DDR5()
 	schemes := []analytic.Scheme{
@@ -52,15 +62,15 @@ func main() {
 	if *trhd > 0 {
 		name, ttf := recommend(*trhd)
 		if name == "" {
-			fmt.Printf("No PrIDE configuration meets %.0f years at TRH-D=%d.\n", *budget, *trhd)
-			fmt.Println("Such devices need a higher mitigation rate than RFM16 provides")
-			fmt.Println("(or per-row counters — the expensive road the paper argues against).")
-			return
+			fmt.Fprintf(stdout, "No PrIDE configuration meets %.0f years at TRH-D=%d.\n", *budget, *trhd)
+			fmt.Fprintln(stdout, "Such devices need a higher mitigation rate than RFM16 provides")
+			fmt.Fprintln(stdout, "(or per-row counters — the expensive road the paper argues against).")
+			return 0
 		}
-		fmt.Printf("Device TRH-D = %d, budget = %.0f years:\n", *trhd, *budget)
-		fmt.Printf("  -> deploy %s (%s), expected system TTF %s\n",
+		fmt.Fprintf(stdout, "Device TRH-D = %d, budget = %.0f years:\n", *trhd, *budget)
+		fmt.Fprintf(stdout, "  -> deploy %s (%s), expected system TTF %s\n",
 			name, cost[name], report.FormatTTFYears(ttf))
-		return
+		return 0
 	}
 
 	t := report.NewTable(
@@ -75,5 +85,6 @@ func main() {
 		}
 		t.AddRow(d, name, report.FormatTTFYears(ttf), cost[name])
 	}
-	fmt.Print(t)
+	fmt.Fprint(stdout, t)
+	return 0
 }

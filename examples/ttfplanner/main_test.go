@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlannerSurveyMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Cheapest scheme", "Device TRH-D", "4800"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPlannerSpecificDevice(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-trhd", "2400"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "deploy") && !strings.Contains(out.String(), "No PrIDE configuration") {
+		t.Fatalf("planner produced neither a recommendation nor a refusal:\n%s", out.String())
+	}
+}
+
+func TestPlannerRejectsUnknownFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,122 @@
+// Package cli carries the campaign plumbing shared by the pride commands:
+// the signal-aware run context, the -checkpoint and -progress-every flags,
+// the obs.Campaign reporter lifecycle, and the mapping from campaign errors
+// to process exit codes.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pride/internal/obs"
+	"pride/internal/trialrunner"
+)
+
+// Exit codes beyond the flag-parse convention (2): ExitInterrupted is the
+// shell convention for a SIGINT death (128 + signal 2), ExitError covers
+// every other campaign failure (panicked trials, checkpoint I/O).
+const (
+	ExitError       = 1
+	ExitInterrupted = 130
+)
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM. The first
+// signal triggers the campaigns' graceful drain (in-flight trials finish and
+// land in the checkpoint); a second signal kills the process the usual way.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// CampaignFlags holds the shared durability/observability flag values.
+type CampaignFlags struct {
+	// Checkpoint is the checkpoint base path ("" disables). Sections of a
+	// multi-section run each derive their own file from it (CheckpointAt).
+	Checkpoint string
+	// ProgressEvery is the progress-line cadence (0 disables).
+	ProgressEvery time.Duration
+}
+
+// Register installs the -checkpoint and -progress-every flags on fs.
+func (c *CampaignFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Checkpoint, "checkpoint", "",
+		"checkpoint base path: completed trials are persisted there and an interrupted run resumes from it (\"\" disables)")
+	fs.DurationVar(&c.ProgressEvery, "progress-every", 0,
+		"emit a structured progress line to stderr at this interval, e.g. 10s (0 disables)")
+}
+
+// sanitizeSuffix keeps checkpoint-file suffixes filesystem-safe.
+func sanitizeSuffix(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// CheckpointAt derives the checkpoint for one section of a run: the base
+// path plus a sanitized section suffix, so the sections of a multi-section
+// command (one per scheme, per buffer size, per threshold point) never share
+// a file. Returns a disabled Checkpoint when no base path is set; the Key is
+// left empty for the engine to fill with its canonical experiment key.
+func (c CampaignFlags) CheckpointAt(section string) trialrunner.Checkpoint {
+	if c.Checkpoint == "" {
+		return trialrunner.Checkpoint{}
+	}
+	path := c.Checkpoint
+	if section != "" {
+		path += "." + sanitizeSuffix(section)
+	}
+	return trialrunner.Checkpoint{Path: path}
+}
+
+// StartCampaign creates an obs.Campaign, publishes it on the expvar surface,
+// and — when -progress-every is set — starts its periodic reporter on
+// stderr. The returned stop function is idempotent-safe to defer: it halts
+// the reporter (blocking until no further line can land), emits one final
+// summary line when reporting was enabled, and unpublishes the campaign.
+func (c CampaignFlags) StartCampaign(ctx context.Context, name string, trials, workers int, stderr io.Writer) (*obs.Campaign, func()) {
+	camp := obs.NewCampaign(name, trials, workers)
+	camp.Publish()
+	stopReporter := camp.StartReporter(ctx, stderr, c.ProgressEvery)
+	return camp, func() {
+		stopReporter()
+		if c.ProgressEvery > 0 {
+			fmt.Fprintln(stderr, camp.Line())
+		}
+		camp.Unpublish()
+	}
+}
+
+// FailureCode diagnoses a campaign error on stderr and maps it to an exit
+// code: ExitInterrupted for a cancelled run (with a resume hint when a
+// checkpoint was kept), ExitError for everything else (the full panic stack
+// of a faulty trial included).
+func FailureCode(err error, checkpointBase string, stderr io.Writer) int {
+	var pe *trialrunner.PanicError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(stderr, "%v\n%s", err, pe.Stack)
+		return ExitError
+	}
+	if errors.Is(err, context.Canceled) {
+		if checkpointBase != "" {
+			fmt.Fprintf(stderr, "interrupted: completed trials saved; rerun the same command with -checkpoint %s to resume\n", checkpointBase)
+		} else {
+			fmt.Fprintln(stderr, "interrupted (rerun with -checkpoint PATH to make runs resumable)")
+		}
+		return ExitInterrupted
+	}
+	fmt.Fprintln(stderr, err)
+	return ExitError
+}

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"pride/internal/trialrunner"
+)
+
+func TestCheckpointAtDerivesPerSectionPaths(t *testing.T) {
+	c := CampaignFlags{Checkpoint: "/tmp/run.ckpt"}
+	if got := c.CheckpointAt("fig15-PrIDE+RFM 40").Path; got != "/tmp/run.ckpt.fig15-PrIDE-RFM-40" {
+		t.Fatalf("sanitized section path = %q", got)
+	}
+	if got := c.CheckpointAt("").Path; got != "/tmp/run.ckpt" {
+		t.Fatalf("empty section path = %q", got)
+	}
+	if cp := (CampaignFlags{}).CheckpointAt("fig8"); cp.Path != "" {
+		t.Fatalf("disabled flags produced checkpoint %q", cp.Path)
+	}
+}
+
+func TestRegisterInstallsFlags(t *testing.T) {
+	var c CampaignFlags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-checkpoint", "base", "-progress-every", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Checkpoint != "base" || c.ProgressEvery != 250*time.Millisecond {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestFailureCodeMapping(t *testing.T) {
+	var errOut strings.Builder
+	pe := &trialrunner.PanicError{Trial: 3, Value: "boom", Stack: []byte("goroutine 1\n")}
+	if code := FailureCode(pe, "", &errOut); code != ExitError {
+		t.Fatalf("panic exit code %d", code)
+	}
+	if !strings.Contains(errOut.String(), "goroutine 1") {
+		t.Fatalf("panic stack not shown: %q", errOut.String())
+	}
+
+	errOut.Reset()
+	if code := FailureCode(context.Canceled, "base", &errOut); code != ExitInterrupted {
+		t.Fatalf("cancel exit code %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-checkpoint base") {
+		t.Fatalf("no resume hint: %q", errOut.String())
+	}
+
+	errOut.Reset()
+	if code := FailureCode(errors.New("disk full"), "", &errOut); code != ExitError {
+		t.Fatalf("plain error exit code %d", code)
+	}
+}
+
+func TestStartCampaignReportsAndStops(t *testing.T) {
+	c := CampaignFlags{ProgressEvery: time.Millisecond}
+	var errOut strings.Builder
+	camp, stop := c.StartCampaign(context.Background(), "unit", 4, 2, &errOut)
+	camp.TrialStart(0)
+	camp.TrialEnd(0, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if !strings.Contains(errOut.String(), "progress campaign=unit") {
+		t.Fatalf("no progress line emitted: %q", errOut.String())
+	}
+}

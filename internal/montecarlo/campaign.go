@@ -1,0 +1,161 @@
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+
+	"pride/internal/rng"
+	"pride/internal/trialrunner"
+)
+
+// ProgressSink receives coarse progress counters from a running campaign,
+// one update per completed chunk. internal/obs.Campaign satisfies it
+// structurally; the engine never imports the metrics package, and a sink can
+// never feed anything back into the simulation, so metering cannot perturb
+// the bit-for-bit determinism guarantees.
+type ProgressSink interface {
+	// AddPeriods records n freshly-simulated tREFI windows.
+	AddPeriods(n int64)
+	// AddMitigations records n mitigations issued by the tracker.
+	AddMitigations(n int64)
+}
+
+// CampaignOptions configures a cancellable, checkpointable, observable
+// campaign. The zero value behaves exactly like the plain Parallel entry
+// points at trialrunner.DefaultWorkers(): no checkpoint, no metering.
+type CampaignOptions struct {
+	// Workers is the pool size; 0 selects trialrunner.DefaultWorkers().
+	// Workers never affects the result, only how fast it arrives.
+	Workers int
+	// Checkpoint enables durable resume when its Path is set. An empty Key
+	// is filled with the experiment's canonical key (configuration + seed,
+	// never the worker count), so a resume is safe across -workers changes
+	// but rejected across configuration changes.
+	Checkpoint trialrunner.Checkpoint
+	// Progress, when non-nil, receives per-chunk counter updates.
+	Progress ProgressSink
+	// Observer, when non-nil, receives per-trial lifecycle callbacks
+	// (internal/obs.Campaign implements both roles).
+	Observer trialrunner.Observer
+}
+
+func (o CampaignOptions) runnerOpts() trialrunner.Options {
+	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer}
+}
+
+// LossCampaignKey is the canonical checkpoint key of a loss campaign: every
+// parameter the chunk plan and per-chunk RNG streams depend on, and nothing
+// else (in particular not the worker count).
+func LossCampaignKey(cfg LossConfig, seed uint64) string {
+	return fmt.Sprintf("montecarlo.loss|n=%d|w=%d|p=%g|periods=%d|seed=%d",
+		cfg.Entries, cfg.Window, cfg.InsertionProb, cfg.Periods, seed)
+}
+
+// LossCampaignTrials reports how many chunks (checkpointable trials) a loss
+// campaign over cfg runs — the trial total a progress meter should expect.
+func LossCampaignTrials(cfg LossConfig) int {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return len(chunkSizes(cfg.Periods, minLossChunkPeriods))
+}
+
+// totalMitigations sums the mitigation counter across window positions.
+func (r LossResult) totalMitigations() int64 {
+	var total int64
+	for _, s := range r.PerPosition {
+		total += int64(s.Mitigated)
+	}
+	return total
+}
+
+// SimulateLossCampaign is SimulateLossParallel as a long-running campaign:
+// the same chunk plan and index-derived RNG streams (so the merged result is
+// bit-for-bit identical to the Parallel and serial engines), plus
+// cancellation with graceful drain, per-chunk panic isolation, durable
+// checkpoint/resume, and progress metering.
+//
+// When ctx is cancelled, in-flight chunks finish, land in the checkpoint
+// (when enabled), and the error wraps ctx.Err(); rerunning the identical
+// campaign resumes from the completed chunks and returns a result
+// bit-identical to an uninterrupted run at any worker count.
+func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts CampaignOptions) (LossResult, error) {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	cp := opts.Checkpoint
+	if cp.Key == "" {
+		cp.Key = LossCampaignKey(cfg, seed)
+	}
+	sizes := chunkSizes(cfg.Periods, minLossChunkPeriods)
+	var onDone func(i int, r LossResult) error
+	if sink := opts.Progress; sink != nil {
+		onDone = func(i int, r LossResult) error {
+			sink.AddPeriods(int64(sizes[i]))
+			sink.AddMitigations(r.totalMitigations())
+			return nil
+		}
+	}
+	return trialrunner.RunCheckpointed(ctx, len(sizes),
+		func(i int) LossResult {
+			c := cfg
+			c.Periods = sizes[i]
+			return SimulateLoss(c, rng.Derived(seed, uint64(i)))
+		},
+		func(acc, next LossResult) LossResult {
+			acc.merge(next)
+			return acc
+		},
+		onDone, opts.runnerOpts(), cp)
+}
+
+// RoundsCampaignKey is the canonical checkpoint key of a round-failure
+// campaign.
+func RoundsCampaignKey(cfg RoundConfig, seed uint64) string {
+	return fmt.Sprintf("montecarlo.rounds|n=%d|w=%d|p=%g|trh=%d|rounds=%d|seed=%d",
+		cfg.Entries, cfg.Window, cfg.InsertionProb, cfg.TRH, cfg.Rounds, seed)
+}
+
+// RoundsCampaignTrials reports how many chunks a rounds campaign runs.
+func RoundsCampaignTrials(cfg RoundConfig) int {
+	if cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
+	}
+	return len(chunkSizes(cfg.Rounds, minRoundChunk))
+}
+
+// SimulateRoundsCampaign is SimulateRoundsParallel as a campaign, with the
+// same cancellation/checkpoint/metering contract as SimulateLossCampaign.
+// Progress reports each chunk's activation slots as window-equivalents
+// (rounds x TRH / W, an upper bound since rounds end early on mitigation)
+// and every non-failing round as one mitigation of the aggressor.
+func SimulateRoundsCampaign(ctx context.Context, cfg RoundConfig, seed uint64, opts CampaignOptions) (RoundResult, error) {
+	if cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
+	}
+	cp := opts.Checkpoint
+	if cp.Key == "" {
+		cp.Key = RoundsCampaignKey(cfg, seed)
+	}
+	sizes := chunkSizes(cfg.Rounds, minRoundChunk)
+	var onDone func(i int, r RoundResult) error
+	if sink := opts.Progress; sink != nil {
+		onDone = func(i int, r RoundResult) error {
+			sink.AddPeriods(int64(r.Rounds) * int64(cfg.TRH) / int64(cfg.Window))
+			sink.AddMitigations(int64(r.Rounds - r.Failures))
+			return nil
+		}
+	}
+	return trialrunner.RunCheckpointed(ctx, len(sizes),
+		func(i int) RoundResult {
+			c := cfg
+			c.Rounds = sizes[i]
+			return SimulateRounds(c, rng.Derived(seed, uint64(i)))
+		},
+		func(acc, next RoundResult) RoundResult {
+			acc.Rounds += next.Rounds
+			acc.Failures += next.Failures
+			return acc
+		},
+		onDone, opts.runnerOpts(), cp)
+}

@@ -1,9 +1,8 @@
 package montecarlo
 
 import (
-	"fmt"
+	"context"
 
-	"pride/internal/rng"
 	"pride/internal/trialrunner"
 )
 
@@ -68,41 +67,29 @@ func (r *LossResult) merge(o LossResult) {
 // empty FIFO, a warm-up transient of tens of windows per >=4096-window
 // chunk. The cross-validation tests hold the parallel engine to the exact DP
 // model with the same tolerances as the serial one.
+//
+// This is the fail-loud convenience form of SimulateLossCampaign: no
+// cancellation, no checkpoint, and a panicking chunk takes the process down
+// with a stack naming the chunk.
 func SimulateLossParallel(cfg LossConfig, seed uint64, workers int) LossResult {
-	if err := cfg.validate(); err != nil {
+	if err := trialrunner.ValidateWorkers(workers); err != nil {
 		panic(err)
 	}
-	sizes := chunkSizes(cfg.Periods, minLossChunkPeriods)
-	return trialrunner.Run(workers, len(sizes),
-		func(i int) LossResult {
-			c := cfg
-			c.Periods = sizes[i]
-			return SimulateLoss(c, rng.Derived(seed, uint64(i)))
-		},
-		func(acc, next LossResult) LossResult {
-			acc.merge(next)
-			return acc
-		})
+	res, err := SimulateLossCampaign(context.Background(), cfg, seed, CampaignOptions{Workers: workers})
+	trialrunner.MustPanicFree(err)
+	return res
 }
 
 // SimulateRoundsParallel shards cfg.Rounds across `workers` goroutines.
 // Rounds are fully independent (each resets the tracker), so sharding is
 // exact, not merely unbiased: the chunk plan and per-chunk streams depend
 // only on (cfg, seed) and the merged counts are worker-count invariant.
+// Fail-loud convenience form of SimulateRoundsCampaign.
 func SimulateRoundsParallel(cfg RoundConfig, seed uint64, workers int) RoundResult {
-	if cfg.Rounds <= 0 {
-		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
+	if err := trialrunner.ValidateWorkers(workers); err != nil {
+		panic(err)
 	}
-	sizes := chunkSizes(cfg.Rounds, minRoundChunk)
-	return trialrunner.Run(workers, len(sizes),
-		func(i int) RoundResult {
-			c := cfg
-			c.Rounds = sizes[i]
-			return SimulateRounds(c, rng.Derived(seed, uint64(i)))
-		},
-		func(acc, next RoundResult) RoundResult {
-			acc.Rounds += next.Rounds
-			acc.Failures += next.Failures
-			return acc
-		})
+	res, err := SimulateRoundsCampaign(context.Background(), cfg, seed, CampaignOptions{Workers: workers})
+	trialrunner.MustPanicFree(err)
+	return res
 }

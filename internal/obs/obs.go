@@ -1,0 +1,203 @@
+// Package obs provides lightweight observability for long simulation
+// campaigns: lock-free counters a worker pool can bump from any goroutine,
+// derived rates (trials/sec, periods/sec, worker utilization), publication
+// of every live campaign under one expvar variable, and a periodic
+// structured-log progress line.
+//
+// A Campaign implements trialrunner.Observer (TrialStart/TrialEnd) plus the
+// engines' progress sinks (AddPeriods/AddMitigations/AddActivations), so a
+// single value threads through the whole stack. Observation is one-way: a
+// Campaign never feeds anything back into the simulation, so metering cannot
+// perturb the bit-for-bit determinism guarantees.
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Campaign aggregates the counters of one simulation campaign. All methods
+// are safe for concurrent use.
+type Campaign struct {
+	name    string
+	workers int
+	start   time.Time
+
+	trialsTotal   atomic.Int64
+	trialsDone    atomic.Int64
+	trialsSkipped atomic.Int64
+	active        atomic.Int64
+	busyNanos     atomic.Int64
+	periods       atomic.Int64
+	mitigations   atomic.Int64
+	activations   atomic.Int64
+}
+
+// NewCampaign returns a Campaign named name, expecting totalTrials trials on
+// a pool of `workers` goroutines (workers scales the utilization metric;
+// pass the -workers value).
+func NewCampaign(name string, totalTrials, workers int) *Campaign {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Campaign{name: name, workers: workers, start: time.Now()}
+	c.trialsTotal.Store(int64(totalTrials))
+	return c
+}
+
+// Name returns the campaign name.
+func (c *Campaign) Name() string { return c.name }
+
+// TrialStart implements trialrunner.Observer.
+func (c *Campaign) TrialStart(int) { c.active.Add(1) }
+
+// TrialEnd implements trialrunner.Observer.
+func (c *Campaign) TrialEnd(_ int, d time.Duration) {
+	c.active.Add(-1)
+	c.trialsDone.Add(1)
+	c.busyNanos.Add(int64(d))
+}
+
+// SkipTrials records n trials restored from a checkpoint rather than
+// executed, so a resumed campaign's progress fraction starts where the
+// interrupted run left off.
+func (c *Campaign) SkipTrials(n int) { c.trialsSkipped.Add(int64(n)) }
+
+// AddPeriods records n simulated tREFI periods (montecarlo.ProgressSink,
+// system.ProgressSink).
+func (c *Campaign) AddPeriods(n int64) { c.periods.Add(n) }
+
+// AddMitigations records n mitigations issued.
+func (c *Campaign) AddMitigations(n int64) { c.mitigations.Add(n) }
+
+// AddActivations records n simulated demand activations (sim.ProgressSink).
+func (c *Campaign) AddActivations(n int64) { c.activations.Add(n) }
+
+// Snapshot is a point-in-time view of a campaign with derived rates.
+type Snapshot struct {
+	Name           string  `json:"name"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TrialsTotal    int64   `json:"trials_total"`
+	TrialsDone     int64   `json:"trials_done"`
+	TrialsSkipped  int64   `json:"trials_skipped"`
+	ActiveWorkers  int64   `json:"active_workers"`
+	Periods        int64   `json:"periods"`
+	Mitigations    int64   `json:"mitigations"`
+	Activations    int64   `json:"activations"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	PeriodsPerSec  float64 `json:"periods_per_sec"`
+	// Utilization is busy-worker time over elapsed wall-clock time times the
+	// pool width: 1.0 means every worker computed the whole time.
+	Utilization float64 `json:"utilization"`
+}
+
+// Snapshot captures the current state.
+func (c *Campaign) Snapshot() Snapshot {
+	elapsed := time.Since(c.start)
+	s := Snapshot{
+		Name:           c.name,
+		ElapsedSeconds: elapsed.Seconds(),
+		TrialsTotal:    c.trialsTotal.Load(),
+		TrialsDone:     c.trialsDone.Load(),
+		TrialsSkipped:  c.trialsSkipped.Load(),
+		ActiveWorkers:  c.active.Load(),
+		Periods:        c.periods.Load(),
+		Mitigations:    c.mitigations.Load(),
+		Activations:    c.activations.Load(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.TrialsPerSec = float64(s.TrialsDone) / sec
+		s.PeriodsPerSec = float64(s.Periods) / sec
+		s.Utilization = float64(c.busyNanos.Load()) / (float64(elapsed) * float64(c.workers))
+	}
+	return s
+}
+
+// Line renders the snapshot as one structured key=value progress line, the
+// format the CLIs emit to stderr.
+func (s Snapshot) Line() string {
+	return fmt.Sprintf(
+		"progress campaign=%s elapsed=%.1fs trials=%d/%d skipped=%d trials_per_sec=%.2f periods=%d periods_per_sec=%.3g mitigations=%d activations=%d active_workers=%d util=%.2f",
+		s.Name, s.ElapsedSeconds, s.TrialsDone+s.TrialsSkipped, s.TrialsTotal, s.TrialsSkipped,
+		s.TrialsPerSec, s.Periods, s.PeriodsPerSec, s.Mitigations, s.Activations,
+		s.ActiveWorkers, s.Utilization)
+}
+
+// Line renders the campaign's current progress line.
+func (c *Campaign) Line() string { return c.Snapshot().Line() }
+
+// The expvar surface: every published campaign appears as one entry of the
+// "pride.campaigns" variable, a JSON object keyed by campaign name. A
+// process that imports net/http/pprof or expvar's handler exposes it at
+// /debug/vars; tests and embedders read it via expvar.Get.
+var (
+	publishOnce sync.Once
+	regMu       sync.Mutex
+	registry    = map[string]*Campaign{}
+)
+
+// Publish registers the campaign under the "pride.campaigns" expvar.
+// Publishing a second campaign with the same name replaces the first
+// (latest wins), so repeated CLI invocations in one process stay sane.
+func (c *Campaign) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("pride.campaigns", expvar.Func(func() any {
+			regMu.Lock()
+			defer regMu.Unlock()
+			out := make(map[string]Snapshot, len(registry))
+			for name, camp := range registry {
+				out[name] = camp.Snapshot()
+			}
+			return out
+		}))
+	})
+	regMu.Lock()
+	registry[c.name] = c
+	regMu.Unlock()
+}
+
+// Unpublish removes the campaign from the expvar surface.
+func (c *Campaign) Unpublish() {
+	regMu.Lock()
+	delete(registry, c.name)
+	regMu.Unlock()
+}
+
+// StartReporter emits the campaign's progress line to w every `every` until
+// ctx is done or the returned stop function is called. Stop blocks until the
+// reporter goroutine has exited, so no line lands on w after it returns. The
+// final line is NOT emitted on stop — callers that want a completion summary
+// print c.Line() themselves, so the summary lands after the run's own
+// output.
+func (c *Campaign) StartReporter(ctx context.Context, w io.Writer, every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, c.Line())
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCampaignCountersAndSnapshot(t *testing.T) {
+	c := NewCampaign("unit", 10, 4)
+	c.TrialStart(0)
+	c.TrialEnd(0, 5*time.Millisecond)
+	c.TrialStart(1)
+	c.AddPeriods(1000)
+	c.AddMitigations(12)
+	c.AddActivations(79_000)
+	c.SkipTrials(3)
+
+	s := c.Snapshot()
+	if s.TrialsDone != 1 || s.TrialsTotal != 10 || s.TrialsSkipped != 3 {
+		t.Fatalf("trials snapshot wrong: %+v", s)
+	}
+	if s.ActiveWorkers != 1 {
+		t.Fatalf("active workers = %d, want 1", s.ActiveWorkers)
+	}
+	if s.Periods != 1000 || s.Mitigations != 12 || s.Activations != 79_000 {
+		t.Fatalf("counter snapshot wrong: %+v", s)
+	}
+	if s.TrialsPerSec <= 0 || s.PeriodsPerSec <= 0 {
+		t.Fatalf("rates not derived: %+v", s)
+	}
+	// The test feeds a synthetic 5ms busy duration against microseconds of
+	// real elapsed time, so only positivity is meaningful here.
+	if s.Utilization <= 0 {
+		t.Fatalf("utilization not derived: %v", s.Utilization)
+	}
+}
+
+func TestCampaignConcurrentUpdates(t *testing.T) {
+	c := NewCampaign("race", 1000, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				c.TrialStart(i)
+				c.AddPeriods(2)
+				c.TrialEnd(i, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.TrialsDone != 1000 || s.Periods != 2000 || s.ActiveWorkers != 0 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestLineFormat(t *testing.T) {
+	c := NewCampaign("fig8", 64, 2)
+	c.TrialEnd(0, time.Millisecond)
+	c.AddPeriods(4096)
+	line := c.Line()
+	for _, want := range []string{"progress", "campaign=fig8", "trials=1/64", "periods=4096", "util="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestExpvarPublication(t *testing.T) {
+	c := NewCampaign("published", 5, 1)
+	c.Publish()
+	defer c.Unpublish()
+	c.AddMitigations(7)
+
+	v := expvar.Get("pride.campaigns")
+	if v == nil {
+		t.Fatal("pride.campaigns not published")
+	}
+	var got map[string]Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatalf("expvar value is not JSON: %v\n%s", err, v.String())
+	}
+	snap, ok := got["published"]
+	if !ok {
+		t.Fatalf("campaign missing from expvar map: %v", got)
+	}
+	if snap.Mitigations != 7 || snap.TrialsTotal != 5 {
+		t.Fatalf("expvar snapshot stale: %+v", snap)
+	}
+
+	// Latest-wins republication must not panic (expvar.Publish would).
+	c2 := NewCampaign("published", 9, 1)
+	c2.Publish()
+	defer c2.Unpublish()
+}
+
+func TestStartReporterEmitsAndStops(t *testing.T) {
+	c := NewCampaign("ticker", 3, 1)
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := c.StartReporter(context.Background(), w, 2*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "campaign=ticker") {
+		t.Fatalf("reporter emitted nothing useful:\n%q", out)
+	}
+	// After stop, no further lines.
+	mu.Lock()
+	n := len(buf.String())
+	mu.Unlock()
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(buf.String()) != n {
+		t.Fatal("reporter kept writing after stop")
+	}
+}
+
+func TestStartReporterZeroIntervalIsNoop(t *testing.T) {
+	c := NewCampaign("off", 1, 1)
+	stop := c.StartReporter(context.Background(), writerFunc(func(p []byte) (int, error) {
+		t.Error("reporter wrote with interval 0")
+		return len(p), nil
+	}), 0)
+	stop()
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,93 @@
+package patterns
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary byte soup at the trace parser. The parser
+// must never panic, and whenever it accepts an input, the parsed pattern
+// must survive a WriteTrace/ReadTrace round trip with its observable
+// behaviour (name, sequence, aggressor set) intact — the property the
+// archive-and-replay workflow depends on.
+func FuzzReadTrace(f *testing.F) {
+	seeds := []string{
+		"",
+		"name: demo\nseq: 1 2 3\n",
+		"# comment\n\nname: x\naggressors: 5 7\nseq: 5 7 5 7\nseq: 9\n",
+		"seq: 0\n",
+		"seq: 1 2\nname: late-name\n",
+		"aggressors:\nseq: 4 4 4\n",
+		"name: no-colon\nbogus line\n",
+		"unknown: 1 2\nseq: 1\n",
+		"seq: -3\n",
+		"seq: 1 two 3\n",
+		"seq: 99999999999999999999\n",
+		"name: spaced  name \n seq : 8 9 \n",
+		"name: dup\nname: dup2\nseq: 1\n",
+		strings.Repeat("seq: 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16\n", 4),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			if p != nil {
+				t.Fatalf("non-nil pattern alongside error %v", err)
+			}
+			return
+		}
+		// Accepted traces must uphold the parser's documented guarantees.
+		if len(p.Sequence) == 0 {
+			t.Fatal("accepted trace has an empty sequence")
+		}
+		if p.Name == "" {
+			t.Fatal("accepted trace has an empty name")
+		}
+		if len(p.Aggressors) == 0 {
+			t.Fatal("accepted trace derived no aggressors")
+		}
+		for _, row := range p.Sequence {
+			if row < 0 {
+				t.Fatalf("negative row %d survived parsing", row)
+			}
+		}
+
+		// Round trip: what WriteTrace emits, ReadTrace must reproduce.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, p); err != nil {
+			t.Fatalf("serializing an accepted pattern failed: %v", err)
+		}
+		q, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a written trace failed: %v\ntrace:\n%s", err, buf.String())
+		}
+		if q.Name != p.Name {
+			t.Fatalf("name changed across round trip: %q -> %q", p.Name, q.Name)
+		}
+		if !reflect.DeepEqual(q.Sequence, p.Sequence) {
+			t.Fatal("sequence changed across round trip")
+		}
+		if !sameRowSet(q.Aggressors, p.Aggressors) {
+			t.Fatalf("aggressor set changed across round trip: %v -> %v", p.Aggressors, q.Aggressors)
+		}
+	})
+}
+
+// sameRowSet compares aggressor lists as sets: WriteTrace sorts and ReadTrace
+// preserves duplicates, so order and multiplicity are not part of the
+// contract — membership is.
+func sameRowSet(a, b []int) bool {
+	as, bs := map[int]bool{}, map[int]bool{}
+	for _, v := range a {
+		as[v] = true
+	}
+	for _, v := range b {
+		bs[v] = true
+	}
+	return reflect.DeepEqual(as, bs)
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"pride/internal/patterns"
+	"pride/internal/rng"
+	"pride/internal/trialrunner"
+)
+
+// ProgressSink receives coarse progress counters from a running attack
+// campaign, one update per completed trial. internal/obs.Campaign satisfies
+// it structurally; a sink is observation-only and cannot perturb the
+// bit-for-bit determinism guarantees.
+type ProgressSink interface {
+	// AddActivations records n freshly-simulated demand activations.
+	AddActivations(n int64)
+	// AddMitigations records n mitigations dispatched by the controller.
+	AddMitigations(n int64)
+}
+
+// CampaignOptions configures a cancellable, checkpointable, observable
+// attack campaign. The zero value behaves exactly like the plain Parallel
+// entry points at trialrunner.DefaultWorkers(): no checkpoint, no metering.
+type CampaignOptions struct {
+	// Workers is the pool size; 0 selects trialrunner.DefaultWorkers().
+	// Workers never affects the result, only how fast it arrives.
+	Workers int
+	// Checkpoint enables durable resume when its Path is set. An empty Key
+	// is filled with the experiment's canonical key (configuration + seed,
+	// never the worker count).
+	Checkpoint trialrunner.Checkpoint
+	// Progress, when non-nil, receives per-trial counter updates.
+	Progress ProgressSink
+	// Observer, when non-nil, receives per-trial lifecycle callbacks.
+	Observer trialrunner.Observer
+}
+
+func (o CampaignOptions) runnerOpts() trialrunner.Options {
+	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer}
+}
+
+// AttackCampaignKey is the canonical checkpoint key of a Fig 15 suite
+// campaign: everything the trial grid and per-trial seeds depend on
+// (configuration, scheme name, suite size, seeds per pattern, base seed) and
+// nothing else. Pattern suites are deterministic given their size in this
+// repository; a caller mixing suites of equal length under one path must set
+// Checkpoint.Key itself.
+func AttackCampaignKey(cfg AttackConfig, s Scheme, suiteLen, seeds int, baseSeed uint64) string {
+	return fmt.Sprintf("sim.attack|scheme=%s|params=%+v|acts=%d|trh=%d|policy=%d|patterns=%d|seeds=%d|seed=%d",
+		s.Name, cfg.Params, cfg.ACTs, cfg.TRH, cfg.Policy, suiteLen, seeds, baseSeed)
+}
+
+// MaxDisturbanceOverSuiteCampaign is MaxDisturbanceOverSuiteParallel as a
+// long-running campaign: the same trial grid (every pattern x `seeds`
+// trials) with index-derived per-trial seeds — so the merged result is
+// bit-for-bit identical to the Parallel engine at any worker count — plus
+// cancellation with graceful drain, per-trial panic isolation, durable
+// checkpoint/resume, and progress metering.
+func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Scheme, suite []*patterns.Pattern, seeds int, baseSeed uint64, opts CampaignOptions) (AttackResult, error) {
+	if len(suite) == 0 || seeds < 1 {
+		panic(fmt.Sprintf("sim: suite of %d patterns x %d seeds has no trials", len(suite), seeds))
+	}
+	cp := opts.Checkpoint
+	if cp.Key == "" {
+		cp.Key = AttackCampaignKey(cfg, s, len(suite), seeds, baseSeed)
+	}
+	trials := len(suite) * seeds
+	var onDone func(t int, r AttackResult) error
+	if sink := opts.Progress; sink != nil {
+		onDone = func(t int, r AttackResult) error {
+			sink.AddActivations(int64(cfg.ACTs))
+			sink.AddMitigations(int64(r.Mitigations))
+			return nil
+		}
+	}
+	results, err := trialrunner.MapCheckpointed(ctx, trials, func(t int) AttackResult {
+		return RunAttack(cfg, s, suite[t/seeds].Clone(), rng.DeriveSeed(baseSeed, uint64(t)))
+	}, onDone, opts.runnerOpts(), cp)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	// Fold from a zero accumulator like the serial loop, so the Pattern
+	// headline is only attributed to trials that actually disturbed rows.
+	worst := AttackResult{Scheme: s.Name}
+	for _, res := range results {
+		worst = mergeWorst(worst, res)
+	}
+	return worst, nil
+}
+
+// SuiteLossCampaignKey is the canonical checkpoint key of a Fig 18 suite
+// loss campaign. The same suite-identity caveat as AttackCampaignKey
+// applies.
+func SuiteLossCampaignKey(entries, w, suiteLen, acts int, baseSeed uint64) string {
+	return fmt.Sprintf("sim.suiteloss|n=%d|w=%d|patterns=%d|acts=%d|seed=%d",
+		entries, w, suiteLen, acts, baseSeed)
+}
+
+// totalMitigated sums the mitigation counter across a measurement's rows.
+func (m LossMeasurement) totalMitigated() int64 {
+	var total int64
+	for _, r := range m.Rows {
+		total += int64(r.Mitigated)
+	}
+	return total
+}
+
+// MeasureSuiteLossCampaign is MeasureSuiteLossParallel as a campaign, with
+// the same cancellation/checkpoint/metering contract as
+// MaxDisturbanceOverSuiteCampaign. On a nil error the measurements come back
+// in suite order, bit-identical to the Parallel engine.
+func MeasureSuiteLossCampaign(ctx context.Context, entries, w int, suite []*patterns.Pattern, acts int, baseSeed uint64, opts CampaignOptions) ([]LossMeasurement, error) {
+	cp := opts.Checkpoint
+	if cp.Key == "" {
+		cp.Key = SuiteLossCampaignKey(entries, w, len(suite), acts, baseSeed)
+	}
+	var onDone func(i int, m LossMeasurement) error
+	if sink := opts.Progress; sink != nil {
+		onDone = func(i int, m LossMeasurement) error {
+			sink.AddActivations(int64(acts))
+			sink.AddMitigations(m.totalMitigated())
+			return nil
+		}
+	}
+	return trialrunner.MapCheckpointed(ctx, len(suite), func(i int) LossMeasurement {
+		return MeasurePatternLoss(entries, w, suite[i].Clone(), acts, rng.DeriveSeed(baseSeed, uint64(i)))
+	}, onDone, opts.runnerOpts(), cp)
+}

@@ -1,10 +1,9 @@
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"pride/internal/patterns"
-	"pride/internal/rng"
 	"pride/internal/trialrunner"
 )
 
@@ -36,30 +35,28 @@ func mergeWorst(acc, next AttackResult) AttackResult {
 // MaxDisturbanceOverSuiteParallel is the worker-pool counterpart of
 // MaxDisturbanceOverSuite: the same trial grid (every pattern x `seeds`
 // trials), with per-trial seeds derived by index instead of drawn
-// sequentially, executed on `workers` goroutines.
+// sequentially, executed on `workers` goroutines. Fail-loud convenience form
+// of MaxDisturbanceOverSuiteCampaign: no cancellation, no checkpoint, and a
+// panicking trial takes the process down with a stack naming the trial.
 func MaxDisturbanceOverSuiteParallel(cfg AttackConfig, s Scheme, suite []*patterns.Pattern, seeds int, baseSeed uint64, workers int) AttackResult {
-	if len(suite) == 0 || seeds < 1 {
-		panic(fmt.Sprintf("sim: suite of %d patterns x %d seeds has no trials", len(suite), seeds))
+	if err := trialrunner.ValidateWorkers(workers); err != nil {
+		panic(err)
 	}
-	trials := len(suite) * seeds
-	results := trialrunner.Map(workers, trials, func(t int) AttackResult {
-		return RunAttack(cfg, s, suite[t/seeds].Clone(), rng.DeriveSeed(baseSeed, uint64(t)))
-	})
-	// Fold from a zero accumulator like the serial loop, so the Pattern
-	// headline is only attributed to trials that actually disturbed rows.
-	worst := AttackResult{Scheme: s.Name}
-	for _, res := range results {
-		worst = mergeWorst(worst, res)
-	}
+	worst, err := MaxDisturbanceOverSuiteCampaign(context.Background(), cfg, s, suite, seeds, baseSeed, CampaignOptions{Workers: workers})
+	trialrunner.MustPanicFree(err)
 	return worst
 }
 
 // MeasureSuiteLossParallel runs the Fig 18 / Appendix C loss measurement for
 // every trace in the suite on `workers` goroutines and returns the
 // measurements in suite order. Trace i always gets seed
-// rng.DeriveSeed(baseSeed, i) and a private pattern clone.
+// rng.DeriveSeed(baseSeed, i) and a private pattern clone. Fail-loud
+// convenience form of MeasureSuiteLossCampaign.
 func MeasureSuiteLossParallel(entries, w int, suite []*patterns.Pattern, acts int, baseSeed uint64, workers int) []LossMeasurement {
-	return trialrunner.Map(workers, len(suite), func(i int) LossMeasurement {
-		return MeasurePatternLoss(entries, w, suite[i].Clone(), acts, rng.DeriveSeed(baseSeed, uint64(i)))
-	})
+	if err := trialrunner.ValidateWorkers(workers); err != nil {
+		panic(err)
+	}
+	ms, err := MeasureSuiteLossCampaign(context.Background(), entries, w, suite, acts, baseSeed, CampaignOptions{Workers: workers})
+	trialrunner.MustPanicFree(err)
+	return ms
 }

@@ -1,0 +1,86 @@
+package system
+
+import (
+	"context"
+	"fmt"
+
+	"pride/internal/rng"
+	"pride/internal/sim"
+	"pride/internal/trialrunner"
+)
+
+// ProgressSink receives coarse progress counters from a running TTF
+// campaign, one update per completed trial. internal/obs.Campaign satisfies
+// it structurally; a sink is observation-only.
+type ProgressSink interface {
+	// AddPeriods records n freshly-simulated refresh intervals (tREFIs).
+	AddPeriods(n int64)
+}
+
+// CampaignOptions configures a cancellable, checkpointable, observable TTF
+// campaign. The zero value behaves exactly like MeasureMTTFParallel at
+// trialrunner.DefaultWorkers(): no checkpoint, no metering.
+type CampaignOptions struct {
+	// Workers is the pool size; 0 selects trialrunner.DefaultWorkers().
+	// Workers never affects the result, only how fast it arrives.
+	Workers int
+	// Checkpoint enables durable resume when its Path is set. An empty Key
+	// is filled with the experiment's canonical key (configuration + seed,
+	// never the worker count).
+	Checkpoint trialrunner.Checkpoint
+	// Progress, when non-nil, receives per-trial counter updates.
+	Progress ProgressSink
+	// Observer, when non-nil, receives per-trial lifecycle callbacks.
+	Observer trialrunner.Observer
+}
+
+func (o CampaignOptions) runnerOpts() trialrunner.Options {
+	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer}
+}
+
+// MTTFCampaignKey is the canonical checkpoint key of a TTF campaign: every
+// parameter a trial's outcome depends on, and nothing else (in particular
+// not the worker count).
+func MTTFCampaignKey(cfg Config, s sim.Scheme, trials int, seed uint64) string {
+	return fmt.Sprintf("system.mttf|scheme=%s|params=%+v|banks=%d|trh=%d|maxtrefi=%d|trials=%d|seed=%d",
+		s.Name, cfg.Params, cfg.Banks, cfg.TRH, cfg.MaxTREFI, trials, seed)
+}
+
+// MeasureMTTFCampaign is MeasureMTTFParallel as a long-running campaign: the
+// same independent trials with index-derived seeds — so the measured mean
+// and failure count are bit-for-bit identical to the Parallel engine at any
+// worker count — plus cancellation with graceful drain, per-trial panic
+// isolation, durable checkpoint/resume, and progress metering.
+func MeasureMTTFCampaign(ctx context.Context, cfg Config, s sim.Scheme, trials int, seed uint64, opts CampaignOptions) (meanSeconds float64, failed int, err error) {
+	if trials < 1 {
+		panic(fmt.Sprintf("system: trials must be >= 1, got %d", trials))
+	}
+	cp := opts.Checkpoint
+	if cp.Key == "" {
+		cp.Key = MTTFCampaignKey(cfg, s, trials, seed)
+	}
+	var onDone func(t int, r Result) error
+	if sink := opts.Progress; sink != nil {
+		onDone = func(t int, r Result) error {
+			sink.AddPeriods(int64(r.TREFIsSimulated))
+			return nil
+		}
+	}
+	results, err := trialrunner.MapCheckpointed(ctx, trials, func(t int) Result {
+		return Run(cfg, s, rng.DeriveSeed(seed, uint64(t)))
+	}, onDone, opts.runnerOpts(), cp)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := 0.0
+	for _, res := range results {
+		if res.Failed {
+			failed++
+			total += res.TimeToFail.Seconds()
+		}
+	}
+	if failed == 0 {
+		return 0, 0, nil
+	}
+	return total / float64(failed), failed, nil
+}

@@ -1,9 +1,8 @@
 package system
 
 import (
-	"fmt"
+	"context"
 
-	"pride/internal/rng"
 	"pride/internal/sim"
 	"pride/internal/trialrunner"
 )
@@ -14,23 +13,14 @@ import (
 // `workers` goroutines. Trial results fold in trial order, so the measured
 // mean and failure count are a pure function of (cfg, s, trials, seed) —
 // the worker count only changes wall-clock time. workers == 1 runs every
-// trial inline on the calling goroutine.
+// trial inline on the calling goroutine. Fail-loud convenience form of
+// MeasureMTTFCampaign: no cancellation, no checkpoint, and a panicking trial
+// takes the process down with a stack naming the trial.
 func MeasureMTTFParallel(cfg Config, s sim.Scheme, trials int, seed uint64, workers int) (meanSeconds float64, failed int) {
-	if trials < 1 {
-		panic(fmt.Sprintf("system: trials must be >= 1, got %d", trials))
+	if err := trialrunner.ValidateWorkers(workers); err != nil {
+		panic(err)
 	}
-	results := trialrunner.Map(workers, trials, func(t int) Result {
-		return Run(cfg, s, rng.DeriveSeed(seed, uint64(t)))
-	})
-	total := 0.0
-	for _, res := range results {
-		if res.Failed {
-			failed++
-			total += res.TimeToFail.Seconds()
-		}
-	}
-	if failed == 0 {
-		return 0, 0
-	}
-	return total / float64(failed), failed
+	mean, failed, err := MeasureMTTFCampaign(context.Background(), cfg, s, trials, seed, CampaignOptions{Workers: workers})
+	trialrunner.MustPanicFree(err)
+	return mean, failed
 }

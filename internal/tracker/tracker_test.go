@@ -1,0 +1,110 @@
+package tracker_test
+
+import (
+	"testing"
+
+	"pride/internal/baseline"
+	"pride/internal/core"
+	"pride/internal/rng"
+	"pride/internal/tracker"
+	"pride/internal/tracker/trackertest"
+)
+
+// TestConformance runs the shared tracker contract suite against PrIDE and
+// every baseline, so the comparison experiments can swap any of them behind
+// the tracker.Tracker interface without scheme-specific caveats.
+func TestConformance(t *testing.T) {
+	const w = 79 // DDR5 activations per tREFI, the paper's default window
+
+	specs := []trackertest.Spec{
+		{
+			Name: "PrIDE",
+			New: func(seed uint64) tracker.Tracker {
+				return core.New(core.DefaultConfig(w), rng.New(seed))
+			},
+			MaxOccupancy: core.DefaultConfig(w).Entries,
+		},
+		{
+			Name: "PARA",
+			New: func(seed uint64) tracker.Tracker {
+				return baseline.NewPARA(1.0/float64(w+1), rng.New(seed))
+			},
+			// PARA keeps no per-row state; its only occupancy is the
+			// pending-mitigation list the suite drains, so no capacity bound.
+			AllowZeroStorage: true,
+		},
+		{
+			Name: "PARA-DRFM",
+			New: func(seed uint64) tracker.Tracker {
+				return baseline.NewPARADRFM(1.0/float64(w), 2, 17, rng.New(seed))
+			},
+			MaxOccupancy: 1,
+		},
+		{
+			Name: "PAR-FM",
+			New: func(seed uint64) tracker.Tracker {
+				return baseline.NewPARFM(w, 17, rng.New(seed))
+			},
+			MaxOccupancy: w,
+		},
+		{
+			Name: "TRR",
+			New: func(uint64) tracker.Tracker {
+				return baseline.NewTRR(baseline.DefaultTRREntries, 17)
+			},
+			MaxOccupancy: baseline.DefaultTRREntries,
+		},
+		{
+			Name: "DSAC",
+			New: func(seed uint64) tracker.Tracker {
+				return baseline.NewDSAC(baseline.DefaultDSACEntries, 17, rng.New(seed))
+			},
+			MaxOccupancy: baseline.DefaultDSACEntries,
+		},
+		{
+			Name: "PRoHIT",
+			New: func(seed uint64) tracker.Tracker {
+				return baseline.NewPRoHIT(baseline.DefaultPRoHITEntries, 17,
+					baseline.DefaultPRoHITInsertProb, baseline.DefaultPRoHITPromoteProb, rng.New(seed))
+			},
+			MaxOccupancy: baseline.DefaultPRoHITEntries,
+		},
+		{
+			Name: "Graphene",
+			New: func(uint64) tracker.Tracker {
+				return baseline.NewGraphene(64, 32, 17)
+			},
+			MaxOccupancy: 64,
+		},
+		{
+			Name: "TWiCe",
+			New: func(uint64) tracker.Tracker {
+				return baseline.NewTWiCe(32, 8*trackertest.Rows, 100, 17)
+			},
+			// TWiCe's table is pruned, not capacity-capped; it can never
+			// exceed the number of distinct rows in the driven space.
+			MaxOccupancy: trackertest.Rows,
+		},
+		{
+			Name: "CAT",
+			New: func(uint64) tracker.Tracker {
+				return baseline.NewCAT(trackertest.Rows, 32, 64, 10)
+			},
+			MaxOccupancy: 64,
+		},
+		{
+			Name: "Mithril",
+			New: func(uint64) tracker.Tracker {
+				return baseline.NewMithril(32, 17)
+			},
+			MaxOccupancy: 32,
+		},
+	}
+
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			trackertest.RunConformance(t, s)
+		})
+	}
+}

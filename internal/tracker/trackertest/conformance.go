@@ -1,0 +1,170 @@
+// Package trackertest provides a conformance suite that every
+// tracker.Tracker implementation in this repository must pass. The suite
+// checks only the contract of the interface — name stability, storage
+// accounting, bounded occupancy, Reset semantics, and same-seed
+// determinism — so that the cross-scheme comparison experiments can treat
+// PrIDE and all baselines interchangeably.
+package trackertest
+
+import (
+	"reflect"
+	"testing"
+
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+// Rows is the row-address space the suite drives trackers over. Specs must
+// construct trackers that accept activations anywhere in [0, Rows); CAT in
+// particular must be built over at least this many rows.
+const Rows = 1024
+
+// Spec describes one tracker implementation under conformance test.
+type Spec struct {
+	// Name labels the subtests; it does not have to equal Tracker.Name().
+	Name string
+	// New builds a fresh instance. Stateless trackers may ignore the seed;
+	// randomized ones must derive all randomness from it so that two
+	// instances with equal seeds behave identically.
+	New func(seed uint64) tracker.Tracker
+	// MaxOccupancy bounds Occupancy() throughout any interleaving when
+	// positive; zero skips the bound check (for trackers whose occupancy is
+	// workload-defined rather than capacity-defined).
+	MaxOccupancy int
+	// AllowZeroStorage permits StorageBits() == 0 (PARA keeps no state).
+	AllowZeroStorage bool
+}
+
+// immediateMitigator matches baseline.ImmediateMitigator structurally so the
+// suite can drain inline mitigations without importing the baseline package.
+type immediateMitigator interface {
+	DrainImmediate() []tracker.Mitigation
+}
+
+// trace is everything externally observable about one driven run: the
+// mitigation stream and the occupancy after every event.
+type trace struct {
+	Mitigations []tracker.Mitigation
+	Occupancy   []int
+}
+
+// drive replays a seeded pseudo-random interleaving of nSteps activations
+// and periodic OnMitigate calls, returning the observable trace. The event
+// schedule depends only on streamSeed, never on the tracker under test.
+func drive(tr tracker.Tracker, streamSeed uint64, nSteps int) trace {
+	var tc trace
+	stream := rng.New(streamSeed)
+	im, hasImmediate := tr.(immediateMitigator)
+	for i := 0; i < nSteps; i++ {
+		tr.OnActivate(int(stream.Uint64() % Rows))
+		if hasImmediate {
+			tc.Mitigations = append(tc.Mitigations, im.DrainImmediate()...)
+		}
+		// Roughly one mitigation slot per 8 activations, like a tREFI-paced
+		// mitigation budget.
+		if stream.Uint64()%8 == 0 {
+			if m, ok := tr.OnMitigate(); ok {
+				tc.Mitigations = append(tc.Mitigations, m)
+			}
+		}
+		tc.Occupancy = append(tc.Occupancy, tr.Occupancy())
+	}
+	return tc
+}
+
+// RunConformance runs the full contract suite against s as subtests of t.
+func RunConformance(t *testing.T, s Spec) {
+	t.Helper()
+	if s.New == nil {
+		t.Fatalf("%s: Spec.New is nil", s.Name)
+	}
+
+	t.Run("NameStable", func(t *testing.T) {
+		tr := s.New(1)
+		name := tr.Name()
+		if name == "" {
+			t.Fatal("Name() is empty")
+		}
+		drive(tr, 2, 200)
+		if got := tr.Name(); got != name {
+			t.Fatalf("Name() changed under activity: %q -> %q", name, got)
+		}
+		tr.Reset()
+		if got := tr.Name(); got != name {
+			t.Fatalf("Name() changed across Reset: %q -> %q", name, got)
+		}
+	})
+
+	t.Run("StorageBitsConstant", func(t *testing.T) {
+		tr := s.New(1)
+		bits := tr.StorageBits()
+		if bits < 0 {
+			t.Fatalf("StorageBits() = %d, must be non-negative", bits)
+		}
+		if bits == 0 && !s.AllowZeroStorage {
+			t.Fatal("StorageBits() = 0 for a stateful tracker")
+		}
+		drive(tr, 3, 300)
+		if got := tr.StorageBits(); got != bits {
+			t.Fatalf("StorageBits() is workload-dependent: %d -> %d; storage is a hardware budget, not a fill level", bits, got)
+		}
+		tr.Reset()
+		if got := tr.StorageBits(); got != bits {
+			t.Fatalf("StorageBits() changed across Reset: %d -> %d", bits, got)
+		}
+	})
+
+	t.Run("ResetRestoresFreshState", func(t *testing.T) {
+		// Fresh occupancy is implementation-defined (CAT's root leaf counts
+		// as one), so Reset is compared against a fresh instance rather
+		// than against zero.
+		freshOcc := s.New(1).Occupancy()
+		tr := s.New(1)
+		drive(tr, 4, 400)
+		tr.Reset()
+		if got := tr.Occupancy(); got != freshOcc {
+			t.Fatalf("Occupancy() after Reset = %d, fresh instance has %d", got, freshOcc)
+		}
+		tr.Reset() // Reset must be idempotent.
+		if got := tr.Occupancy(); got != freshOcc {
+			t.Fatalf("Occupancy() after double Reset = %d, fresh instance has %d", got, freshOcc)
+		}
+	})
+
+	t.Run("OccupancyBounded", func(t *testing.T) {
+		for _, streamSeed := range []uint64{5, 6, 7} {
+			tr := s.New(streamSeed)
+			tc := drive(tr, streamSeed, 600)
+			for i, occ := range tc.Occupancy {
+				if occ < 0 {
+					t.Fatalf("stream %d: negative Occupancy() %d after event %d", streamSeed, occ, i)
+				}
+				if s.MaxOccupancy > 0 && occ > s.MaxOccupancy {
+					t.Fatalf("stream %d: Occupancy() %d exceeds capacity %d after event %d",
+						streamSeed, occ, s.MaxOccupancy, i)
+				}
+			}
+		}
+	})
+
+	t.Run("MitigationsWellFormed", func(t *testing.T) {
+		tr := s.New(8)
+		tc := drive(tr, 8, 600)
+		for _, m := range tc.Mitigations {
+			if m.Row < 0 || m.Row >= Rows {
+				t.Fatalf("mitigation row %d outside the driven space [0, %d)", m.Row, Rows)
+			}
+			if m.Level < 1 {
+				t.Fatalf("mitigation level %d for row %d, levels are 1-based", m.Level, m.Row)
+			}
+		}
+	})
+
+	t.Run("SameSeedDeterminism", func(t *testing.T) {
+		a := drive(s.New(9), 10, 500)
+		b := drive(s.New(9), 10, 500)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("two instances with the same seed diverged under an identical event stream")
+		}
+	})
+}

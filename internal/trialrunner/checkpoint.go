@@ -1,0 +1,306 @@
+package trialrunner
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint configures periodic on-disk snapshots of completed-trial
+// results, so an interrupted campaign resumes instead of restarting.
+//
+// The file is line-oriented JSON: a header line identifying the experiment
+// (magic, version, key, trial count) followed by one record per completed
+// trial, keyed by the deterministic trial index. Because trial i's result is
+// a pure function of (experiment, i) — never of the worker count or of
+// completion order — a resumed run that merges stored and fresh results in
+// trial order produces a bit-for-bit identical final result to an
+// uninterrupted run.
+type Checkpoint struct {
+	// Path is the checkpoint file. Empty disables checkpointing.
+	Path string
+	// Key identifies the experiment (configuration + seed). A checkpoint
+	// written under a different key, or for a different trial count, is
+	// rejected rather than silently merged into the wrong experiment.
+	Key string
+	// Every is the flush/fsync cadence in freshly-completed trials.
+	// 0 means after every trial (the trials in this repository are seconds
+	// long; durability dominates write cost).
+	Every int
+}
+
+// Enabled reports whether checkpointing is configured.
+func (c Checkpoint) Enabled() bool { return c.Path != "" }
+
+func (c Checkpoint) every() int {
+	if c.Every <= 0 {
+		return 1
+	}
+	return c.Every
+}
+
+const (
+	checkpointMagic   = "pride-checkpoint"
+	checkpointVersion = 1
+)
+
+// skipReporter is satisfied by observers (internal/obs.Campaign among them)
+// that want to know how many trials a resumed run restored from the
+// checkpoint instead of executing, so progress fractions start where the
+// interrupted run left off.
+type skipReporter interface{ SkipTrials(n int) }
+
+type checkpointHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	Trials  int    `json:"trials"`
+}
+
+type checkpointRecord struct {
+	Trial  int             `json:"trial"`
+	Result json.RawMessage `json:"result"`
+}
+
+// loadCheckpoint reads the stored records of an existing checkpoint file.
+// A missing file yields an empty map. A truncated tail (the run died
+// mid-write) is tolerated: records are read up to the first malformed line
+// and the rest is discarded. A header that names a different experiment or
+// trial count is an error — resuming it would corrupt the merged result.
+func loadCheckpoint(cp Checkpoint, trials int) (map[int]json.RawMessage, error) {
+	f, err := os.Open(cp.Path)
+	if os.IsNotExist(err) {
+		return map[int]json.RawMessage{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trialrunner: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
+	if !sc.Scan() {
+		// Empty file (e.g. created then killed before the header flushed):
+		// treat as a fresh start.
+		return map[int]json.RawMessage{}, sc.Err()
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trialrunner: checkpoint %s: malformed header: %w", cp.Path, err)
+	}
+	if hdr.Magic != checkpointMagic || hdr.Version != checkpointVersion {
+		return nil, fmt.Errorf("trialrunner: checkpoint %s: not a version-%d %s file", cp.Path, checkpointVersion, checkpointMagic)
+	}
+	if hdr.Key != cp.Key {
+		return nil, fmt.Errorf("trialrunner: checkpoint %s was written by a different experiment (key %q, want %q); delete it or point -checkpoint elsewhere", cp.Path, hdr.Key, cp.Key)
+	}
+	if hdr.Trials != trials {
+		return nil, fmt.Errorf("trialrunner: checkpoint %s holds %d trials, experiment has %d; delete it or point -checkpoint elsewhere", cp.Path, hdr.Trials, trials)
+	}
+
+	stored := make(map[int]json.RawMessage)
+	for sc.Scan() {
+		var rec checkpointRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Partial tail from an interrupted write; everything before it
+			// is intact.
+			break
+		}
+		if rec.Trial < 0 || rec.Trial >= trials || rec.Result == nil {
+			break
+		}
+		stored[rec.Trial] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trialrunner: reading checkpoint: %w", err)
+	}
+	return stored, nil
+}
+
+// checkpointWriter appends freshly-completed trial records, flushing and
+// syncing every cp.every() records. It is only ever called under MapOpts'
+// onDone mutex, so it needs no locking of its own.
+type checkpointWriter struct {
+	f         *os.File
+	bw        *bufio.Writer
+	every     int
+	sinceSync int
+}
+
+// newCheckpointWriter atomically rewrites the checkpoint with the header and
+// the still-valid stored records (normalizing away any truncated tail), then
+// leaves the file open for appending.
+func newCheckpointWriter(cp Checkpoint, trials int, stored map[int]json.RawMessage) (*checkpointWriter, error) {
+	tmp := cp.Path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trialrunner: creating checkpoint: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(checkpointHeader{Magic: checkpointMagic, Version: checkpointVersion, Key: cp.Key, Trials: trials}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Deterministic record order on rewrite: trial index.
+	for i := 0; i < trials; i++ {
+		raw, ok := stored[i]
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(checkpointRecord{Trial: i, Result: raw}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, cp.Path); err != nil {
+		return nil, fmt.Errorf("trialrunner: installing checkpoint: %w", err)
+	}
+	af, err := os.OpenFile(cp.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trialrunner: reopening checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: af, bw: bufio.NewWriter(af), every: cp.every()}, nil
+}
+
+// record appends one completed trial.
+func (w *checkpointWriter) record(trial int, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("trialrunner: marshalling trial %d result: %w", trial, err)
+	}
+	if err := json.NewEncoder(w.bw).Encode(checkpointRecord{Trial: trial, Result: raw}); err != nil {
+		return fmt.Errorf("trialrunner: writing checkpoint record: %w", err)
+	}
+	w.sinceSync++
+	if w.sinceSync >= w.every {
+		w.sinceSync = 0
+		return w.sync()
+	}
+	return nil
+}
+
+func (w *checkpointWriter) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// close flushes, syncs and closes the file (kept on disk).
+func (w *checkpointWriter) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MapCheckpointed is MapOpts with a durable resume layer. With cp.Enabled():
+//
+//   - Results already recorded under cp.Path (same key, same trial count)
+//     are not re-executed; they are restored from disk into the returned
+//     slice.
+//   - Every freshly-completed trial is appended to cp.Path, flushed and
+//     fsynced every cp.Every completions — and always once more on the way
+//     out, so a cancelled run's final state is on disk before the call
+//     returns (SIGINT drain + final checkpoint).
+//   - On full completion the checkpoint file is removed.
+//
+// On a nil error the returned slice is complete: fresh results computed this
+// run, stored ones decoded from the checkpoint. R must round-trip through
+// encoding/json exactly; the integer-counter results in this repository all
+// do, which is what makes resumed merges bit-identical.
+func MapCheckpointed[R any](ctx context.Context, trials int, trial func(i int) R, onDone func(i int, r R) error, opts Options, cp Checkpoint) ([]R, error) {
+	if !cp.Enabled() {
+		return MapOpts(ctx, trials, trial, onDone, opts)
+	}
+	if trials < 0 {
+		panic(fmt.Sprintf("trialrunner: trials must be >= 0, got %d", trials))
+	}
+	if dir := filepath.Dir(cp.Path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trialrunner: creating checkpoint directory: %w", err)
+		}
+	}
+	stored, err := loadCheckpoint(cp, trials)
+	if err != nil {
+		return nil, err
+	}
+	if sr, ok := opts.Observer.(skipReporter); ok && len(stored) > 0 {
+		sr.SkipTrials(len(stored))
+	}
+	w, err := newCheckpointWriter(cp, trials, stored)
+	if err != nil {
+		return nil, err
+	}
+
+	prevSkip := opts.Skip
+	opts.Skip = func(i int) bool {
+		if _, ok := stored[i]; ok {
+			return true
+		}
+		return prevSkip != nil && prevSkip(i)
+	}
+	wrapped := func(i int, r R) error {
+		if err := w.record(i, r); err != nil {
+			return err
+		}
+		if onDone != nil {
+			return onDone(i, r)
+		}
+		return nil
+	}
+
+	results, runErr := MapOpts(ctx, trials, trial, wrapped, opts)
+	if cerr := w.close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		return results, runErr
+	}
+	// Restore the skipped trials from the checkpoint before handing the
+	// slice back complete.
+	for i, raw := range stored {
+		if err := json.Unmarshal(raw, &results[i]); err != nil {
+			return results, fmt.Errorf("trialrunner: decoding checkpointed trial %d: %w", i, err)
+		}
+	}
+	if err := os.Remove(cp.Path); err != nil {
+		return results, fmt.Errorf("trialrunner: removing completed checkpoint: %w", err)
+	}
+	return results, nil
+}
+
+// RunCheckpointed is the fold counterpart of MapCheckpointed: on a nil error
+// it merges all trial results strictly in trial order (stored and fresh
+// alike), exactly like Run. Requires trials >= 1.
+func RunCheckpointed[R any](ctx context.Context, trials int, trial func(i int) R, merge func(acc, next R) R, onDone func(i int, r R) error, opts Options, cp Checkpoint) (R, error) {
+	var zero R
+	if trials < 1 {
+		panic(fmt.Sprintf("trialrunner: RunCheckpointed requires trials >= 1, got %d", trials))
+	}
+	results, err := MapCheckpointed(ctx, trials, trial, onDone, opts, cp)
+	if err != nil {
+		return zero, err
+	}
+	acc := results[0]
+	for i := 1; i < trials; i++ {
+		acc = merge(acc, results[i])
+	}
+	return acc, nil
+}

@@ -1,0 +1,208 @@
+package trialrunner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PanicError reports a trial that panicked. The pool recovers the panic on
+// the worker goroutine, so one faulty trial surfaces as an error result from
+// MapOpts/RunCheckpointed instead of killing the whole process (and, for a
+// checkpointed campaign, instead of losing every completed trial).
+type PanicError struct {
+	// Trial is the index of the trial that panicked.
+	Trial int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("trialrunner: trial %d panicked: %v", e.Trial, e.Value)
+}
+
+// Observer receives per-trial lifecycle callbacks for progress metering
+// (internal/obs implements it). Callbacks fire on worker goroutines,
+// concurrently; implementations must be safe for concurrent use. The
+// callbacks carry no results and cannot influence them, so observation never
+// perturbs determinism.
+type Observer interface {
+	// TrialStart fires just before trial i runs.
+	TrialStart(trial int)
+	// TrialEnd fires after trial i finishes (normally or by panic) with its
+	// wall-clock duration.
+	TrialEnd(trial int, d time.Duration)
+}
+
+// Options configures a cancellable, resumable, observable run. The zero
+// value means: DefaultWorkers(), no trials skipped, no observer.
+type Options struct {
+	// Workers is the pool size (>= 1). 0 selects DefaultWorkers().
+	Workers int
+	// Skip, when non-nil, reports that trial i is already complete (its
+	// result is supplied elsewhere, e.g. from a checkpoint) and must not be
+	// executed. Skipped trials are left as zero values in the result slice
+	// and produce no onDone callback.
+	Skip func(i int) bool
+	// Observer, when non-nil, receives TrialStart/TrialEnd callbacks.
+	Observer Observer
+}
+
+// workers resolves the pool size.
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return DefaultWorkers()
+	}
+	return o.Workers
+}
+
+// MapOpts executes trials 0..trials-1 on a worker pool and returns their
+// results indexed by trial number, like Map, with three additions:
+//
+//   - Cancellation: when ctx is cancelled the pool drains gracefully — no
+//     new trials are claimed, in-flight trials run to completion (so their
+//     results can still be checkpointed) — and the error wraps ctx.Err().
+//   - Panic isolation: a panicking trial is recovered on its worker and
+//     reported as a *PanicError in the returned error; the remaining trials
+//     still run.
+//   - Completion hook: onDone, when non-nil, is called exactly once per
+//     freshly-completed (non-skipped, non-panicked) trial with its result.
+//     Calls are serialized under an internal mutex, in completion order. An
+//     onDone error aborts the run like a cancellation (graceful drain) and
+//     is included in the returned error.
+//
+// On a nil error the result slice is complete except for skipped trials.
+// The trial-to-worker assignment remains dynamic and the results remain a
+// pure function of the trial function — worker count, cancellation timing
+// and hooks never change the value any individual trial produces.
+func MapOpts[R any](ctx context.Context, trials int, trial func(i int) R, onDone func(i int, r R) error, opts Options) ([]R, error) {
+	workers := opts.workers()
+	if err := ValidateWorkers(workers); err != nil {
+		panic(err)
+	}
+	if trials < 0 {
+		panic(fmt.Sprintf("trialrunner: trials must be >= 0, got %d", trials))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]R, trials)
+	if trials == 0 {
+		return results, nil
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	var (
+		mu      sync.Mutex
+		panics  []*PanicError
+		hookErr error
+		stopped atomic.Bool // set on hook error; ctx handles cancellation
+		next    atomic.Int64
+		wg      sync.WaitGroup
+	)
+
+	runOne := func(i int) {
+		if opts.Observer != nil {
+			opts.Observer.TrialStart(i)
+		}
+		start := time.Now()
+		perr := func() (perr *PanicError) {
+			defer func() {
+				if v := recover(); v != nil {
+					perr = &PanicError{Trial: i, Value: v, Stack: debug.Stack()}
+				}
+			}()
+			results[i] = trial(i)
+			return nil
+		}()
+		if opts.Observer != nil {
+			opts.Observer.TrialEnd(i, time.Since(start))
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if perr != nil {
+			panics = append(panics, perr)
+			return
+		}
+		if onDone != nil && hookErr == nil {
+			if err := onDone(i, results[i]); err != nil {
+				hookErr = err
+				stopped.Store(true)
+			}
+		}
+	}
+
+	loop := func() {
+		for {
+			if stopped.Load() || ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= trials {
+				return
+			}
+			if opts.Skip != nil && opts.Skip(i) {
+				continue
+			}
+			runOne(i)
+		}
+	}
+
+	if workers == 1 {
+		loop()
+	} else {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				loop()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Assemble a deterministic error: panics sorted by trial index, then the
+	// hook error, then the cancellation cause.
+	sort.Slice(panics, func(a, b int) bool { return panics[a].Trial < panics[b].Trial })
+	errs := make([]error, 0, len(panics)+2)
+	for _, p := range panics {
+		errs = append(errs, p)
+	}
+	if hookErr != nil {
+		errs = append(errs, hookErr)
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return results, errors.Join(errs...)
+}
+
+// RunOpts is the fold counterpart of MapOpts: on a nil error it merges the
+// results strictly in trial order, exactly like Run. Requires trials >= 1
+// and no skipped trials (use RunCheckpointed when resuming from stored
+// results).
+func RunOpts[R any](ctx context.Context, trials int, trial func(i int) R, merge func(acc, next R) R, onDone func(i int, r R) error, opts Options) (R, error) {
+	var zero R
+	if trials < 1 {
+		panic(fmt.Sprintf("trialrunner: RunOpts requires trials >= 1, got %d", trials))
+	}
+	results, err := MapOpts(ctx, trials, trial, onDone, opts)
+	if err != nil {
+		return zero, err
+	}
+	acc := results[0]
+	for i := 1; i < trials; i++ {
+		acc = merge(acc, results[i])
+	}
+	return acc, nil
+}

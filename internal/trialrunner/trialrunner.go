@@ -24,10 +24,10 @@
 package trialrunner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // DefaultWorkers returns the default pool size: runtime.NumCPU().
@@ -49,43 +49,35 @@ func ValidateWorkers(workers int) error {
 // their results indexed by trial number. The assignment of trials to workers
 // is dynamic (an atomic work counter, so long trials do not stall the pool),
 // but the returned slice depends only on the trial function.
+//
+// A panicking trial re-panics on the calling goroutine (wrapped in a
+// *PanicError), never on a worker: programmer errors still fail loudly, but
+// the sibling trials finish first and the process dies with a stack that
+// names the trial. Cancellable or error-reporting callers should use MapOpts
+// instead.
 func Map[R any](workers, trials int, trial func(i int) R) []R {
 	if err := ValidateWorkers(workers); err != nil {
 		panic(err)
 	}
-	if trials < 0 {
-		panic(fmt.Sprintf("trialrunner: trials must be >= 0, got %d", trials))
-	}
-	results := make([]R, trials)
-	if trials == 0 {
-		return results
-	}
-	if workers > trials {
-		workers = trials
-	}
-	if workers == 1 {
-		for i := 0; i < trials; i++ {
-			results[i] = trial(i)
-		}
-		return results
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= trials {
-					return
-				}
-				results[i] = trial(i)
-			}
-		}()
-	}
-	wg.Wait()
+	results, err := MapOpts(context.Background(), trials, trial, nil, Options{Workers: workers})
+	MustPanicFree(err)
 	return results
+}
+
+// MustPanicFree panics if err is non-nil. A *PanicError re-panics with the
+// original trial's stack appended, so the process still dies with a trace
+// that names the faulty trial. The panic-propagating wrappers (Map, and the
+// engines' Parallel entry points, which delegate to their cancellable
+// Campaign counterparts) use it to keep their historical fail-loud contract.
+func MustPanicFree(err error) {
+	if err == nil {
+		return
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(fmt.Sprintf("%v\n%s", err, pe.Stack))
+	}
+	panic(err)
 }
 
 // Run executes trials 0..trials-1 across `workers` goroutines and folds the
