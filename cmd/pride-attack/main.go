@@ -61,8 +61,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for attack trials (>= 1; 1 = serial; results are worker-count invariant)")
 		cf cli.CampaignFlags
+		pf cli.ProfileFlags
 	)
 	cf.Register(fs)
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,6 +72,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 
 	if *trace != "" {
 		t, err := replayTrace(*trace, *acts, *seed)
@@ -85,10 +97,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var (
-		t   *report.Table
-		err error
-	)
+	var t *report.Table
 	switch *fig {
 	case 15:
 		t, err = fig15(ctx, *nPat, *seeds, *acts, *seed, *workers, cf, stderr)

@@ -1,0 +1,318 @@
+// Command pride-bench is the engine benchmark-regression harness: it runs
+// the tier-2 engine benchmarks in-process via testing.Benchmark, emits a
+// machine-readable JSON report (ns/op, ns/unit, allocs/op per engine), and
+// optionally compares the fresh numbers against a committed baseline
+// (BENCH_engines.json at the repository root).
+//
+// Usage:
+//
+//	pride-bench                                   # full scale, report to stdout
+//	pride-bench -out BENCH_engines.json           # refresh the committed baseline
+//	pride-bench -scale 100 -compare BENCH_engines.json -max-ns-regress -1
+//	                                              # CI smoke: allocs-only gate
+//
+// Comparison semantics:
+//
+//   - Engines marked guard_allocs are the zero-allocation hot paths; any
+//     allocs/op increase over the baseline fails the run. Allocations per op
+//     are scale-invariant for these engines (one op = one activation), so
+//     the gate is meaningful even for -scale smoke runs.
+//   - Time is compared on ns/unit (roughly scale-invariant) with the
+//     -max-ns-regress tolerance; a negative tolerance disables the time
+//     gate, which is what CI uses on noisy shared runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"pride/internal/baseline"
+	"pride/internal/core"
+	"pride/internal/dram"
+	"pride/internal/montecarlo"
+	"pride/internal/patterns"
+	"pride/internal/rng"
+	"pride/internal/sim"
+)
+
+const schemaVersion = 1
+
+// engine is one harnessed benchmark: a named workload with a known per-op
+// unit count so times can be compared across scales.
+type engine struct {
+	name string
+	// unit is the work unit ("period", "ACT", "round").
+	unit string
+	// unitsPerOp is how many units one benchmark op processes.
+	unitsPerOp int
+	// guardAllocs marks the zero-allocation hot paths whose allocs/op must
+	// never regress.
+	guardAllocs bool
+	bench       func(b *testing.B)
+}
+
+// record is one engine's measured result as serialized into the report.
+type record struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"`
+	UnitsPerOp  int     `json:"units_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerUnit   float64 `json:"ns_per_unit"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	GuardAllocs bool    `json:"guard_allocs"`
+}
+
+// benchReport is the JSON document pride-bench emits.
+type benchReport struct {
+	SchemaVersion int      `json:"schema_version"`
+	Scale         int      `json:"scale"`
+	Benchmarks    []record `json:"benchmarks"`
+}
+
+// sink defeats dead-code elimination of benchmark results.
+var sink uint64
+
+// scaled divides a full-scale workload size by the smoke divisor, keeping a
+// floor so even extreme scales exercise the real code paths.
+func scaled(full, scale, min int) int {
+	n := full / scale
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// engines builds the harnessed benchmark list at the given workload scale.
+func engines(scale int) []engine {
+	w := 79 // DDR5 ACTs per tREFI (Table I)
+
+	lossPeriods := scaled(10_000_000, scale, 1_000)
+	lossCfg := montecarlo.LossConfig{
+		Entries: 1, Window: w, InsertionProb: 1.0 / float64(w), Periods: lossPeriods,
+	}
+
+	rounds := scaled(100_000, scale, 100)
+	roundCfg := montecarlo.RoundConfig{
+		Entries: 4, Window: w, InsertionProb: 1.0 / float64(w+1), TRH: 3800, Rounds: rounds,
+	}
+
+	attackACTs := scaled(200_000, scale, 1_000)
+	ap := dram.DDR5()
+	ap.RowsPerBank = 8192
+	ap.RowBits = 13
+	attackCfg := sim.AttackConfig{Params: ap, ACTs: attackACTs}
+
+	lossActs := scaled(400_000, scale, 1_000)
+
+	return []engine{
+		{
+			name: "loss-engine-10M", unit: "period", unitsPerOp: lossPeriods,
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := montecarlo.SimulateLoss(lossCfg, rng.New(1))
+					sink += res.PerPosition[0].Insertions
+				}
+			},
+		},
+		{
+			name: "rounds-engine", unit: "round", unitsPerOp: rounds,
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := montecarlo.SimulateRounds(roundCfg, rng.New(1))
+					sink += uint64(res.Failures)
+				}
+			},
+		},
+		{
+			name: "pride-hot-path", unit: "ACT", unitsPerOp: 1, guardAllocs: true,
+			bench: func(b *testing.B) {
+				trk := core.New(core.DefaultConfig(w), rng.New(1))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					trk.OnActivate(i & 0x1FFFF)
+					if i%w == w-1 {
+						trk.OnMitigate()
+					}
+				}
+				sink += trk.Stats().Insertions
+			},
+		},
+		{
+			name: "para-hot-path", unit: "ACT", unitsPerOp: 1, guardAllocs: true,
+			bench: func(b *testing.B) {
+				trk := baseline.NewPARA(1.0/float64(w+1), rng.New(1))
+				// Warm up so the pending-mitigation buffer reaches its
+				// steady-state capacity before allocations are counted.
+				for i := 0; i < 4*w; i++ {
+					trk.OnActivate(i & 0x1FFFF)
+				}
+				trk.DrainImmediate()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					trk.OnActivate(i & 0x1FFFF)
+					if i%w == w-1 {
+						sink += uint64(len(trk.DrainImmediate()))
+					}
+				}
+			},
+		},
+		{
+			name: "attack-engine", unit: "ACT", unitsPerOp: attackACTs,
+			bench: func(b *testing.B) {
+				pat := patterns.DoubleSided(4000)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := sim.RunAttack(attackCfg, sim.PrIDEScheme(), pat, uint64(i))
+					sink += uint64(res.MaxDisturbance)
+				}
+			},
+		},
+		{
+			name: "pattern-loss-engine", unit: "ACT", unitsPerOp: lossActs,
+			bench: func(b *testing.B) {
+				pat := patterns.DoubleSided(4000)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m := sim.MeasurePatternLoss(4, w, pat, lossActs, uint64(i))
+					sink += uint64(len(m.Rows))
+				}
+			},
+		},
+	}
+}
+
+// measure runs every engine once through testing.Benchmark.
+func measure(scale int, stderr io.Writer) benchReport {
+	rep := benchReport{SchemaVersion: schemaVersion, Scale: scale}
+	for _, e := range engines(scale) {
+		fmt.Fprintf(stderr, "bench %-20s ...", e.name)
+		r := testing.Benchmark(e.bench)
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		rep.Benchmarks = append(rep.Benchmarks, record{
+			Name:        e.name,
+			Unit:        e.unit,
+			UnitsPerOp:  e.unitsPerOp,
+			NsPerOp:     nsPerOp,
+			NsPerUnit:   nsPerOp / float64(e.unitsPerOp),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			GuardAllocs: e.guardAllocs,
+		})
+		fmt.Fprintf(stderr, " %12.1f ns/op %8d allocs/op\n", nsPerOp, r.AllocsPerOp())
+	}
+	return rep
+}
+
+// loadBaseline reads a previously-emitted report.
+func loadBaseline(path string) (benchReport, error) {
+	var base benchReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return base, fmt.Errorf("pride-bench: reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return base, fmt.Errorf("pride-bench: parsing baseline %s: %w", path, err)
+	}
+	if base.SchemaVersion != schemaVersion {
+		return base, fmt.Errorf("pride-bench: baseline %s has schema %d, want %d", path, base.SchemaVersion, schemaVersion)
+	}
+	return base, nil
+}
+
+// compareReports checks fresh against the baseline and reports the number of
+// gate failures. maxNsRegress < 0 disables the time gate.
+func compareReports(fresh, base benchReport, maxNsRegress float64, stdout io.Writer) int {
+	byName := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	failures := 0
+	for _, r := range fresh.Benchmarks {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %-20s not in baseline\n", r.Name)
+			continue
+		}
+		if r.GuardAllocs && r.AllocsPerOp > b.AllocsPerOp {
+			fmt.Fprintf(stdout, "FAIL %-20s allocs/op %d > baseline %d\n", r.Name, r.AllocsPerOp, b.AllocsPerOp)
+			failures++
+			continue
+		}
+		if maxNsRegress >= 0 && b.NsPerUnit > 0 && r.NsPerUnit > b.NsPerUnit*(1+maxNsRegress) {
+			fmt.Fprintf(stdout, "FAIL %-20s %.2f ns/%s > baseline %.2f (+%.0f%% tolerance)\n",
+				r.Name, r.NsPerUnit, r.Unit, b.NsPerUnit, maxNsRegress*100)
+			failures++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok   %-20s %.2f ns/%s, %d allocs/op (baseline %.2f, %d)\n",
+			r.Name, r.NsPerUnit, r.Unit, r.AllocsPerOp, b.NsPerUnit, b.AllocsPerOp)
+	}
+	return failures
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pride-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("out", "", "write the JSON report to this file (\"\" = stdout)")
+		compare = fs.String("compare", "", "baseline JSON report to gate against (\"\" disables)")
+		scale   = fs.Int("scale", 1, "workload divisor for smoke runs (1 = full scale)")
+		maxNs   = fs.Float64("max-ns-regress", 0.25,
+			"tolerated ns/unit regression vs -compare as a fraction (negative disables the time gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scale < 1 {
+		fmt.Fprintln(stderr, "-scale must be >= 1")
+		return 2
+	}
+
+	rep := measure(*scale, stderr)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	if *compare != "" {
+		base, err := loadBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if base.Scale != rep.Scale {
+			fmt.Fprintf(stdout, "note: comparing scale=%d run against scale=%d baseline (ns/unit is scale-adjusted)\n",
+				rep.Scale, base.Scale)
+		}
+		if failures := compareReports(rep, base, *maxNs, stdout); failures > 0 {
+			fmt.Fprintf(stderr, "pride-bench: %d benchmark gate(s) failed\n", failures)
+			return 1
+		}
+	}
+	return 0
+}

@@ -55,8 +55,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for Monte-Carlo runs (>= 1; 1 = serial; results are worker-count invariant)")
 		cf cli.CampaignFlags
+		pf cli.ProfileFlags
 	)
 	cf.Register(fs)
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,6 +66,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 
 	p := dram.DDR5()
 	emit := func(t *report.Table) {

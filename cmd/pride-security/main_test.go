@@ -106,6 +106,38 @@ func TestRunWorkersFlag(t *testing.T) {
 	}
 }
 
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run(context.Background(),
+		[]string{"-table", "11", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestRunRejectsBadProfilePath(t *testing.T) {
+	var out, errOut strings.Builder
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")
+	if code := run(context.Background(), []string{"-table", "11", "-cpuprofile", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "CPU profile") {
+		t.Fatalf("no diagnostic on stderr: %q", errOut.String())
+	}
+}
+
 func TestRunRejectsBadWorkers(t *testing.T) {
 	for _, bad := range []string{"0", "-3"} {
 		var out, errOut strings.Builder

@@ -109,10 +109,11 @@ func (c *CAT) OnActivate(row int) {
 	}
 }
 
-// DrainImmediate implements ImmediateMitigator.
+// DrainImmediate implements ImmediateMitigator. The returned slice is
+// reused: it is valid only until the next OnActivate.
 func (c *CAT) DrainImmediate() []tracker.Mitigation {
 	out := c.pending
-	c.pending = nil
+	c.pending = c.pending[:0]
 	return out
 }
 
@@ -146,11 +147,7 @@ func (c *CAT) Mitigations() uint64 { return c.mitigations }
 // StorageBits implements tracker.Tracker: maxNodes counters plus two range
 // bounds each.
 func (c *CAT) StorageBits() int {
-	counterBits := 1
-	for v := c.threshold; v > 0; v >>= 1 {
-		counterBits++
-	}
-	return c.maxNodes * (counterBits + 2*c.rowBits)
+	return c.maxNodes * (counterBits(c.threshold) + 2*c.rowBits)
 }
 
 // Reset implements tracker.Tracker.

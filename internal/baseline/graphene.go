@@ -108,10 +108,11 @@ func (g *Graphene) checkThreshold(i int) {
 	}
 }
 
-// DrainImmediate implements ImmediateMitigator.
+// DrainImmediate implements ImmediateMitigator. The returned slice is
+// reused: it is valid only until the next OnActivate.
 func (g *Graphene) DrainImmediate() []tracker.Mitigation {
 	out := g.pending
-	g.pending = nil
+	g.pending = g.pending[:0]
 	return out
 }
 
@@ -132,14 +133,11 @@ func (g *Graphene) Occupancy() int {
 	return n
 }
 
-// StorageBits implements tracker.Tracker: row + counter wide enough for the
-// threshold + valid bit, plus the spillover counter.
+// StorageBits implements tracker.Tracker: row + counter wide enough to
+// represent 0..threshold + valid bit, plus the spillover counter.
 func (g *Graphene) StorageBits() int {
-	counterBits := 1
-	for v := g.threshold; v > 0; v >>= 1 {
-		counterBits++
-	}
-	return g.entries*(g.rowBits+counterBits+1) + counterBits
+	cb := counterBits(g.threshold)
+	return g.entries*(g.rowBits+cb+1) + cb
 }
 
 // Mitigations returns the total number of threshold crossings so far.

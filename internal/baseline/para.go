@@ -22,6 +22,10 @@ import (
 // activation.
 type ImmediateMitigator interface {
 	// DrainImmediate returns and clears mitigations to perform right now.
+	// The returned slice is borrowed: implementations reuse its backing
+	// array, so it is valid only until the next OnActivate on the same
+	// tracker. Callers that retain mitigations must copy them out (ranging
+	// over the slice and appending values, as the simulators do, is safe).
 	DrainImmediate() []tracker.Mitigation
 }
 
@@ -32,6 +36,7 @@ type ImmediateMitigator interface {
 // refreshes — vulnerable to transitive attacks (Section IV-G).
 type PARA struct {
 	p       float64
+	pT      rng.Threshold
 	rng     *rng.Stream
 	pending []tracker.Mitigation
 	acts    uint64
@@ -50,7 +55,7 @@ func NewPARA(p float64, r *rng.Stream) *PARA {
 	if r == nil {
 		panic("baseline: nil rng stream")
 	}
-	return &PARA{p: p, rng: r}
+	return &PARA{p: p, pT: rng.NewThreshold(p), rng: r}
 }
 
 // Name implements tracker.Tracker.
@@ -60,15 +65,16 @@ func (p *PARA) Name() string { return "PARA-MC" }
 // immediately (drained by the simulator after this call).
 func (p *PARA) OnActivate(row int) {
 	p.acts++
-	if p.rng.Bernoulli(p.p) {
+	if p.rng.BernoulliT(p.pT) {
 		p.pending = append(p.pending, tracker.Mitigation{Row: row, Level: 1})
 	}
 }
 
-// DrainImmediate implements ImmediateMitigator.
+// DrainImmediate implements ImmediateMitigator. The returned slice is
+// reused: it is valid only until the next OnActivate.
 func (p *PARA) DrainImmediate() []tracker.Mitigation {
 	out := p.pending
-	p.pending = nil
+	p.pending = p.pending[:0]
 	return out
 }
 
@@ -97,6 +103,7 @@ func (p *PARA) Reset() {
 // opportunities.
 type PARADRFM struct {
 	p        float64
+	pT       rng.Threshold
 	interval int
 	rng      *rng.Stream
 
@@ -121,7 +128,7 @@ func NewPARADRFM(p float64, interval, rowBits int, r *rng.Stream) *PARADRFM {
 	if r == nil {
 		panic("baseline: nil rng stream")
 	}
-	return &PARADRFM{p: p, interval: interval, rowBits: rowBits, rng: r, sinceIssue: interval}
+	return &PARADRFM{p: p, pT: rng.NewThreshold(p), interval: interval, rowBits: rowBits, rng: r, sinceIssue: interval}
 }
 
 // Name implements tracker.Tracker.
@@ -135,7 +142,7 @@ func (d *PARADRFM) Name() string {
 // OnActivate samples the row into the pending register, overwriting any
 // unissued selection.
 func (d *PARADRFM) OnActivate(row int) {
-	if d.rng.Bernoulli(d.p) {
+	if d.rng.BernoulliT(d.pT) {
 		d.pendingRow = row
 		d.pendingValid = true
 	}

@@ -26,6 +26,8 @@ type PRoHIT struct {
 	rowBits     int
 	insertProb  float64
 	promoteProb float64
+	insertT     rng.Threshold
+	promoteT    rng.Threshold
 	rng         *rng.Stream
 
 	// table[0] is the top rank; table[len-1] the bottom.
@@ -60,6 +62,8 @@ func NewPRoHIT(entries, rowBits int, insertProb, promoteProb float64, r *rng.Str
 		rowBits:     rowBits,
 		insertProb:  insertProb,
 		promoteProb: promoteProb,
+		insertT:     rng.NewThreshold(insertProb),
+		promoteT:    rng.NewThreshold(promoteProb),
 		rng:         r,
 		table:       make([]int, entries),
 	}
@@ -73,7 +77,7 @@ func (p *PRoHIT) Name() string { return "PRoHIT" }
 func (p *PRoHIT) OnActivate(row int) {
 	for i := 0; i < p.used; i++ {
 		if p.table[i] == row {
-			if i > 0 && p.rng.Bernoulli(p.promoteProb) {
+			if i > 0 && p.rng.BernoulliT(p.promoteT) {
 				p.table[i], p.table[i-1] = p.table[i-1], p.table[i]
 			}
 			return
@@ -84,7 +88,7 @@ func (p *PRoHIT) OnActivate(row int) {
 		p.used++
 		return
 	}
-	if p.rng.Bernoulli(p.insertProb) {
+	if p.rng.BernoulliT(p.insertT) {
 		p.table[p.entries-1] = row
 	}
 }

@@ -1,0 +1,15 @@
+package baseline
+
+import "math/bits"
+
+// counterBits returns the width of a hardware counter that must represent
+// every value in 0..max inclusive: ceil(log2(max+1)) bits. Centralized
+// because several schemes' storage accounting previously used ad-hoc
+// shift loops that computed bits.Len(max)+1, overcounting every counter by
+// one bit (a threshold-32 counter needs 6 bits, not 7).
+func counterBits(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	return bits.Len(uint(max))
+}

@@ -106,10 +106,11 @@ func (t *TWiCe) prune() {
 	}
 }
 
-// DrainImmediate implements ImmediateMitigator.
+// DrainImmediate implements ImmediateMitigator. The returned slice is
+// reused: it is valid only until the next OnActivate.
 func (t *TWiCe) DrainImmediate() []tracker.Mitigation {
 	out := t.pending
-	t.pending = nil
+	t.pending = t.pending[:0]
 	return out
 }
 
@@ -127,19 +128,13 @@ func (t *TWiCe) Mitigations() uint64 { return t.mitigations }
 // StorageBits implements tracker.Tracker: TWiCe is sized for its worst-case
 // occupancy, windowACTs/threshold-ish entries of (row + count + life).
 func (t *TWiCe) StorageBits() int {
-	counterBits := 1
-	for v := t.threshold; v > 0; v >>= 1 {
-		counterBits++
-	}
-	lifeBits := 1
-	for v := t.maxLife; v > 0; v >>= 1 {
-		lifeBits++
-	}
+	cb := counterBits(t.threshold)
+	lifeBits := counterBits(t.maxLife)
 	capacity := t.maxLife * t.pruneEvery / t.threshold * 2 // pruning bound
 	if capacity < 1 {
 		capacity = 1
 	}
-	return capacity * (t.rowBits + counterBits + lifeBits)
+	return capacity * (t.rowBits + cb + lifeBits)
 }
 
 // Reset implements tracker.Tracker.

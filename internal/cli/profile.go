@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags holds the shared -cpuprofile/-memprofile flag values. The
+// profiles are written with runtime/pprof and are directly consumable by
+// `go tool pprof`; see EXPERIMENTS.md for the workflow.
+type ProfileFlags struct {
+	// CPUProfile is the CPU profile output path ("" disables).
+	CPUProfile string
+	// MemProfile is the heap profile output path ("" disables). The profile
+	// is captured on the way out, after a final GC, so it reflects live heap
+	// rather than transient garbage.
+	MemProfile string
+}
+
+// Register installs the -cpuprofile and -memprofile flags on fs.
+func (p *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "",
+		"write a CPU profile to this file (\"\" disables)")
+	fs.StringVar(&p.MemProfile, "memprofile", "",
+		"write a heap profile to this file on exit (\"\" disables)")
+}
+
+// Enabled reports whether any profile output was requested.
+func (p ProfileFlags) Enabled() bool { return p.CPUProfile != "" || p.MemProfile != "" }
+
+// Start begins CPU profiling when -cpuprofile is set and returns a stop
+// function that finishes the CPU profile and, when -memprofile is set,
+// captures the heap profile. Stop is idempotent, so it is safe both to defer
+// it and to call it explicitly on the success path. With no profiling flags
+// set, Start is a no-op returning a no-op stop.
+func (p ProfileFlags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cli: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cli: starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cli: closing CPU profile: %w", err)
+			}
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("cli: creating heap profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // materialize the live heap before snapshotting it
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("cli: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cli: closing heap profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

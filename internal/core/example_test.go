@@ -55,5 +55,5 @@ func Example_securityBound() {
 		r.TRHStar, r.TRHDoubleSided(),
 		core.New(core.DefaultConfig(p.ACTsPerTREFI()), rng.New(1)).StorageBits())
 	// Output:
-	// TRH-S* = 3808, TRH-D* = 1904, storage = 86 bits
+	// TRH-S* = 3808, TRH-D* = 1904, storage = 85 bits
 }

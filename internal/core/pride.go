@@ -161,6 +161,10 @@ type entry struct {
 type PrIDE struct {
 	cfg Config
 	rng *rng.Stream
+	// insertT is cfg.InsertionProb precomputed as an integer acceptance
+	// threshold, so the per-ACT sampling decision is one raw draw plus an
+	// integer compare (bit-identical to the float compare it replaces).
+	insertT rng.Threshold
 
 	buf []entry
 	ptr int
@@ -203,9 +207,10 @@ func New(cfg Config, r *rng.Stream) *PrIDE {
 		panic("pride: nil rng stream")
 	}
 	return &PrIDE{
-		cfg: cfg,
-		rng: r,
-		buf: make([]entry, cfg.Entries),
+		cfg:     cfg,
+		rng:     r,
+		insertT: rng.NewThreshold(cfg.InsertionProb),
+		buf:     make([]entry, cfg.Entries),
 	}
 }
 
@@ -238,7 +243,7 @@ func (p *PrIDE) emit(kind EventKind, row int) {
 func (p *PrIDE) OnActivate(row int) {
 	p.stats.Activations++
 
-	insert := p.rng.Bernoulli(p.cfg.InsertionProb)
+	insert := p.rng.BernoulliT(p.insertT)
 
 	// Deliberate R1 violation for the ablation: always insert when the
 	// buffer has room. This couples the insertion decision to buffer
@@ -276,18 +281,25 @@ func (p *PrIDE) evict() {
 		p.emit(EventEvict, p.buf[p.ptr].row)
 		p.ptr = (p.ptr + 1) % p.cfg.Entries
 	case Random:
-		// Overwrite a random victim with the current oldest entry, then
-		// advance ptr: equivalent to removing a uniform victim while
-		// preserving the queue order of the survivors.
 		k := p.rng.Intn(p.occ)
 		p.emit(EventEvict, p.buf[(p.ptr+k)%p.cfg.Entries].row)
-		if k != 0 {
-			p.buf[(p.ptr+k)%p.cfg.Entries] = p.buf[p.ptr]
-		}
-		p.ptr = (p.ptr + 1) % p.cfg.Entries
+		p.removeAt(k)
 	}
 	p.occ--
 	p.stats.Evictions++
+}
+
+// removeAt removes the k-th oldest entry (0 = head) while preserving the
+// queue order of the survivors: entries older than the victim shift one slot
+// toward the tail, then the head pointer advances past the vacated slot. N
+// is at most a handful of entries, so the shift is a few struct copies. The
+// caller decrements occ.
+func (p *PrIDE) removeAt(k int) {
+	n := p.cfg.Entries
+	for i := k; i > 0; i-- {
+		p.buf[(p.ptr+i)%n] = p.buf[(p.ptr+i-1)%n]
+	}
+	p.ptr = (p.ptr + 1) % n
 }
 
 // OnMitigate pops one entry per the mitigation policy. With transitive
@@ -306,19 +318,15 @@ func (p *PrIDE) OnMitigate() (tracker.Mitigation, bool) {
 		p.ptr = (p.ptr + 1) % p.cfg.Entries
 	case Random:
 		k := p.rng.Intn(p.occ)
-		idx := (p.ptr + k) % p.cfg.Entries
-		e = p.buf[idx]
-		if k != 0 {
-			p.buf[idx] = p.buf[p.ptr]
-		}
-		p.ptr = (p.ptr + 1) % p.cfg.Entries
+		e = p.buf[(p.ptr+k)%p.cfg.Entries]
+		p.removeAt(k)
 	}
 	p.occ--
 	p.stats.Mitigations++
 	p.emit(EventMitigate, e.row)
 
 	if p.cfg.TransitiveProtection && e.level < p.cfg.MaxLevel {
-		if p.rng.Bernoulli(p.cfg.InsertionProb) {
+		if p.rng.BernoulliT(p.insertT) {
 			p.insert(entry{row: e.row, level: e.level + 1})
 			p.stats.Reinsertions++
 		}
@@ -353,11 +361,13 @@ func (p *PrIDE) Snapshot() []tracker.Mitigation {
 }
 
 // StorageBits implements tracker.Tracker: N entries of (rowBits + 3-bit
-// level), plus the PTR and Occ registers (ceil(log2 N)+1 bits each,
-// negligible; we count them anyway for honesty).
+// level), plus the PTR register (indexes 0..N-1, ceil(log2 N) bits) and the
+// Occ register (counts 0..N inclusive, so ceil(log2(N+1)) bits — one more
+// value than PTR, and for non-power-of-two N often the same width). Both are
+// negligible; we count them anyway for honesty.
 func (p *PrIDE) StorageBits() int {
 	perEntry := p.cfg.RowBits + 3
-	regBits := 2 * (ceilLog2(p.cfg.Entries) + 1)
+	regBits := ceilLog2(p.cfg.Entries) + ceilLog2(p.cfg.Entries+1)
 	return p.cfg.Entries*perEntry + regBits
 }
 

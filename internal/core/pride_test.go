@@ -342,6 +342,112 @@ func TestRandomMitigationDrainsAllEntries(t *testing.T) {
 	}
 }
 
+// minusOne reports whether got equals want with exactly the one entry whose
+// row is victim removed, relative order of all survivors preserved.
+func minusOne(want, got []tracker.Mitigation, victim int) bool {
+	if len(got) != len(want)-1 {
+		return false
+	}
+	i := 0
+	removed := false
+	for _, e := range want {
+		if !removed && e.Row == victim {
+			removed = true
+			continue
+		}
+		if i >= len(got) || got[i] != e {
+			return false
+		}
+		i++
+	}
+	return removed && i == len(got)
+}
+
+func TestRandomMitigationPreservesSurvivorOrder(t *testing.T) {
+	// Regression: the old compaction moved the head entry into the victim's
+	// slot, reordering the FIFO survivors; removal must keep queue order.
+	for seed := uint64(0); seed < 50; seed++ {
+		cfg := simpleConfig(4, 1)
+		cfg.Mitigation = Random
+		pr := New(cfg, rng.New(seed))
+		for _, r := range []int{10, 20, 30, 40} {
+			pr.OnActivate(r)
+		}
+		for pr.Occupancy() > 0 {
+			before := pr.Snapshot()
+			m, ok := pr.OnMitigate()
+			if !ok {
+				t.Fatal("buffer drained early")
+			}
+			after := pr.Snapshot()
+			if !minusOne(before, after, m.Row) {
+				t.Fatalf("seed %d: mitigating row %d from %v left %v; survivor order not preserved",
+					seed, m.Row, before, after)
+			}
+		}
+	}
+}
+
+func TestRandomEvictionPreservesSurvivorOrder(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		cfg := simpleConfig(4, 1)
+		cfg.Eviction = Random
+		pr := New(cfg, rng.New(seed))
+		var evicted []int
+		pr.Observe(func(kind EventKind, row int) {
+			if kind == EventEvict {
+				evicted = append(evicted, row)
+			}
+		})
+		for _, r := range []int{10, 20, 30, 40} {
+			pr.OnActivate(r)
+		}
+		// Each further insert (p=1) evicts one uniform victim; survivors
+		// must keep their queue order with the new row appended.
+		for next := 50; next < 150; next += 10 {
+			before := pr.Snapshot()
+			evicted = evicted[:0]
+			pr.OnActivate(next)
+			after := pr.Snapshot()
+			if len(evicted) != 1 {
+				t.Fatalf("seed %d: expected exactly one eviction, got %v", seed, evicted)
+			}
+			if len(after) == 0 || after[len(after)-1].Row != next {
+				t.Fatalf("seed %d: new row %d not at the tail: %v", seed, next, after)
+			}
+			if !minusOne(before, after[:len(after)-1], evicted[0]) {
+				t.Fatalf("seed %d: evicting row %d from %v left %v; survivor order not preserved",
+					seed, evicted[0], before, after)
+			}
+		}
+	}
+}
+
+func TestStorageBitsHandComputed(t *testing.T) {
+	// N*(rowBits+3) payload, plus PTR (ceil(log2 N) bits, indexes 0..N-1)
+	// and Occ (ceil(log2(N+1)) bits, counts 0..N inclusive).
+	cases := []struct {
+		entries, rowBits, want int
+	}{
+		{1, 17, 1*20 + 0 + 1},  // PTR degenerate, Occ in {0,1}
+		{2, 10, 2*13 + 1 + 2},  // Occ counts 0..2: two bits
+		{3, 17, 3*20 + 2 + 2},  // non-power-of-two: Occ 0..3 fits 2 bits
+		{4, 17, 4*20 + 2 + 3},  // paper default: 85 bits, not 86
+		{5, 8, 5*11 + 3 + 3},   // Occ 0..5 fits 3 bits
+		{8, 17, 8*20 + 3 + 4},  // Occ 0..8 needs 4 bits
+		{16, 17, 16*20 + 4 + 5},
+	}
+	for _, c := range cases {
+		cfg := simpleConfig(c.entries, 0.5)
+		cfg.RowBits = c.rowBits
+		got := newTest(cfg, 1).StorageBits()
+		if got != c.want {
+			t.Errorf("StorageBits(N=%d, rowBits=%d) = %d, want %d",
+				c.entries, c.rowBits, got, c.want)
+		}
+	}
+}
+
 func TestValidateRejections(t *testing.T) {
 	bad := []Config{
 		{Entries: 0, InsertionProb: 0.5, MaxLevel: 1, RowBits: 17},

@@ -96,17 +96,22 @@ func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts
 			return nil
 		}
 	}
-	return trialrunner.RunCheckpointed(ctx, len(sizes),
-		func(i int) LossResult {
+	// One scratch arena per worker index: chunks run by the same worker
+	// reuse the FIFO buffer. Scratch never reaches a result, so worker-count
+	// invariance is untouched.
+	ropts := opts.runnerOpts()
+	scratch := make([]lossScratch, ropts.PoolSize(len(sizes)))
+	return trialrunner.RunCheckpointedWorker(ctx, len(sizes),
+		func(worker, i int) LossResult {
 			c := cfg
 			c.Periods = sizes[i]
-			return SimulateLoss(c, rng.Derived(seed, uint64(i)))
+			return simulateLoss(c, rng.Derived(seed, uint64(i)), &scratch[worker])
 		},
 		func(acc, next LossResult) LossResult {
 			acc.merge(next)
 			return acc
 		},
-		onDone, opts.runnerOpts(), cp)
+		onDone, ropts, cp)
 }
 
 // RoundsCampaignKey is the canonical checkpoint key of a round-failure
@@ -146,16 +151,18 @@ func SimulateRoundsCampaign(ctx context.Context, cfg RoundConfig, seed uint64, o
 			return nil
 		}
 	}
-	return trialrunner.RunCheckpointed(ctx, len(sizes),
-		func(i int) RoundResult {
+	ropts := opts.runnerOpts()
+	scratch := make([]roundScratch, ropts.PoolSize(len(sizes)))
+	return trialrunner.RunCheckpointedWorker(ctx, len(sizes),
+		func(worker, i int) RoundResult {
 			c := cfg
 			c.Rounds = sizes[i]
-			return SimulateRounds(c, rng.Derived(seed, uint64(i)))
+			return simulateRounds(c, rng.Derived(seed, uint64(i)), &scratch[worker])
 		},
 		func(acc, next RoundResult) RoundResult {
 			acc.Rounds += next.Rounds
 			acc.Failures += next.Failures
 			return acc
 		},
-		onDone, opts.runnerOpts(), cp)
+		onDone, ropts, cp)
 }

@@ -106,11 +106,34 @@ type taggedEntry struct {
 	position int // 1-based position within its insertion window
 }
 
+// lossScratch is the reusable working storage of one loss-simulation trial.
+// Campaign workers keep one per worker index and pass it to consecutive
+// chunks, so the FIFO buffer is allocated once per worker instead of once
+// per chunk. Only scratch lives here — never anything that reaches the
+// returned LossResult.
+type lossScratch struct {
+	buf []taggedEntry
+}
+
+// entries returns a length-n buffer, reusing the previous allocation when it
+// is large enough. Stale contents are harmless: the simulation never reads a
+// slot before writing it (occ starts at 0).
+func (s *lossScratch) entries(n int) []taggedEntry {
+	if cap(s.buf) < n {
+		s.buf = make([]taggedEntry, n)
+	}
+	return s.buf[:n]
+}
+
 // SimulateLoss streams cfg.Periods windows through an N-entry FIFO tracker
 // with probabilistic insertion, FIFO eviction and one FIFO mitigation per
 // window, and attributes every eviction/mitigation to the insertion position
 // of the affected entry (the paper's Monte-Carlo methodology).
 func SimulateLoss(cfg LossConfig, r *rng.Stream) LossResult {
+	return simulateLoss(cfg, r, &lossScratch{})
+}
+
+func simulateLoss(cfg LossConfig, r *rng.Stream, sc *lossScratch) LossResult {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
@@ -121,14 +144,17 @@ func SimulateLoss(cfg LossConfig, r *rng.Stream) LossResult {
 		PerPosition:    make([]PositionStats, cfg.Window),
 		StartOccupancy: make([]uint64, cfg.Entries+1),
 	}
+	// Per-ACT sampling via the precomputed integer threshold: bit-identical
+	// decisions to Bernoulli(cfg.InsertionProb), one raw draw per ACT.
+	insertT := rng.NewThreshold(cfg.InsertionProb)
 	// Circular FIFO of tagged entries.
-	buf := make([]taggedEntry, cfg.Entries)
+	buf := sc.entries(cfg.Entries)
 	ptr, occ := 0, 0
 
 	for period := 0; period < cfg.Periods; period++ {
 		res.StartOccupancy[occ]++
 		for k := 1; k <= cfg.Window; k++ {
-			if !r.Bernoulli(cfg.InsertionProb) {
+			if !r.BernoulliT(insertT) {
 				continue
 			}
 			res.PerPosition[k-1].Insertions++
@@ -188,6 +214,26 @@ func (r RoundResult) FailureProb() float64 {
 // else — the pessimistic single-row round of Section III-A. The measured
 // probability must not exceed the analytic (1-p̂)^(TRH-tardiness) bound.
 func SimulateRounds(cfg RoundConfig, r *rng.Stream) RoundResult {
+	return simulateRounds(cfg, r, &roundScratch{})
+}
+
+// slot is a FIFO slot of the round simulation.
+type slot struct{ row int }
+
+// roundScratch is the reusable working storage of one round-simulation
+// trial, mirroring lossScratch.
+type roundScratch struct {
+	buf []slot
+}
+
+func (s *roundScratch) entries(n int) []slot {
+	if cap(s.buf) < n {
+		s.buf = make([]slot, n)
+	}
+	return s.buf[:n]
+}
+
+func simulateRounds(cfg RoundConfig, r *rng.Stream, sc *roundScratch) RoundResult {
 	if cfg.Entries <= 0 || cfg.Window <= 0 || cfg.TRH <= 0 || cfg.Rounds <= 0 {
 		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
 	}
@@ -200,14 +246,14 @@ func SimulateRounds(cfg RoundConfig, r *rng.Stream) RoundResult {
 	const aggressor = 1 // single-row round: every slot activates the aggressor
 
 	res := RoundResult{Rounds: cfg.Rounds}
-	type slot struct{ row int }
-	buf := make([]slot, cfg.Entries)
+	insertT := rng.NewThreshold(cfg.InsertionProb)
+	buf := sc.entries(cfg.Entries)
 	for round := 0; round < cfg.Rounds; round++ {
 		ptr, occ := 0, 0
 		mitigated := false
 		pos := 0
 		for act := 0; act < cfg.TRH && !mitigated; act++ {
-			if r.Bernoulli(cfg.InsertionProb) {
+			if r.BernoulliT(insertT) {
 				if occ == cfg.Entries {
 					ptr = (ptr + 1) % cfg.Entries
 					occ--

@@ -106,11 +106,20 @@ func (p *PCG32) Uint64() uint64 {
 // usable; construct with NewStream.
 type Stream struct {
 	src Source
+	// xs caches the concrete generator when src is a *XorShift64Star so the
+	// hot samplers can draw through a direct (inlineable) call instead of
+	// interface dispatch. Purely an optimization: the draw sequence is
+	// identical either way.
+	xs *XorShift64Star
 }
 
 // NewStream returns a Stream drawing from src.
 func NewStream(src Source) *Stream {
-	return &Stream{src: src}
+	s := &Stream{src: src}
+	if x, ok := src.(*XorShift64Star); ok {
+		s.xs = x
+	}
+	return s
 }
 
 // New returns a Stream backed by a fresh XorShift64Star with the given seed.
@@ -118,25 +127,75 @@ func New(seed uint64) *Stream {
 	return NewStream(NewXorShift64Star(seed))
 }
 
+// next returns the next raw 64-bit draw, devirtualized when the backing
+// source is the workhorse XorShift64Star.
+func (s *Stream) next() uint64 {
+	if x := s.xs; x != nil {
+		return x.Uint64()
+	}
+	return s.src.Uint64()
+}
+
 // Uint64 returns the next raw 64-bit value.
-func (s *Stream) Uint64() uint64 { return s.src.Uint64() }
+func (s *Stream) Uint64() uint64 { return s.next() }
 
 // Float64 returns a uniform float64 in [0,1) with 53 bits of precision.
 func (s *Stream) Float64() float64 {
-	return float64(s.src.Uint64()>>11) / (1 << 53)
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// bernoulliBits is the precision of Bernoulli sampling: draws and thresholds
+// live on the integer lattice {0, ..., 2^53}, matching Float64's 53-bit
+// mantissa so the integer compare is bit-identical to `Float64() < p`.
+const bernoulliBits = 53
+
+// Threshold is a precomputed integer acceptance threshold for Bernoulli
+// sampling: a draw u (53 high bits of a raw Uint64) fires iff u < t.
+// Precompute it once per configuration with NewThreshold and sample with
+// Stream.BernoulliT; the per-event cost is then one raw draw, a shift, and
+// an integer compare — no float conversion or division.
+type Threshold uint64
+
+// NewThreshold returns the acceptance threshold equivalent to probability p.
+// Out-of-range probabilities saturate: p <= 0 (or NaN) never fires, p >= 1
+// always fires.
+//
+// For p in (0,1) the threshold is ceil(p * 2^53), which makes
+// BernoulliT(NewThreshold(p)) return exactly the same decisions as the
+// historical float compare `Float64() < p` on every draw: p*2^53 is computed
+// exactly (scaling by a power of two only shifts the exponent), and for an
+// exact real x and integer u, u < x iff u < ceil(x).
+func NewThreshold(p float64) Threshold {
+	if !(p > 0) { // also catches NaN
+		return 0
+	}
+	if p >= 1 {
+		return 1 << bernoulliBits
+	}
+	return Threshold(math.Ceil(p * (1 << bernoulliBits)))
+}
+
+// Prob returns the exact probability with which the threshold fires.
+func (t Threshold) Prob() float64 { return float64(t) / (1 << bernoulliBits) }
+
+// BernoulliT returns true with the probability encoded by t, consuming
+// exactly one raw draw. This is the allocation-free hot path used by the
+// per-activation loops; precompute t with NewThreshold.
+func (s *Stream) BernoulliT(t Threshold) bool {
+	return s.next()>>11 < uint64(t)
 }
 
 // Bernoulli returns true with probability p. Probabilities outside [0,1]
-// saturate (p<=0 never fires, p>=1 always fires), matching how a hardware
-// comparator against a fixed threshold behaves.
+// saturate (p <= 0 never fires, p >= 1 always fires), matching how a
+// hardware comparator against a fixed threshold behaves.
+//
+// Draw-count contract: Bernoulli consumes exactly one raw draw from the
+// underlying source for every call, including saturated probabilities. This
+// keeps streams aligned across configuration sweeps — two runs that differ
+// only in p see the same downstream draw sequence. (Historically p <= 0 and
+// p >= 1 returned without drawing, silently desynchronizing such sweeps.)
 func (s *Stream) Bernoulli(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	if p >= 1 {
-		return true
-	}
-	return s.Float64() < p
+	return s.BernoulliT(NewThreshold(p))
 }
 
 // Intn returns a uniform integer in [0,n). It panics if n <= 0, mirroring
@@ -148,7 +207,7 @@ func (s *Stream) Intn(n int) int {
 	// Lemire's nearly-divisionless bounded sampling.
 	bound := uint64(n)
 	for {
-		v := s.src.Uint64()
+		v := s.next()
 		hi, lo := mul128(v, bound)
 		if lo >= bound || lo >= (-bound)%bound {
 			return int(hi)
@@ -202,7 +261,7 @@ func (s *Stream) Geometric(p float64) int {
 // to an arbitrary worker need random access instead — use DeriveSeed or
 // Derived for that.
 func (s *Stream) Fork() *Stream {
-	return New(s.src.Uint64())
+	return New(s.next())
 }
 
 // splitMixGamma is SplitMix64's Weyl-sequence increment (the golden-ratio

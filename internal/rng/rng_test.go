@@ -118,6 +118,141 @@ func TestBernoulliSaturation(t *testing.T) {
 	}
 }
 
+// countingSource counts raw draws so tests can pin the draw-count contract.
+type countingSource struct {
+	inner Source
+	draws int
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.inner.Uint64()
+}
+
+func TestBernoulliDrawCountContract(t *testing.T) {
+	// Every Bernoulli call must consume exactly one raw draw, including
+	// saturated probabilities, so streams stay aligned across config sweeps
+	// (e.g. a p=1 ablation next to a p=1/80 run sees the same downstream
+	// draw sequence).
+	for _, p := range []float64{0, 0.5, 1, -0.5, 1.5, math.NaN()} {
+		src := &countingSource{inner: NewXorShift64Star(3)}
+		s := NewStream(src)
+		const calls = 257
+		for i := 0; i < calls; i++ {
+			s.Bernoulli(p)
+		}
+		if src.draws != calls {
+			t.Errorf("Bernoulli(%v): %d calls consumed %d draws, want %d", p, calls, src.draws, calls)
+		}
+	}
+}
+
+func TestBernoulliTDrawCountContract(t *testing.T) {
+	for _, tr := range []Threshold{0, 1, 1 << 52, 1 << 53} {
+		src := &countingSource{inner: NewXorShift64Star(5)}
+		s := NewStream(src)
+		const calls = 100
+		for i := 0; i < calls; i++ {
+			s.BernoulliT(tr)
+		}
+		if src.draws != calls {
+			t.Errorf("BernoulliT(%d): %d calls consumed %d draws, want %d", tr, calls, src.draws, calls)
+		}
+	}
+}
+
+func TestNewThresholdValues(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want Threshold
+	}{
+		{0, 0},
+		{-1, 0},
+		{math.NaN(), 0},
+		{1, 1 << 53},
+		{2, 1 << 53},
+		{0.5, 1 << 52},
+		{0.25, 1 << 51},
+		{1.0 / (1 << 53), 1},
+		{math.SmallestNonzeroFloat64, 1}, // ceil of any positive p is at least 1
+	}
+	for _, c := range cases {
+		if got := NewThreshold(c.p); got != c.want {
+			t.Errorf("NewThreshold(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Prob round-trips exactly for dyadic probabilities.
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		if got := NewThreshold(p).Prob(); got != p {
+			t.Errorf("NewThreshold(%v).Prob() = %v", p, got)
+		}
+	}
+}
+
+func TestBernoulliTBitIdenticalToFloatCompare(t *testing.T) {
+	// The integer fast path must reproduce the historical float compare
+	// `Float64() < p` decision for every draw, for any p in (0,1).
+	ps := []float64{
+		1.0 / 79, 1.0 / 80, 1.0 / 17, 1.0 / 41, 0.1, 0.5, 0.9,
+		math.Nextafter(0, 1), math.Nextafter(1, 0), 1e-300, 0.3333333333333333,
+	}
+	check := func(seedBits uint64) bool {
+		ps = append(ps, float64(seedBits>>11)/(1<<53)) // random lattice point
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		th := NewThreshold(p)
+		ref := New(99)
+		fast := New(99)
+		for i := 0; i < 4096; i++ {
+			want := ref.Float64() < p
+			if got := fast.BernoulliT(th); got != want {
+				t.Fatalf("p=%v draw %d: BernoulliT=%v, float compare=%v", p, i, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamDevirtualizedPathMatchesInterfacePath(t *testing.T) {
+	// The cached-XorShift fast path must produce exactly the sequence the
+	// interface path produces. hide the concrete type behind a wrapper so
+	// NewStream cannot devirtualize it.
+	type opaque struct{ Source }
+	direct := New(31)
+	viaIface := NewStream(opaque{NewXorShift64Star(31)})
+	if direct.xs == nil {
+		t.Fatal("New did not cache the concrete generator")
+	}
+	if viaIface.xs != nil {
+		t.Fatal("wrapped source unexpectedly devirtualized")
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := direct.Uint64(), viaIface.Uint64(); a != b {
+			t.Fatalf("draw %d: devirtualized %#x != interface %#x", i, a, b)
+		}
+	}
+}
+
+func TestBernoulliTAllocationFree(t *testing.T) {
+	s := New(1)
+	th := NewThreshold(1.0 / 80)
+	n := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		if s.BernoulliT(th) {
+			n++
+		}
+	}); avg != 0 {
+		t.Fatalf("BernoulliT allocates %v per call, want 0", avg)
+	}
+	_ = n
+}
+
 func TestIntnBounds(t *testing.T) {
 	s := New(5)
 	for _, n := range []int{1, 2, 3, 79, 1 << 20} {
@@ -334,6 +469,18 @@ func BenchmarkBernoulli(b *testing.B) {
 	n := 0
 	for i := 0; i < b.N; i++ {
 		if s.Bernoulli(1.0 / 79) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkBernoulliT(b *testing.B) {
+	s := New(1)
+	th := NewThreshold(1.0 / 79)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if s.BernoulliT(th) {
 			n++
 		}
 	}

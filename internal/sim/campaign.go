@@ -75,9 +75,15 @@ func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Sc
 			return nil
 		}
 	}
-	results, err := trialrunner.MapCheckpointed(ctx, trials, func(t int) AttackResult {
-		return RunAttack(cfg, s, suite[t/seeds].Clone(), rng.DeriveSeed(baseSeed, uint64(t)))
-	}, onDone, opts.runnerOpts(), cp)
+	// One scratch arena per worker index: trials run by the same worker
+	// reuse the DRAM bank and the pattern clones.
+	ropts := opts.runnerOpts()
+	scratch := make([]attackScratch, ropts.PoolSize(trials))
+	results, err := trialrunner.MapCheckpointedWorker(ctx, trials, func(worker, t int) AttackResult {
+		sc := &scratch[worker]
+		return runAttack(cfg, s, sc.clone(suite, t/seeds), rng.DeriveSeed(baseSeed, uint64(t)),
+			sc.bankFor(cfg.Params, cfg.TRH))
+	}, onDone, ropts, cp)
 	if err != nil {
 		return AttackResult{}, err
 	}
@@ -124,7 +130,12 @@ func MeasureSuiteLossCampaign(ctx context.Context, entries, w int, suite []*patt
 			return nil
 		}
 	}
-	return trialrunner.MapCheckpointed(ctx, len(suite), func(i int) LossMeasurement {
-		return MeasurePatternLoss(entries, w, suite[i].Clone(), acts, rng.DeriveSeed(baseSeed, uint64(i)))
-	}, onDone, opts.runnerOpts(), cp)
+	// Per-worker row accumulators: each pattern appears once per campaign so
+	// clone caching buys nothing here, but the fate table is reused.
+	ropts := opts.runnerOpts()
+	scratch := make([]lossMeasureScratch, ropts.PoolSize(len(suite)))
+	return trialrunner.MapCheckpointedWorker(ctx, len(suite), func(worker, i int) LossMeasurement {
+		return measurePatternLoss(entries, w, suite[i].Clone(), acts,
+			rng.DeriveSeed(baseSeed, uint64(i)), &scratch[worker])
+	}, onDone, ropts, cp)
 }

@@ -142,13 +142,57 @@ type AttackResult struct {
 	Mitigations uint64
 }
 
+// attackScratch is the reusable working state of one campaign worker: the
+// DRAM bank (reset between trials) and lazily-built per-suite-index pattern
+// clones, so a long campaign allocates its row arrays and clones once per
+// worker instead of once per trial. A scratch is bound to one campaign's
+// fixed AttackConfig; nothing in it ever reaches a result, so worker-count
+// invariance is untouched.
+type attackScratch struct {
+	bank   *dram.Bank
+	clones []*patterns.Pattern
+}
+
+// bankFor returns a freshly-reset bank for the campaign's fixed parameters,
+// allocating it on the worker's first trial.
+func (sc *attackScratch) bankFor(p dram.Params, trh int) *dram.Bank {
+	if sc.bank == nil {
+		sc.bank = dram.MustNewBank(p, trh)
+	} else {
+		sc.bank.Reset()
+	}
+	return sc.bank
+}
+
+// clone returns this worker's private clone of suite[i], building it on
+// first use. RunAttack resets the pattern cursor itself, so reuse across
+// trials is safe.
+func (sc *attackScratch) clone(suite []*patterns.Pattern, i int) *patterns.Pattern {
+	if len(sc.clones) != len(suite) {
+		sc.clones = make([]*patterns.Pattern, len(suite))
+	}
+	if sc.clones[i] == nil {
+		sc.clones[i] = suite[i].Clone()
+	}
+	return sc.clones[i]
+}
+
 // RunAttack replays one pattern against one scheme for cfg.ACTs activations
 // and returns the measured metrics.
 func RunAttack(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint64) AttackResult {
+	return runAttack(cfg, s, pat, seed, nil)
+}
+
+// runAttack is RunAttack against a caller-supplied, freshly-reset bank
+// matching cfg (nil allocates one), so campaign workers can reuse a bank
+// across trials.
+func runAttack(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint64, bank *dram.Bank) AttackResult {
 	if cfg.ACTs <= 0 {
 		panic(fmt.Sprintf("sim: ACTs must be positive, got %d", cfg.ACTs))
 	}
-	bank := dram.MustNewBank(cfg.Params, cfg.TRH)
+	if bank == nil {
+		bank = dram.MustNewBank(cfg.Params, cfg.TRH)
+	}
 	trk := s.New(cfg.Params, rng.New(seed))
 	mcfg := memctrl.DefaultConfig(cfg.Params)
 	mcfg.RFMThreshold = s.RFMThreshold

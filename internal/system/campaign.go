@@ -66,9 +66,13 @@ func MeasureMTTFCampaign(ctx context.Context, cfg Config, s sim.Scheme, trials i
 			return nil
 		}
 	}
-	results, err := trialrunner.MapCheckpointed(ctx, trials, func(t int) Result {
-		return Run(cfg, s, rng.DeriveSeed(seed, uint64(t)))
-	}, onDone, opts.runnerOpts(), cp)
+	// One scratch arena per worker index: trials run by the same worker
+	// reuse the bank arrays and hammer patterns.
+	ropts := opts.runnerOpts()
+	scratch := make([]runScratch, ropts.PoolSize(trials))
+	results, err := trialrunner.MapCheckpointedWorker(ctx, trials, func(worker, t int) Result {
+		return run(cfg, s, rng.DeriveSeed(seed, uint64(t)), &scratch[worker])
+	}, onDone, ropts, cp)
 	if err != nil {
 		return 0, 0, err
 	}

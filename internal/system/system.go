@@ -70,19 +70,59 @@ type bankState struct {
 	dead bool
 }
 
+// runScratch is the reusable per-worker state of a system trial: the DRAM
+// banks (reset between trials), the per-bank hammer patterns (rewound
+// between trials), and the bank-state slice itself. A scratch is bound to
+// one campaign's fixed Config; nothing in it ever reaches a Result, so the
+// campaign's worker-count invariance is untouched.
+type runScratch struct {
+	drams  []*dram.Bank
+	pats   []*patterns.Pattern
+	states []bankState
+}
+
+// prepare sizes the scratch for n banks, keeping previously-built banks and
+// patterns when the size already matches.
+func (sc *runScratch) prepare(n int) {
+	if len(sc.states) != n {
+		sc.drams = make([]*dram.Bank, n)
+		sc.pats = make([]*patterns.Pattern, n)
+		sc.states = make([]bankState, n)
+	}
+}
+
 // Run simulates every bank being double-sided-hammered continuously until
 // the first bit flip or the horizon. Each bank runs the scheme with an
 // independent RNG stream; time advances in lockstep, one tREFI at a time
 // (W activations per bank per tREFI — the saturated-bus worst case of the
 // paper's analysis).
 func Run(cfg Config, s sim.Scheme, seed uint64) Result {
+	return run(cfg, s, seed, &runScratch{})
+}
+
+// run is Run against caller-supplied worker scratch, so campaign workers
+// reuse bank arrays and patterns across trials.
+func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	seeds := rng.New(seed)
-	banks := make([]bankState, cfg.Banks)
+	sc.prepare(cfg.Banks)
+	banks := sc.states
 	for i := range banks {
-		b := dram.MustNewBank(cfg.Params, cfg.TRH)
+		if sc.drams[i] == nil {
+			sc.drams[i] = dram.MustNewBank(cfg.Params, cfg.TRH)
+		} else {
+			sc.drams[i].Reset()
+		}
+		if sc.pats[i] == nil {
+			// Distinct victims per bank; the pattern is the classic
+			// double-sided hammer (Section VI's worst case for the
+			// reported TRH-D).
+			sc.pats[i] = patterns.DoubleSided(cfg.Params.RowsPerBank / 2)
+		} else {
+			sc.pats[i].Reset()
+		}
 		trk := s.New(cfg.Params, seeds.Fork())
 		mcfg := memctrl.DefaultConfig(cfg.Params)
 		mcfg.RFMThreshold = s.RFMThreshold
@@ -90,11 +130,8 @@ func Run(cfg Config, s sim.Scheme, seed uint64) Result {
 			mcfg.MitigationEveryNREF = s.MitigationEveryNREF
 		}
 		banks[i] = bankState{
-			ctrl: memctrl.New(mcfg, b, trk),
-			// Distinct victims per bank; the pattern is the classic
-			// double-sided hammer (Section VI's worst case for the
-			// reported TRH-D).
-			pat: patterns.DoubleSided(cfg.Params.RowsPerBank / 2),
+			ctrl: memctrl.New(mcfg, sc.drams[i], trk),
+			pat:  sc.pats[i],
 		}
 	}
 

@@ -23,6 +23,12 @@ func TestConformance(t *testing.T) {
 				return core.New(core.DefaultConfig(w), rng.New(seed))
 			},
 			MaxOccupancy: core.DefaultConfig(w).Entries,
+			// PrIDE's eviction and mitigation policies are both FIFO, so its
+			// queue snapshot must obey the FIFO-order property.
+			Snapshot: func(tr tracker.Tracker) []tracker.Mitigation {
+				return tr.(*core.PrIDE).Snapshot()
+			},
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "PARA",
@@ -31,35 +37,40 @@ func TestConformance(t *testing.T) {
 			},
 			// PARA keeps no per-row state; its only occupancy is the
 			// pending-mitigation list the suite drains, so no capacity bound.
-			AllowZeroStorage: true,
+			AllowZeroStorage:  true,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "PARA-DRFM",
 			New: func(seed uint64) tracker.Tracker {
 				return baseline.NewPARADRFM(1.0/float64(w), 2, 17, rng.New(seed))
 			},
-			MaxOccupancy: 1,
+			MaxOccupancy:      1,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "PAR-FM",
 			New: func(seed uint64) tracker.Tracker {
 				return baseline.NewPARFM(w, 17, rng.New(seed))
 			},
-			MaxOccupancy: w,
+			MaxOccupancy:      w,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "TRR",
 			New: func(uint64) tracker.Tracker {
 				return baseline.NewTRR(baseline.DefaultTRREntries, 17)
 			},
-			MaxOccupancy: baseline.DefaultTRREntries,
+			MaxOccupancy:      baseline.DefaultTRREntries,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "DSAC",
 			New: func(seed uint64) tracker.Tracker {
 				return baseline.NewDSAC(baseline.DefaultDSACEntries, 17, rng.New(seed))
 			},
-			MaxOccupancy: baseline.DefaultDSACEntries,
+			MaxOccupancy:      baseline.DefaultDSACEntries,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "PRoHIT",
@@ -67,14 +78,16 @@ func TestConformance(t *testing.T) {
 				return baseline.NewPRoHIT(baseline.DefaultPRoHITEntries, 17,
 					baseline.DefaultPRoHITInsertProb, baseline.DefaultPRoHITPromoteProb, rng.New(seed))
 			},
-			MaxOccupancy: baseline.DefaultPRoHITEntries,
+			MaxOccupancy:      baseline.DefaultPRoHITEntries,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "Graphene",
 			New: func(uint64) tracker.Tracker {
 				return baseline.NewGraphene(64, 32, 17)
 			},
-			MaxOccupancy: 64,
+			MaxOccupancy:      64,
+			ZeroAllocActivate: true,
 		},
 		{
 			Name: "TWiCe",
@@ -97,7 +110,8 @@ func TestConformance(t *testing.T) {
 			New: func(uint64) tracker.Tracker {
 				return baseline.NewMithril(32, 17)
 			},
-			MaxOccupancy: 32,
+			MaxOccupancy:      32,
+			ZeroAllocActivate: true,
 		},
 	}
 

@@ -33,6 +33,18 @@ type Spec struct {
 	MaxOccupancy int
 	// AllowZeroStorage permits StorageBits() == 0 (PARA keeps no state).
 	AllowZeroStorage bool
+	// Snapshot, when non-nil, exposes the tracked entries oldest-first and
+	// enables the FIFO-order property: after every event, the snapshot must
+	// equal the previous snapshot with zero or more entries removed from the
+	// FRONT and zero or more appended at the BACK. Set it only for trackers
+	// whose eviction and mitigation policies are both FIFO.
+	Snapshot func(tr tracker.Tracker) []tracker.Mitigation
+	// ZeroAllocActivate, when true, asserts the steady-state per-activation
+	// hot path — OnActivate, inline mitigation drains, and the periodic
+	// OnMitigate — performs zero heap allocations, the property the
+	// allocation-free engine loops rely on. Leave it false for trackers with
+	// structurally allocating hot paths (TWiCe's map, CAT's tree splits).
+	ZeroAllocActivate bool
 }
 
 // immediateMitigator matches baseline.ImmediateMitigator structurally so the
@@ -167,4 +179,82 @@ func RunConformance(t *testing.T, s Spec) {
 			t.Fatal("two instances with the same seed diverged under an identical event stream")
 		}
 	})
+
+	if s.Snapshot != nil {
+		t.Run("FIFOOrder", func(t *testing.T) {
+			for _, streamSeed := range []uint64{11, 12, 13} {
+				tr := s.New(streamSeed)
+				stream := rng.New(streamSeed)
+				prev := s.Snapshot(tr)
+				check := func(event string, i int) {
+					t.Helper()
+					cur := s.Snapshot(tr)
+					if !isFIFOSuccessor(prev, cur) {
+						t.Fatalf("stream %d: %s at event %d reordered survivors:\nbefore %v\nafter  %v",
+							streamSeed, event, i, prev, cur)
+					}
+					prev = cur
+				}
+				for i := 0; i < 400; i++ {
+					tr.OnActivate(int(stream.Uint64() % Rows))
+					check("OnActivate", i)
+					if stream.Uint64()%8 == 0 {
+						tr.OnMitigate()
+						check("OnMitigate", i)
+					}
+				}
+			}
+		})
+	}
+
+	if s.ZeroAllocActivate {
+		t.Run("ZeroAllocActivate", func(t *testing.T) {
+			tr := s.New(14)
+			im, hasImmediate := tr.(immediateMitigator)
+			// Warm up so amortized buffers (pending-mitigation lists) reach
+			// their steady-state capacity before allocations are counted.
+			drive(tr, 15, 400)
+			if hasImmediate {
+				im.DrainImmediate()
+			}
+			stream := rng.New(16)
+			i := 0
+			allocs := testing.AllocsPerRun(2000, func() {
+				tr.OnActivate(int(stream.Uint64() % Rows))
+				if hasImmediate {
+					im.DrainImmediate()
+				}
+				if i++; i%8 == 0 {
+					tr.OnMitigate()
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("per-activation hot path allocates %.1f allocs/op; the engine loops require 0", allocs)
+			}
+		})
+	}
+}
+
+// isFIFOSuccessor reports whether cur can be derived from old by removing
+// zero or more entries from the front (evictions and mitigations take the
+// oldest) and appending zero or more at the back (insertions join the tail)
+// — the externally observable invariant of a FIFO-managed queue.
+func isFIFOSuccessor(old, cur []tracker.Mitigation) bool {
+	for k := 0; k <= len(old); k++ {
+		kept := old[k:]
+		if len(kept) > len(cur) {
+			continue
+		}
+		match := true
+		for i, e := range kept {
+			if cur[i] != e {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
 }

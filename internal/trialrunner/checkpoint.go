@@ -226,8 +226,14 @@ func (w *checkpointWriter) close() error {
 // encoding/json exactly; the integer-counter results in this repository all
 // do, which is what makes resumed merges bit-identical.
 func MapCheckpointed[R any](ctx context.Context, trials int, trial func(i int) R, onDone func(i int, r R) error, opts Options, cp Checkpoint) ([]R, error) {
+	return MapCheckpointedWorker(ctx, trials, func(_, i int) R { return trial(i) }, onDone, opts, cp)
+}
+
+// MapCheckpointedWorker is MapCheckpointed for worker-indexed trial
+// functions; see MapOptsWorker for the worker-index contract.
+func MapCheckpointedWorker[R any](ctx context.Context, trials int, trial func(worker, i int) R, onDone func(i int, r R) error, opts Options, cp Checkpoint) ([]R, error) {
 	if !cp.Enabled() {
-		return MapOpts(ctx, trials, trial, onDone, opts)
+		return MapOptsWorker(ctx, trials, trial, onDone, opts)
 	}
 	if trials < 0 {
 		panic(fmt.Sprintf("trialrunner: trials must be >= 0, got %d", trials))
@@ -266,7 +272,7 @@ func MapCheckpointed[R any](ctx context.Context, trials int, trial func(i int) R
 		return nil
 	}
 
-	results, runErr := MapOpts(ctx, trials, trial, wrapped, opts)
+	results, runErr := MapOptsWorker(ctx, trials, trial, wrapped, opts)
 	if cerr := w.close(); runErr == nil {
 		runErr = cerr
 	}
@@ -290,11 +296,17 @@ func MapCheckpointed[R any](ctx context.Context, trials int, trial func(i int) R
 // it merges all trial results strictly in trial order (stored and fresh
 // alike), exactly like Run. Requires trials >= 1.
 func RunCheckpointed[R any](ctx context.Context, trials int, trial func(i int) R, merge func(acc, next R) R, onDone func(i int, r R) error, opts Options, cp Checkpoint) (R, error) {
+	return RunCheckpointedWorker(ctx, trials, func(_, i int) R { return trial(i) }, merge, onDone, opts, cp)
+}
+
+// RunCheckpointedWorker is RunCheckpointed for worker-indexed trial
+// functions; see MapOptsWorker for the worker-index contract.
+func RunCheckpointedWorker[R any](ctx context.Context, trials int, trial func(worker, i int) R, merge func(acc, next R) R, onDone func(i int, r R) error, opts Options, cp Checkpoint) (R, error) {
 	var zero R
 	if trials < 1 {
 		panic(fmt.Sprintf("trialrunner: RunCheckpointed requires trials >= 1, got %d", trials))
 	}
-	results, err := MapCheckpointed(ctx, trials, trial, onDone, opts, cp)
+	results, err := MapCheckpointedWorker(ctx, trials, trial, onDone, opts, cp)
 	if err != nil {
 		return zero, err
 	}

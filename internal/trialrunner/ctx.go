@@ -64,6 +64,18 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// PoolSize returns the number of distinct worker indices a run over the
+// given trial count will use: the resolved pool size, clamped to the trial
+// count. Engines that keep per-worker scratch state size their scratch
+// slices with this before calling MapOptsWorker and friends.
+func (o Options) PoolSize(trials int) int {
+	w := o.workers()
+	if trials >= 1 && w > trials {
+		w = trials
+	}
+	return w
+}
+
 // MapOpts executes trials 0..trials-1 on a worker pool and returns their
 // results indexed by trial number, like Map, with three additions:
 //
@@ -84,6 +96,20 @@ func (o Options) workers() int {
 // pure function of the trial function — worker count, cancellation timing
 // and hooks never change the value any individual trial produces.
 func MapOpts[R any](ctx context.Context, trials int, trial func(i int) R, onDone func(i int, r R) error, opts Options) ([]R, error) {
+	return MapOptsWorker(ctx, trials, func(_, i int) R { return trial(i) }, onDone, opts)
+}
+
+// MapOptsWorker is MapOpts for trial functions that also receive the stable
+// index of the worker goroutine executing them, in [0, opts.PoolSize(trials)).
+// Two trials that observe the same worker index never run concurrently, and a
+// single-worker run executes every trial inline with worker index 0, so
+// engines can keep one reusable scratch arena per worker index instead of
+// allocating per trial.
+//
+// The worker index must only select scratch storage — never influence a
+// trial's result — or the worker-count invariance the package guarantees is
+// lost.
+func MapOptsWorker[R any](ctx context.Context, trials int, trial func(worker, i int) R, onDone func(i int, r R) error, opts Options) ([]R, error) {
 	workers := opts.workers()
 	if err := ValidateWorkers(workers); err != nil {
 		panic(err)
@@ -111,7 +137,7 @@ func MapOpts[R any](ctx context.Context, trials int, trial func(i int) R, onDone
 		wg      sync.WaitGroup
 	)
 
-	runOne := func(i int) {
+	runOne := func(worker, i int) {
 		if opts.Observer != nil {
 			opts.Observer.TrialStart(i)
 		}
@@ -122,7 +148,7 @@ func MapOpts[R any](ctx context.Context, trials int, trial func(i int) R, onDone
 					perr = &PanicError{Trial: i, Value: v, Stack: debug.Stack()}
 				}
 			}()
-			results[i] = trial(i)
+			results[i] = trial(worker, i)
 			return nil
 		}()
 		if opts.Observer != nil {
@@ -142,7 +168,7 @@ func MapOpts[R any](ctx context.Context, trials int, trial func(i int) R, onDone
 		}
 	}
 
-	loop := func() {
+	loop := func(worker int) {
 		for {
 			if stopped.Load() || ctx.Err() != nil {
 				return
@@ -154,19 +180,19 @@ func MapOpts[R any](ctx context.Context, trials int, trial func(i int) R, onDone
 			if opts.Skip != nil && opts.Skip(i) {
 				continue
 			}
-			runOne(i)
+			runOne(worker, i)
 		}
 	}
 
 	if workers == 1 {
-		loop()
+		loop(0)
 	} else {
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
-				loop()
-			}()
+				loop(worker)
+			}(w)
 		}
 		wg.Wait()
 	}

@@ -236,6 +236,70 @@ func TestRunOptsMatchesRun(t *testing.T) {
 	}
 }
 
+func TestMapOptsWorkerIndexContract(t *testing.T) {
+	// Worker indices must be stable scratch selectors: always in
+	// [0, PoolSize(trials)), with trials sharing an index never running
+	// concurrently. A per-worker "arena" tracks concurrent entry.
+	for _, workers := range []int{1, 2, 4, 16} {
+		opts := Options{Workers: workers}
+		const trials = 64
+		pool := opts.PoolSize(trials)
+		busy := make([]atomic.Bool, pool)
+		var bad atomic.Bool
+		_, err := MapOptsWorker(context.Background(), trials, func(worker, i int) int {
+			if worker < 0 || worker >= pool {
+				bad.Store(true)
+				return 0
+			}
+			if !busy[worker].CompareAndSwap(false, true) {
+				bad.Store(true) // two trials inside the same worker's arena
+				return 0
+			}
+			time.Sleep(time.Microsecond)
+			busy[worker].Store(false)
+			return worker
+		}, nil, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if bad.Load() {
+			t.Fatalf("workers=%d: worker index contract violated", workers)
+		}
+	}
+}
+
+func TestSingleWorkerSeesIndexZero(t *testing.T) {
+	_, err := MapOptsWorker(context.Background(), 10, func(worker, i int) int {
+		if worker != 0 {
+			t.Errorf("trial %d on worker %d, want 0", i, worker)
+		}
+		return i
+	}, nil, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	cases := []struct {
+		workers, trials, want int
+	}{
+		{4, 100, 4},
+		{4, 2, 2},  // clamped to trials
+		{1, 50, 1},
+		{8, 0, 8},  // degenerate trial counts leave the pool size alone
+		{3, -1, 3},
+	}
+	for _, c := range cases {
+		if got := (Options{Workers: c.workers}).PoolSize(c.trials); got != c.want {
+			t.Errorf("PoolSize(workers=%d, trials=%d) = %d, want %d", c.workers, c.trials, got, c.want)
+		}
+	}
+	if got := (Options{}).PoolSize(1); got != 1 {
+		t.Errorf("default-workers PoolSize(1) = %d, want 1", got)
+	}
+}
+
 func TestMapOptsZeroWorkersMeansDefault(t *testing.T) {
 	got, err := MapOpts(context.Background(), 8, func(i int) int { return i }, nil, Options{})
 	if err != nil {
