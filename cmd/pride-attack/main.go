@@ -174,6 +174,7 @@ func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int,
 			Checkpoint: cf.CheckpointAt(section),
 			Progress:   camp,
 			Observer:   camp,
+			Engine:     cf.Engine.Kind,
 		})
 		stop()
 		if err != nil {
@@ -200,6 +201,7 @@ func fig18(ctx context.Context, scale, acts int, seed uint64, workers int, cf cl
 			Checkpoint: cf.CheckpointAt(section),
 			Progress:   camp,
 			Observer:   camp,
+			Engine:     cf.Engine.Kind,
 		})
 		stop()
 		if err != nil {

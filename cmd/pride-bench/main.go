@@ -20,6 +20,9 @@
 //   - Time is compared on ns/unit (roughly scale-invariant) with the
 //     -max-ns-regress tolerance; a negative tolerance disables the time
 //     gate, which is what CI uses on noisy shared runners.
+//   - Benchmarks missing from the baseline are reported as NEW and pass;
+//     baseline entries no longer measured are reported as GONE and pass.
+//     Either state clears on the next `pride-bench -out BENCH_engines.json`.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"pride/internal/baseline"
 	"pride/internal/core"
 	"pride/internal/dram"
+	eng "pride/internal/engine"
 	"pride/internal/montecarlo"
 	"pride/internal/patterns"
 	"pride/internal/rng"
@@ -121,11 +125,31 @@ func engines(scale int) []engine {
 			},
 		},
 		{
+			name: "loss-event-10M", unit: "period", unitsPerOp: lossPeriods,
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := montecarlo.SimulateLossEvent(lossCfg, rng.New(1))
+					sink += res.PerPosition[0].Insertions
+				}
+			},
+		},
+		{
 			name: "rounds-engine", unit: "round", unitsPerOp: rounds,
 			bench: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res := montecarlo.SimulateRounds(roundCfg, rng.New(1))
+					sink += uint64(res.Failures)
+				}
+			},
+		},
+		{
+			name: "rounds-event", unit: "round", unitsPerOp: rounds,
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := montecarlo.SimulateRoundsEvent(roundCfg, rng.New(1))
 					sink += uint64(res.Failures)
 				}
 			},
@@ -166,6 +190,38 @@ func engines(scale int) []engine {
 			},
 		},
 		{
+			name: "pride-skip-path", unit: "insertion", unitsPerOp: 1, guardAllocs: true,
+			bench: func(b *testing.B) {
+				// The event engines' per-insertion inner loop: one geometric
+				// gap draw, bulk idle advance split at mitigation boundaries,
+				// one forced insertion. Must stay allocation-free.
+				r := rng.New(1)
+				trk := core.New(core.DefaultConfig(w), r)
+				sk := rng.NewSkip(rng.NewThreshold(trk.InsertionProb()))
+				b.ReportAllocs()
+				b.ResetTimer()
+				pos := 0
+				for i := 0; i < b.N; i++ {
+					g := r.SkipT(sk)
+					for g >= w-pos {
+						step := w - pos
+						trk.AdvanceIdle(step)
+						trk.OnMitigate()
+						g -= step
+						pos = 0
+					}
+					trk.AdvanceIdle(g)
+					pos += g
+					trk.ActivateInsert(i & 0x1FFFF)
+					if pos++; pos == w {
+						trk.OnMitigate()
+						pos = 0
+					}
+				}
+				sink += trk.Stats().Insertions
+			},
+		},
+		{
 			name: "attack-engine", unit: "ACT", unitsPerOp: attackACTs,
 			bench: func(b *testing.B) {
 				pat := patterns.DoubleSided(4000)
@@ -178,6 +234,18 @@ func engines(scale int) []engine {
 			},
 		},
 		{
+			name: "attack-event", unit: "ACT", unitsPerOp: attackACTs,
+			bench: func(b *testing.B) {
+				pat := patterns.DoubleSided(4000)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := sim.RunAttackEngine(attackCfg, sim.PrIDEScheme(), pat, uint64(i), eng.Event)
+					sink += uint64(res.MaxDisturbance)
+				}
+			},
+		},
+		{
 			name: "pattern-loss-engine", unit: "ACT", unitsPerOp: lossActs,
 			bench: func(b *testing.B) {
 				pat := patterns.DoubleSided(4000)
@@ -185,6 +253,18 @@ func engines(scale int) []engine {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					m := sim.MeasurePatternLoss(4, w, pat, lossActs, uint64(i))
+					sink += uint64(len(m.Rows))
+				}
+			},
+		},
+		{
+			name: "pattern-loss-event", unit: "ACT", unitsPerOp: lossActs,
+			bench: func(b *testing.B) {
+				pat := patterns.DoubleSided(4000)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m := sim.MeasurePatternLossEngine(4, w, pat, lossActs, uint64(i), eng.Event)
 					sink += uint64(len(m.Rows))
 				}
 			},
@@ -231,17 +311,25 @@ func loadBaseline(path string) (benchReport, error) {
 }
 
 // compareReports checks fresh against the baseline and reports the number of
-// gate failures. maxNsRegress < 0 disables the time gate.
+// gate failures. maxNsRegress < 0 disables the time gate. Benchmarks absent
+// from the baseline are new since the baseline was committed: they are
+// reported ("NEW") and pass, so adding a benchmark never requires
+// regenerating the baseline in the same change. Baseline entries no longer
+// measured are noted ("GONE") and also pass — the baseline is refreshed by
+// the next `pride-bench -out`.
 func compareReports(fresh, base benchReport, maxNsRegress float64, stdout io.Writer) int {
 	byName := make(map[string]record, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		byName[r.Name] = r
 	}
+	measured := make(map[string]bool, len(fresh.Benchmarks))
 	failures := 0
 	for _, r := range fresh.Benchmarks {
+		measured[r.Name] = true
 		b, ok := byName[r.Name]
 		if !ok {
-			fmt.Fprintf(stdout, "SKIP %-20s not in baseline\n", r.Name)
+			fmt.Fprintf(stdout, "NEW  %-20s %.2f ns/%s, %d allocs/op (not in baseline; passes)\n",
+				r.Name, r.NsPerUnit, r.Unit, r.AllocsPerOp)
 			continue
 		}
 		if r.GuardAllocs && r.AllocsPerOp > b.AllocsPerOp {
@@ -257,6 +345,11 @@ func compareReports(fresh, base benchReport, maxNsRegress float64, stdout io.Wri
 		}
 		fmt.Fprintf(stdout, "ok   %-20s %.2f ns/%s, %d allocs/op (baseline %.2f, %d)\n",
 			r.Name, r.NsPerUnit, r.Unit, r.AllocsPerOp, b.NsPerUnit, b.AllocsPerOp)
+	}
+	for _, b := range base.Benchmarks {
+		if !measured[b.Name] {
+			fmt.Fprintf(stdout, "GONE %-20s in baseline but not measured (removed or renamed)\n", b.Name)
+		}
 	}
 	return failures
 }

@@ -39,10 +39,14 @@ func TestEnginesCoverTheGuardedHotPaths(t *testing.T) {
 			guarded++
 		}
 	}
-	if guarded < 2 {
-		t.Fatalf("only %d alloc-guarded engines; want the PrIDE and PARA hot paths", guarded)
+	if guarded < 3 {
+		t.Fatalf("only %d alloc-guarded engines; want the PrIDE, PARA and skip-ahead hot paths", guarded)
 	}
-	for _, want := range []string{"loss-engine-10M", "pride-hot-path", "para-hot-path"} {
+	for _, want := range []string{
+		"loss-engine-10M", "loss-event-10M", "rounds-event",
+		"pride-hot-path", "para-hot-path", "pride-skip-path",
+		"attack-event", "pattern-loss-event",
+	} {
 		if !names[want] {
 			t.Errorf("engine %q missing", want)
 		}
@@ -92,15 +96,18 @@ func TestCompareReportsNsGate(t *testing.T) {
 	}
 }
 
-func TestCompareReportsMissingBaselineIsSkip(t *testing.T) {
-	base := report()
-	fresh := report(record{Name: "brand-new", Unit: "ACT", NsPerUnit: 1})
+func TestCompareReportsMissingBaselineIsNew(t *testing.T) {
+	base := report(record{Name: "retired", Unit: "ACT", NsPerUnit: 2})
+	fresh := report(record{Name: "brand-new", Unit: "ACT", NsPerUnit: 1, GuardAllocs: true, AllocsPerOp: 7})
 	var out strings.Builder
 	if failures := compareReports(fresh, base, 0.25, &out); failures != 0 {
 		t.Fatalf("failures = %d, want 0 for a benchmark absent from the baseline", failures)
 	}
-	if !strings.Contains(out.String(), "SKIP") {
-		t.Fatalf("missing-baseline benchmark not flagged:\n%s", out.String())
+	if !strings.Contains(out.String(), "NEW") || !strings.Contains(out.String(), "brand-new") {
+		t.Fatalf("new benchmark not reported as NEW:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GONE") || !strings.Contains(out.String(), "retired") {
+		t.Fatalf("baseline-only benchmark not reported as GONE:\n%s", out.String())
 	}
 }
 

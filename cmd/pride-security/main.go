@@ -202,6 +202,7 @@ func fig8(ctx context.Context, p dram.Params, periods int, seed uint64, workers 
 		Checkpoint: cf.CheckpointAt("fig8"),
 		Progress:   camp,
 		Observer:   camp,
+		Engine:     cf.Engine.Kind,
 	})
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"pride/internal/analytic"
 	"pride/internal/cli"
 	"pride/internal/dram"
+	"pride/internal/engine"
 	"pride/internal/montecarlo"
 	"pride/internal/trialrunner"
 )
@@ -205,6 +206,7 @@ func TestRunFig8ResumesFromCheckpointBitIdentical(t *testing.T) {
 				cancel()
 			}
 		}),
+		Engine: engine.Event, // the CLI's default; keys must match to resume
 	})
 	cancel()
 	if !errors.Is(err, context.Canceled) {

@@ -130,6 +130,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Checkpoint: cf.CheckpointAt(section),
 			Progress:   camp,
 			Observer:   camp,
+			Engine:     cf.Engine.Kind,
 		})
 		stop()
 		if err != nil {

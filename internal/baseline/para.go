@@ -43,8 +43,9 @@ type PARA struct {
 }
 
 var (
-	_ tracker.Tracker    = (*PARA)(nil)
-	_ ImmediateMitigator = (*PARA)(nil)
+	_ tracker.Tracker      = (*PARA)(nil)
+	_ tracker.SkipAdvancer = (*PARA)(nil)
+	_ ImmediateMitigator   = (*PARA)(nil)
 )
 
 // NewPARA returns a PARA instance with refresh probability p.
@@ -68,6 +69,31 @@ func (p *PARA) OnActivate(row int) {
 	if p.rng.BernoulliT(p.pT) {
 		p.pending = append(p.pending, tracker.Mitigation{Row: row, Level: 1})
 	}
+}
+
+// SupportsSkipAhead implements tracker.SkipAdvancer: PARA is stateless, so
+// its sampling decision is unconditionally pattern-independent.
+func (p *PARA) SupportsSkipAhead() bool { return true }
+
+// InsertionProb implements tracker.SkipAdvancer, returning the
+// lattice-rounded sampling probability (matching BernoulliT's firing rate).
+func (p *PARA) InsertionProb() float64 { return p.pT.Prob() }
+
+// AdvanceIdle implements tracker.SkipAdvancer: n activations whose sampling
+// draws all failed change nothing but the activation count.
+func (p *PARA) AdvanceIdle(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("baseline: AdvanceIdle(%d)", n))
+	}
+	p.acts += uint64(n)
+}
+
+// ActivateInsert implements tracker.SkipAdvancer: one activation whose
+// sampling draw succeeded queues an immediate mitigation, consuming no
+// draws.
+func (p *PARA) ActivateInsert(row int) {
+	p.acts++
+	p.pending = append(p.pending, tracker.Mitigation{Row: row, Level: 1})
 }
 
 // DrainImmediate implements ImmediateMitigator. The returned slice is

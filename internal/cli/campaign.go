@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"pride/internal/engine"
 	"pride/internal/obs"
 	"pride/internal/trialrunner"
 )
@@ -42,14 +43,23 @@ type CampaignFlags struct {
 	Checkpoint string
 	// ProgressEvery is the progress-line cadence (0 disables).
 	ProgressEvery time.Duration
+	// Engine selects the simulation engine for stochastic sections. The
+	// commands default to engine.Event (geometric skip-ahead); -engine=exact
+	// selects the per-ACT reference oracle. Checkpoint keys embed the
+	// engine, so a run checkpointed under one engine never resumes under
+	// the other.
+	Engine engine.Value
 }
 
-// Register installs the -checkpoint and -progress-every flags on fs.
+// Register installs the -checkpoint, -progress-every and -engine flags on fs.
 func (c *CampaignFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Checkpoint, "checkpoint", "",
 		"checkpoint base path: completed trials are persisted there and an interrupted run resumes from it (\"\" disables)")
 	fs.DurationVar(&c.ProgressEvery, "progress-every", 0,
 		"emit a structured progress line to stderr at this interval, e.g. 10s (0 disables)")
+	c.Engine.Kind = engine.Event
+	fs.Var(&c.Engine, "engine",
+		`simulation engine: "event" (geometric skip-ahead) or "exact" (per-ACT reference; bit-compatible with pre-engine checkpoints)`)
 }
 
 // sanitizeSuffix keeps checkpoint-file suffixes filesystem-safe.

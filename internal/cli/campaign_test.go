@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"pride/internal/engine"
 	"pride/internal/trialrunner"
 )
 
@@ -28,11 +29,25 @@ func TestRegisterInstallsFlags(t *testing.T) {
 	var c CampaignFlags
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	c.Register(fs)
-	if err := fs.Parse([]string{"-checkpoint", "base", "-progress-every", "250ms"}); err != nil {
+	if c.Engine.Kind != engine.Event {
+		t.Fatalf("default engine %v, want event", c.Engine.Kind)
+	}
+	if err := fs.Parse([]string{"-checkpoint", "base", "-progress-every", "250ms", "-engine", "exact"}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Checkpoint != "base" || c.ProgressEvery != 250*time.Millisecond {
 		t.Fatalf("parsed %+v", c)
+	}
+	if c.Engine.Kind != engine.Exact {
+		t.Fatalf("-engine exact parsed to %v", c.Engine.Kind)
+	}
+
+	fs = flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{})
+	c = CampaignFlags{}
+	c.Register(fs)
+	if err := fs.Parse([]string{"-engine", "warp"}); err == nil {
+		t.Fatal("-engine warp parsed without error")
 	}
 }
 

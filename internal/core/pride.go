@@ -193,7 +193,10 @@ type Statistics struct {
 	IdleMitigations uint64
 }
 
-var _ tracker.Tracker = (*PrIDE)(nil)
+var (
+	_ tracker.Tracker      = (*PrIDE)(nil)
+	_ tracker.SkipAdvancer = (*PrIDE)(nil)
+)
 
 // New returns a PrIDE tracker with the given configuration, drawing
 // randomness from the provided stream. It panics on an invalid
@@ -259,6 +262,37 @@ func (p *PrIDE) OnActivate(row int) {
 	if p.cfg.InsecureSkipDuplicates && p.contains(row) {
 		return
 	}
+	p.insert(entry{row: row, level: 1})
+}
+
+// SupportsSkipAhead implements tracker.SkipAdvancer. The insecure R1/R2
+// ablation switches couple the insertion decision to buffer state, which
+// breaks the i.i.d.-Bernoulli premise of geometric gap sampling; those
+// configurations must run on the exact per-ACT engine.
+func (p *PrIDE) SupportsSkipAhead() bool {
+	return !p.cfg.InsecureAlwaysInsertIfInvalid && !p.cfg.InsecureSkipDuplicates
+}
+
+// InsertionProb implements tracker.SkipAdvancer. It returns the threshold's
+// lattice-rounded probability rather than the raw configuration value so the
+// gap sampler and the exact engine's BernoulliT fire at identical rates.
+func (p *PrIDE) InsertionProb() float64 { return p.insertT.Prob() }
+
+// AdvanceIdle implements tracker.SkipAdvancer: n activations whose insertion
+// draws all failed. A failed draw changes nothing but the activation count,
+// so the fast-forward is a single counter add. Consumes no draws.
+func (p *PrIDE) AdvanceIdle(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("pride: AdvanceIdle(%d)", n))
+	}
+	p.stats.Activations += uint64(n)
+}
+
+// ActivateInsert implements tracker.SkipAdvancer: one activation whose
+// insertion draw succeeded. Consumes no draws — the caller's geometric gap
+// draw already decided this insertion.
+func (p *PrIDE) ActivateInsert(row int) {
+	p.stats.Activations++
 	p.insert(entry{row: row, level: 1})
 }
 

@@ -60,6 +60,9 @@ type Bank struct {
 	actIndex      uint64
 	stats         Stats
 	flips         []Flip
+	// flipScratch is HammerN's reusable candidate buffer (≤ 2·BlastRadius
+	// entries), kept on the bank so bursts stay allocation-free.
+	flipScratch []Flip
 
 	// onFlip, when non-nil, is invoked for every failure as it happens.
 	onFlip func(Flip)
@@ -119,6 +122,80 @@ func (b *Bank) Activate(row int) int {
 		b.maxDisturbance = b.actRun[row]
 	}
 	b.disturbNeighbors(row)
+	return b.actRun[row]
+}
+
+// HammerN issues n consecutive demand activations to row in closed form.
+// It is ACT-for-ACT equivalent to calling Activate(row) n times — counters,
+// disturbance state, maxima, and the Flip records (victim, hammer count,
+// and global ACT index, in the same order) all match the stepped path — but
+// costs O(BlastRadius) instead of O(n·BlastRadius). The event-driven
+// engines use it to retire a whole hammer burst between cadence boundaries
+// in one call. It returns the row's activation-run length after the burst.
+func (b *Bank) HammerN(row, n int) int {
+	b.mustValidRow(row)
+	if n < 0 {
+		panic(fmt.Sprintf("dram: HammerN(%d, %d)", row, n))
+	}
+	if n == 0 {
+		return b.actRun[row]
+	}
+	startIndex := b.actIndex
+	b.actIndex += uint64(n)
+	b.stats.DemandACTs += uint64(n)
+	// Each activation resets the activated row's own disturbance state, so
+	// only the final reset is observable.
+	b.hammers[row] = 0
+	b.flipped[row] = false
+	// actRun grows monotonically through the burst; the final value
+	// dominates every intermediate maximum.
+	b.actRun[row] += n
+	if b.actRun[row] > b.maxDisturbance {
+		b.maxDisturbance = b.actRun[row]
+	}
+	// Victims within the blast radius each take n disturbances. A victim
+	// whose count crosses the threshold flips exactly once, at the k-th
+	// activation of the burst (1-based) where its count first reaches trh;
+	// the stepped path orders same-ACT flips by the d-loop visit order, so
+	// candidates are collected in that order and stable-sorted by k.
+	b.flipScratch = b.flipScratch[:0]
+	for d := 1; d <= b.params.BlastRadius; d++ {
+		for _, v := range [2]int{row - d, row + d} {
+			if v < 0 || v >= len(b.hammers) {
+				continue
+			}
+			start := b.hammers[v]
+			b.hammers[v] = start + n
+			if b.hammers[v] > b.maxHammers {
+				b.maxHammers = b.hammers[v]
+			}
+			if b.trh > 0 && b.hammers[v] >= b.trh && !b.flipped[v] {
+				k := b.trh - start
+				if k < 1 {
+					k = 1 // already over threshold: flips on the first ACT
+				}
+				b.flipped[v] = true
+				b.flipScratch = append(b.flipScratch, Flip{
+					Row:      v,
+					Hammers:  start + k,
+					ACTIndex: startIndex + uint64(k),
+				})
+			}
+		}
+	}
+	// Stable insertion sort by ACT index (at most 2·BlastRadius entries).
+	for i := 1; i < len(b.flipScratch); i++ {
+		for j := i; j > 0 && b.flipScratch[j].ACTIndex < b.flipScratch[j-1].ACTIndex; j-- {
+			b.flipScratch[j], b.flipScratch[j-1] = b.flipScratch[j-1], b.flipScratch[j]
+		}
+	}
+	for _, f := range b.flipScratch {
+		b.flips = append(b.flips, f)
+		b.stats.Flips++
+		if b.onFlip != nil {
+			b.onFlip(f)
+		}
+	}
 	return b.actRun[row]
 }
 

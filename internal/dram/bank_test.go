@@ -326,3 +326,130 @@ func TestMaxDisturbanceMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// banksEqual compares every piece of observable bank state, reporting the
+// first divergence.
+func banksEqual(t *testing.T, label string, stepped, bulk *Bank) {
+	t.Helper()
+	if a, b := stepped.Stats(), bulk.Stats(); a != b {
+		t.Fatalf("%s: stats diverged: stepped %+v, bulk %+v", label, a, b)
+	}
+	if a, b := stepped.MaxDisturbance(), bulk.MaxDisturbance(); a != b {
+		t.Fatalf("%s: MaxDisturbance %d vs %d", label, a, b)
+	}
+	if a, b := stepped.MaxHammers(), bulk.MaxHammers(); a != b {
+		t.Fatalf("%s: MaxHammers %d vs %d", label, a, b)
+	}
+	af, bf := stepped.Flips(), bulk.Flips()
+	if len(af) != len(bf) {
+		t.Fatalf("%s: %d flips vs %d", label, len(af), len(bf))
+	}
+	for i := range af {
+		if af[i] != bf[i] {
+			t.Fatalf("%s: flip %d diverged: stepped %+v, bulk %+v", label, i, af[i], bf[i])
+		}
+	}
+	for r := 0; r < stepped.Rows(); r++ {
+		if a, b := stepped.HammerCount(r), bulk.HammerCount(r); a != b {
+			t.Fatalf("%s: row %d hammers %d vs %d", label, r, a, b)
+		}
+		if a, b := stepped.ActivationRun(r), bulk.ActivationRun(r); a != b {
+			t.Fatalf("%s: row %d actRun %d vs %d", label, r, a, b)
+		}
+	}
+}
+
+// Property: HammerN(row, n) is ACT-for-ACT equivalent to n Activate(row)
+// calls — counters, maxima, and every Flip record (row, hammer count,
+// global ACT index, order) — across random interleavings of bursts,
+// mitigations, and periodic refresh steps, including threshold crossings
+// and pre-loaded over-threshold victims.
+func TestHammerNEquivalentToSteppedActivates(t *testing.T) {
+	for _, radius := range []int{1, 2} {
+		for _, trh := range []int{0, 7, 50} {
+			p := testParams()
+			p.BlastRadius = radius
+			stepped := MustNewBank(p, trh)
+			bulk := MustNewBank(p, trh)
+			s := uint64(trh*31 + radius)
+			for ev := 0; ev < 400; ev++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				row := int(s>>33) % p.RowsPerBank
+				switch s % 5 {
+				case 0:
+					stepped.Mitigate(row, 1)
+					bulk.Mitigate(row, 1)
+				case 1:
+					stepped.StepRefresh()
+					bulk.StepRefresh()
+				default:
+					n := int(s>>17) % 100
+					for i := 0; i < n; i++ {
+						stepped.Activate(row)
+					}
+					if a, b := bulk.HammerN(row, n), stepped.ActivationRun(row); a != b {
+						t.Fatalf("HammerN returned run %d, stepped run is %d", a, b)
+					}
+				}
+			}
+			banksEqual(t, "random interleaving", stepped, bulk)
+		}
+	}
+}
+
+func TestHammerNEdgeRowFlipOrdering(t *testing.T) {
+	// At an edge row only one neighbour exists; with radius 2 starting from
+	// asymmetric preloads, flips land on different burst ACTs and must come
+	// out sorted by ACT index exactly as the stepped path emits them.
+	p := testParams()
+	p.BlastRadius = 2
+	stepped := MustNewBank(p, 10)
+	bulk := MustNewBank(p, 10)
+	for _, b := range []*Bank{stepped, bulk} {
+		// Preload victim 513 closer to the threshold than 511/514.
+		for i := 0; i < 6; i++ {
+			b.Activate(514)
+		}
+		b.Activate(100) // park the aggressor run elsewhere
+	}
+	for i := 0; i < 30; i++ {
+		stepped.Activate(512)
+	}
+	bulk.HammerN(512, 30)
+	banksEqual(t, "edge/preload", stepped, bulk)
+	if len(bulk.Flips()) < 3 {
+		t.Fatalf("scenario produced %d flips, want >= 3 to exercise ordering", len(bulk.Flips()))
+	}
+}
+
+func TestHammerNZeroAndNegative(t *testing.T) {
+	b := MustNewBank(testParams(), 0)
+	b.Activate(200)
+	st := b.Stats()
+	if got := b.HammerN(200, 0); got != b.ActivationRun(200) {
+		t.Fatalf("HammerN(_, 0) returned %d", got)
+	}
+	if b.Stats() != st {
+		t.Fatal("HammerN(_, 0) mutated state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HammerN(_, -1) did not panic")
+		}
+	}()
+	b.HammerN(200, -1)
+}
+
+func TestHammerNAllocationFree(t *testing.T) {
+	p := testParams()
+	b := MustNewBank(p, 50)
+	b.HammerN(512, 100) // warm the flip scratch buffer
+	row := 0
+	if avg := testing.AllocsPerRun(500, func() {
+		b.Mitigate(512, 1) // reset the round so no new flips append
+		b.HammerN(512, 40)
+		row++
+	}); avg > 0 {
+		t.Fatalf("HammerN steady state allocates %v per burst, want 0", avg)
+	}
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Exact, Event} {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("Parse(%q) = %v, want %v", k.String(), got, k)
+		}
+		if !k.Valid() {
+			t.Fatalf("%v.Valid() = false", k)
+		}
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	for _, s := range []string{"", "fast", "EXACT", "Event"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) accepted an unknown engine", s)
+		}
+	}
+}
+
+func TestUnknownKindString(t *testing.T) {
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Fatalf("Kind(42).String() = %q", got)
+	}
+	if Kind(42).Valid() {
+		t.Fatal("Kind(42).Valid() = true")
+	}
+}
+
+func TestValueAsFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	v := Value{Kind: Event}
+	fs.Var(&v, "engine", "")
+	if err := fs.Parse([]string{"-engine=exact"}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Exact {
+		t.Fatalf("flag parse left kind %v, want Exact", v.Kind)
+	}
+	if err := v.Set("bogus"); err == nil {
+		t.Fatal("Set(bogus) did not error")
+	}
+	var nilV *Value
+	if got := nilV.String(); got != "exact" {
+		t.Fatalf("nil Value.String() = %q", got)
+	}
+}
+
+func TestKeySuffix(t *testing.T) {
+	// Exact must render empty so checkpoint keys minted before engines
+	// existed keep resuming; Event must be explicit.
+	if got := KeySuffix(Exact); got != "" {
+		t.Errorf("KeySuffix(Exact) = %q, want empty", got)
+	}
+	if got := KeySuffix(Event); got != "|engine=event" {
+		t.Errorf("KeySuffix(Event) = %q", got)
+	}
+}

@@ -75,6 +75,11 @@ type Controller struct {
 	cfg  Config
 	bank *dram.Bank
 	trk  tracker.Tracker
+	// im and sa cache the tracker's optional capabilities, hoisting the
+	// interface assertions out of the per-ACT hot path. Either is nil when
+	// the tracker lacks the capability.
+	im baseline.ImmediateMitigator
+	sa tracker.SkipAdvancer
 
 	actsInTREFI         int
 	refsSinceMitigation int
@@ -91,7 +96,10 @@ func New(cfg Config, bank *dram.Bank, trk tracker.Tracker) *Controller {
 	if bank == nil || trk == nil {
 		panic("memctrl: nil bank or tracker")
 	}
-	return &Controller{cfg: cfg, bank: bank, trk: trk}
+	c := &Controller{cfg: cfg, bank: bank, trk: trk}
+	c.im, _ = trk.(baseline.ImmediateMitigator)
+	c.sa, _ = trk.(tracker.SkipAdvancer)
+	return c
 }
 
 // Bank returns the controlled bank.
@@ -110,10 +118,83 @@ func (c *Controller) Activate(row int) {
 	c.stats.ACTs++
 	c.bank.Activate(row)
 	c.trk.OnActivate(row)
+	c.postActivate()
+}
 
+// SkipAdvancer returns the tracker's skip-ahead capability, if the tracker
+// implements it AND its current configuration supports pattern-independent
+// insertion. The event-driven engines call this once at setup to decide
+// between the skip-ahead and exact paths.
+func (c *Controller) SkipAdvancer() (tracker.SkipAdvancer, bool) {
+	if c.sa == nil || !c.sa.SupportsSkipAhead() {
+		return nil, false
+	}
+	return c.sa, true
+}
+
+// ActivateInsert issues one demand activation whose tracker insertion was
+// pre-decided by the caller's geometric gap draw: identical to Activate
+// except the tracker applies the insertion without drawing. The tracker must
+// support skip-ahead (see SkipAdvancer); calling it otherwise panics.
+func (c *Controller) ActivateInsert(row int) {
+	c.stats.ACTs++
+	c.bank.Activate(row)
+	c.sa.ActivateInsert(row)
+	c.postActivate()
+}
+
+// ActivateRun issues n consecutive demand activations of row, all of whose
+// tracker insertion draws failed (the caller's gap sampling guarantees no
+// insertion lands inside the run). The bank's hammer accounting is retired
+// in closed-form segments split EXACTLY at the cadence boundaries the
+// stepped path would hit — every RFM and REF fires after the same ACT, in
+// the same order (RFM before REF when both land on one ACT) — so the
+// deterministic component is ACT-for-ACT identical to n Activate calls.
+// Cost is O(n/W) boundary events instead of O(n).
+func (c *Controller) ActivateRun(row, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("memctrl: ActivateRun(%d, %d)", row, n))
+	}
+	w := c.cfg.Params.ACTsPerTREFI()
+	for n > 0 {
+		// Distance to the next cadence boundary, capped by the run.
+		k := w - c.actsInTREFI
+		if c.cfg.RFMThreshold > 0 {
+			if d := c.cfg.RFMThreshold - c.raa; d < k {
+				k = d
+			}
+		}
+		if n < k {
+			k = n
+		}
+		c.stats.ACTs += uint64(k)
+		c.bank.HammerN(row, k)
+		c.sa.AdvanceIdle(k)
+
+		if c.cfg.RFMThreshold > 0 {
+			c.raa += k
+			if c.raa >= c.cfg.RFMThreshold {
+				c.raa = 0
+				c.stats.RFMs++
+				c.mitigationOpportunity()
+			}
+		}
+		c.actsInTREFI += k
+		if c.actsInTREFI >= w {
+			c.actsInTREFI = 0
+			c.ref()
+		}
+		n -= k
+	}
+}
+
+// postActivate performs the per-ACT controller bookkeeping shared by
+// Activate and ActivateInsert: inline mitigation drain, RAA/RFM cadence, and
+// the tREFI/REF boundary.
+func (c *Controller) postActivate() {
 	// Controller-side schemes (PARA, Graphene) mitigate inline.
-	if im, ok := c.trk.(baseline.ImmediateMitigator); ok {
-		for _, m := range im.DrainImmediate() {
+	if c.im != nil {
+		for _, m := range c.im.DrainImmediate() {
 			c.dispatch(m)
 		}
 	}

@@ -209,3 +209,191 @@ func TestTrackerInterfaceThreading(t *testing.T) {
 		}
 	}
 }
+
+// modeSource is a rigged rng source whose constant output the test switches
+// between events, deciding every tracker threshold compare: fireDraw makes
+// any Bernoulli fire, idleDraw makes any Bernoulli with p < 1 fail.
+type modeSource struct{ v uint64 }
+
+func (m *modeSource) Uint64() uint64 { return m.v }
+
+const (
+	fireDraw = uint64(0)
+	idleDraw = ^uint64(0)
+)
+
+// controllersEqual compares all observable controller, bank, and tracker
+// state between the stepped reference and the bulk-advance instance.
+func controllersEqual(t *testing.T, label string, stepped, bulk *Controller) {
+	t.Helper()
+	if a, b := stepped.Stats(), bulk.Stats(); a != b {
+		t.Fatalf("%s: controller stats diverged:\nstepped %+v\nbulk    %+v", label, a, b)
+	}
+	sb, bb := stepped.Bank(), bulk.Bank()
+	if a, b := sb.Stats(), bb.Stats(); a != b {
+		t.Fatalf("%s: bank stats diverged:\nstepped %+v\nbulk    %+v", label, a, b)
+	}
+	if a, b := sb.MaxDisturbance(), bb.MaxDisturbance(); a != b {
+		t.Fatalf("%s: MaxDisturbance %d vs %d", label, a, b)
+	}
+	af, bf := sb.Flips(), bb.Flips()
+	if len(af) != len(bf) {
+		t.Fatalf("%s: %d flips vs %d", label, len(af), len(bf))
+	}
+	for i := range af {
+		if af[i] != bf[i] {
+			t.Fatalf("%s: flip %d diverged: stepped %+v, bulk %+v", label, i, af[i], bf[i])
+		}
+	}
+	for r := 0; r < sb.Rows(); r++ {
+		if a, b := sb.HammerCount(r), bb.HammerCount(r); a != b {
+			t.Fatalf("%s: row %d hammers %d vs %d", label, r, a, b)
+		}
+		if a, b := sb.ActivationRun(r), bb.ActivationRun(r); a != b {
+			t.Fatalf("%s: row %d actRun %d vs %d", label, r, a, b)
+		}
+	}
+	sp, okS := stepped.Tracker().(*core.PrIDE)
+	bp, okB := bulk.Tracker().(*core.PrIDE)
+	if okS && okB {
+		a, b := sp.Snapshot(), bp.Snapshot()
+		if len(a) != len(b) {
+			t.Fatalf("%s: tracker occupancy %d vs %d", label, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: tracker entry %d diverged: %+v vs %+v", label, i, a[i], b[i])
+			}
+		}
+		if sp.Stats() != bp.Stats() {
+			t.Fatalf("%s: tracker stats diverged:\nstepped %+v\nbulk    %+v", label, sp.Stats(), bp.Stats())
+		}
+	}
+}
+
+// TestActivateRunEquivalentToStepped drives a stepped controller (one
+// Activate per ACT, insertion draws scripted per ACT) and a bulk controller
+// (ActivateRun for idle stretches, ActivateInsert at insertion points)
+// through identical schedules and requires every observable — controller
+// stats, REF/RFM cadence, bank hammer state, flips, tracker queue — to
+// match exactly. Covers RFM on/off, periodic refresh, and flips.
+func TestActivateRunEquivalentToStepped(t *testing.T) {
+	for _, rfm := range []int{0, 16} {
+		p := smallParams()
+		cfg := DefaultConfig(p)
+		cfg.RFMThreshold = rfm
+		cfg.PeriodicRefresh = true
+
+		tcfg := core.DefaultConfig(79)
+		tcfg.TransitiveProtection = false // OnMitigate must not draw: the
+		// stepped source's per-ACT mode also feeds boundary mitigations.
+		newCtl := func(src *modeSource) *Controller {
+			return New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(src)))
+		}
+		steppedSrc := &modeSource{v: idleDraw}
+		bulkSrc := &modeSource{v: idleDraw}
+		stepped := newCtl(steppedSrc)
+		bulk := newCtl(bulkSrc)
+		if _, ok := bulk.SkipAdvancer(); !ok {
+			t.Fatal("secure PrIDE config did not expose a SkipAdvancer")
+		}
+
+		s := uint64(rfm + 7)
+		for ev := 0; ev < 300; ev++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			row := int(s>>33) % p.RowsPerBank
+			switch s % 8 {
+			case 0:
+				stepped.Idle()
+				bulk.Idle()
+			case 1:
+				steppedSrc.v = fireDraw
+				stepped.Activate(row)
+				bulk.ActivateInsert(row)
+			default:
+				n := int(s>>17) % 250 // up to ~3 tREFI windows per run
+				steppedSrc.v = idleDraw
+				for i := 0; i < n; i++ {
+					stepped.Activate(row)
+				}
+				bulk.ActivateRun(row, n)
+			}
+		}
+		controllersEqual(t, "rfm="+string(rune('0'+rfm%10)), stepped, bulk)
+	}
+}
+
+// TestActivateInsertEquivalentWithTransitive covers the draw-consuming
+// mitigation path: with transitive protection on and every compare rigged to
+// fire, the stepped path (Activate, insertion draw fires every ACT) and the
+// bulk path (ActivateInsert every ACT) must stay identical through REF/RFM
+// boundaries whose OnMitigate re-insertion draws also fire.
+func TestActivateInsertEquivalentWithTransitive(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	cfg.RFMThreshold = 32
+
+	tcfg := core.DefaultConfig(79)
+	steppedSrc := &modeSource{v: fireDraw}
+	bulkSrc := &modeSource{v: fireDraw}
+	stepped := New(cfg, dram.MustNewBank(p, 0), core.New(tcfg, rng.NewStream(steppedSrc)))
+	bulk := New(cfg, dram.MustNewBank(p, 0), core.New(tcfg, rng.NewStream(bulkSrc)))
+
+	s := uint64(5)
+	for act := 0; act < 2000; act++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		row := int(s>>33) % p.RowsPerBank
+		stepped.Activate(row)
+		bulk.ActivateInsert(row)
+	}
+	controllersEqual(t, "transitive all-fire", stepped, bulk)
+}
+
+// TestActivateRunWithPARA exercises the immediate-mitigation drain on the
+// skip-ahead path: PARA's insertions dispatch inline, idle runs dispatch
+// nothing.
+func TestActivateRunWithPARA(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	steppedSrc := &modeSource{v: idleDraw}
+	stepped := New(cfg, dram.MustNewBank(p, 25), baseline.NewPARA(1.0/80, rng.NewStream(steppedSrc)))
+	bulk := New(cfg, dram.MustNewBank(p, 25), baseline.NewPARA(1.0/80, rng.New(1)))
+	if _, ok := bulk.SkipAdvancer(); !ok {
+		t.Fatal("PARA did not expose a SkipAdvancer")
+	}
+
+	s := uint64(11)
+	for ev := 0; ev < 200; ev++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		row := int(s>>33) % p.RowsPerBank
+		if s%6 == 0 {
+			steppedSrc.v = fireDraw
+			stepped.Activate(row)
+			bulk.ActivateInsert(row)
+		} else {
+			n := int(s>>17) % 150
+			steppedSrc.v = idleDraw
+			for i := 0; i < n; i++ {
+				stepped.Activate(row)
+			}
+			bulk.ActivateRun(row, n)
+		}
+	}
+	controllersEqual(t, "PARA", stepped, bulk)
+}
+
+// TestSkipAdvancerGate pins the setup-time decision: insecure PrIDE configs
+// and non-skip-capable trackers must not expose a SkipAdvancer.
+func TestSkipAdvancerGate(t *testing.T) {
+	p := smallParams()
+	insecure := core.DefaultConfig(79)
+	insecure.InsecureAlwaysInsertIfInvalid = true
+	c := New(DefaultConfig(p), dram.MustNewBank(p, 0), core.New(insecure, rng.New(1)))
+	if _, ok := c.SkipAdvancer(); ok {
+		t.Fatal("insecure PrIDE config exposed a SkipAdvancer")
+	}
+	c = New(DefaultConfig(p), dram.MustNewBank(p, 0), baseline.NewTRR(16, 11))
+	if _, ok := c.SkipAdvancer(); ok {
+		t.Fatal("TRR exposed a SkipAdvancer")
+	}
+}

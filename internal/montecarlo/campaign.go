@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"pride/internal/engine"
 	"pride/internal/rng"
 	"pride/internal/trialrunner"
 )
@@ -37,6 +38,13 @@ type CampaignOptions struct {
 	// Observer, when non-nil, receives per-trial lifecycle callbacks
 	// (internal/obs.Campaign implements both roles).
 	Observer trialrunner.Observer
+	// Engine selects the simulation engine: engine.Exact (the zero value)
+	// steps every activation slot; engine.Event advances directly to the
+	// next insertion via geometric skip-ahead. The two produce
+	// statistically — not bit-for-bit — equivalent results, so the
+	// canonical checkpoint key embeds the engine and a campaign never
+	// resumes across an engine switch.
+	Engine engine.Kind
 }
 
 func (o CampaignOptions) runnerOpts() trialrunner.Options {
@@ -44,11 +52,13 @@ func (o CampaignOptions) runnerOpts() trialrunner.Options {
 }
 
 // LossCampaignKey is the canonical checkpoint key of a loss campaign: every
-// parameter the chunk plan and per-chunk RNG streams depend on, and nothing
-// else (in particular not the worker count).
-func LossCampaignKey(cfg LossConfig, seed uint64) string {
-	return fmt.Sprintf("montecarlo.loss|n=%d|w=%d|p=%g|periods=%d|seed=%d",
-		cfg.Entries, cfg.Window, cfg.InsertionProb, cfg.Periods, seed)
+// parameter the chunk plan, per-chunk RNG streams, and per-chunk draw
+// sequences depend on — including the engine — and nothing else (in
+// particular not the worker count). The exact engine keeps the historical
+// key spelling, so checkpoints written before engines existed still resume.
+func LossCampaignKey(cfg LossConfig, seed uint64, eng engine.Kind) string {
+	return fmt.Sprintf("montecarlo.loss|n=%d|w=%d|p=%g|periods=%d|seed=%d%s",
+		cfg.Entries, cfg.Window, cfg.InsertionProb, cfg.Periods, seed, engine.KeySuffix(eng))
 }
 
 // LossCampaignTrials reports how many chunks (checkpointable trials) a loss
@@ -85,7 +95,11 @@ func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts
 	}
 	cp := opts.Checkpoint
 	if cp.Key == "" {
-		cp.Key = LossCampaignKey(cfg, seed)
+		cp.Key = LossCampaignKey(cfg, seed, opts.Engine)
+	}
+	simulate := simulateLoss
+	if opts.Engine == engine.Event {
+		simulate = simulateLossEvent
 	}
 	sizes := chunkSizes(cfg.Periods, minLossChunkPeriods)
 	var onDone func(i int, r LossResult) error
@@ -105,7 +119,7 @@ func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts
 		func(worker, i int) LossResult {
 			c := cfg
 			c.Periods = sizes[i]
-			return simulateLoss(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			return simulate(c, rng.Derived(seed, uint64(i)), &scratch[worker])
 		},
 		func(acc, next LossResult) LossResult {
 			acc.merge(next)
@@ -115,10 +129,11 @@ func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts
 }
 
 // RoundsCampaignKey is the canonical checkpoint key of a round-failure
-// campaign.
-func RoundsCampaignKey(cfg RoundConfig, seed uint64) string {
-	return fmt.Sprintf("montecarlo.rounds|n=%d|w=%d|p=%g|trh=%d|rounds=%d|seed=%d",
-		cfg.Entries, cfg.Window, cfg.InsertionProb, cfg.TRH, cfg.Rounds, seed)
+// campaign; like LossCampaignKey it embeds the engine, with the exact
+// engine keeping the historical spelling.
+func RoundsCampaignKey(cfg RoundConfig, seed uint64, eng engine.Kind) string {
+	return fmt.Sprintf("montecarlo.rounds|n=%d|w=%d|p=%g|trh=%d|rounds=%d|seed=%d%s",
+		cfg.Entries, cfg.Window, cfg.InsertionProb, cfg.TRH, cfg.Rounds, seed, engine.KeySuffix(eng))
 }
 
 // RoundsCampaignTrials reports how many chunks a rounds campaign runs.
@@ -140,7 +155,11 @@ func SimulateRoundsCampaign(ctx context.Context, cfg RoundConfig, seed uint64, o
 	}
 	cp := opts.Checkpoint
 	if cp.Key == "" {
-		cp.Key = RoundsCampaignKey(cfg, seed)
+		cp.Key = RoundsCampaignKey(cfg, seed, opts.Engine)
+	}
+	simulate := simulateRounds
+	if opts.Engine == engine.Event {
+		simulate = simulateRoundsEvent
 	}
 	sizes := chunkSizes(cfg.Rounds, minRoundChunk)
 	var onDone func(i int, r RoundResult) error
@@ -157,7 +176,7 @@ func SimulateRoundsCampaign(ctx context.Context, cfg RoundConfig, seed uint64, o
 		func(worker, i int) RoundResult {
 			c := cfg
 			c.Rounds = sizes[i]
-			return simulateRounds(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			return simulate(c, rng.Derived(seed, uint64(i)), &scratch[worker])
 		},
 		func(acc, next RoundResult) RoundResult {
 			acc.Rounds += next.Rounds

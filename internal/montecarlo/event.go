@@ -1,0 +1,170 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"pride/internal/rng"
+)
+
+// This file implements the event-driven counterparts of SimulateLoss and
+// SimulateRounds. The exact engines pay one RNG draw and one branch per
+// activation slot; with PrIDE's pattern-independent Bernoulli(p) insertion
+// the overwhelming majority of slots are non-events, so the event engines
+// sample the geometric gap to the next insertion instead (rng.SkipT) and
+// advance the clock directly to it, handling the window boundaries crossed
+// on the way in closed form. Work drops from O(Periods·W) to O(insertions).
+//
+// The two engines consume different raw draw SEQUENCES (one draw per
+// insertion instead of one per slot), so their outputs are not bit-identical
+// under one seed — except at p = 1, where every slot inserts and the
+// sequences coincide, a deterministic identity the tests pin. Everywhere
+// else correctness is enforced by cross-validation against the exact engine
+// and the analytic DP model within confidence bounds.
+
+// SimulateLossEvent is the event-driven SimulateLoss: identical estimator,
+// identical attribution semantics, O(insertions) work. Results are
+// statistically (not bit-) equivalent to SimulateLoss under the same seed.
+func SimulateLossEvent(cfg LossConfig, r *rng.Stream) LossResult {
+	return simulateLossEvent(cfg, r, &lossScratch{})
+}
+
+func simulateLossEvent(cfg LossConfig, r *rng.Stream, sc *lossScratch) LossResult {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if r == nil {
+		panic("montecarlo: nil rng stream")
+	}
+	res := LossResult{
+		PerPosition:    make([]PositionStats, cfg.Window),
+		StartOccupancy: make([]uint64, cfg.Entries+1),
+	}
+	sk := rng.NewSkip(rng.NewThreshold(cfg.InsertionProb))
+	buf := sc.entries(cfg.Entries)
+	ptr, occ := 0, 0
+
+	// The loop below runs once per INSERTION — the whole point of the
+	// engine — so its state lives in locals (ring indices wrap by compare,
+	// not modulo; the result slices are hoisted) to keep the per-insertion
+	// cost at one raw draw, one log, and a handful of adds.
+	entries := cfg.Entries
+	perPos := res.PerPosition
+	startOcc := res.StartOccupancy
+
+	w := cfg.Window
+	total := cfg.Periods * w // global activation slots, 0-based
+	period := 0              // period whose window the clock is inside
+	t := 0                   // next unsimulated global slot
+	pos := 0                 // t - period*w, tracked incrementally
+	startOcc[0]++            // period 0 starts empty
+
+	for {
+		g := r.SkipT(sk)
+		if g >= total-t {
+			break // no further insertion lands inside the budget
+		}
+		t += g
+		pos += g
+		// The insertion lands at 1-based window position pos%w+1; replay
+		// every window boundary crossed on the way there. Each boundary is
+		// the exact engine's end-of-window step — pop the oldest entry,
+		// attribute the mitigation, record the next window's start
+		// occupancy — and once the FIFO is empty the remaining boundaries
+		// collapse to a single closed-form occupancy-zero batch. The
+		// single-crossing case skips the integer division: most gaps cross
+		// at most one boundary for the probabilities the engines sweep.
+		if pos >= w {
+			var m int
+			if pos < 2*w {
+				m, pos = 1, pos-w
+			} else {
+				m = pos / w
+				pos -= m * w
+			}
+			period += m
+			for ; m > 0 && occ > 0; m-- {
+				perPos[buf[ptr].position-1].Mitigated++
+				if ptr++; ptr == entries {
+					ptr = 0
+				}
+				occ--
+				startOcc[occ]++
+			}
+			if m > 0 {
+				startOcc[0] += uint64(m)
+			}
+		}
+		k := pos + 1
+		perPos[pos].Insertions++
+		if occ == entries {
+			perPos[buf[ptr].position-1].Evicted++
+			if ptr++; ptr == entries {
+				ptr = 0
+			}
+			occ--
+		}
+		tail := ptr + occ
+		if tail >= entries {
+			tail -= entries
+		}
+		buf[tail] = taggedEntry{position: k}
+		occ++
+		t++
+		pos++
+	}
+
+	// Drain the boundaries after the last insertion. The final period's end
+	// has no following window start, so the last boundary pops without
+	// recording an occupancy sample; once the FIFO empties, the remaining
+	// empty starts are a single closed-form add.
+	rem := cfg.Periods - period
+	pops := occ
+	if pops > rem {
+		pops = rem
+	}
+	for i := 1; i <= pops; i++ {
+		perPos[buf[ptr].position-1].Mitigated++
+		if ptr++; ptr == entries {
+			ptr = 0
+		}
+		occ--
+		if i < rem {
+			startOcc[occ]++
+		}
+	}
+	if rem > pops {
+		startOcc[0] += uint64(rem - pops - 1)
+	}
+	return res
+}
+
+// SimulateRoundsEvent is the event-driven SimulateRounds. The exact round
+// loop reduces to a closed form: every insertion in the single-row round
+// tracks the aggressor, so the round is mitigated iff the FIRST insertion
+// lands strictly before the last window boundary at slot B = (TRH/W)·W
+// (0-based; B = 0 when TRH < W means no boundary fires and every round
+// fails). One geometric draw decides each round.
+func SimulateRoundsEvent(cfg RoundConfig, r *rng.Stream) RoundResult {
+	return simulateRoundsEvent(cfg, r, &roundScratch{})
+}
+
+func simulateRoundsEvent(cfg RoundConfig, r *rng.Stream, _ *roundScratch) RoundResult {
+	if cfg.Entries <= 0 || cfg.Window <= 0 || cfg.TRH <= 0 || cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("montecarlo: invalid round config %+v", cfg))
+	}
+	if cfg.InsertionProb <= 0 || cfg.InsertionProb > 1 {
+		panic(fmt.Sprintf("montecarlo: invalid insertion probability %v", cfg.InsertionProb))
+	}
+	if r == nil {
+		panic("montecarlo: nil rng stream")
+	}
+	res := RoundResult{Rounds: cfg.Rounds}
+	sk := rng.NewSkip(rng.NewThreshold(cfg.InsertionProb))
+	b := (cfg.TRH / cfg.Window) * cfg.Window
+	for round := 0; round < cfg.Rounds; round++ {
+		if r.SkipT(sk) >= b {
+			res.Failures++
+		}
+	}
+	return res
+}

@@ -45,6 +45,51 @@ func (p *Pattern) Next() int {
 // Reset rewinds the pattern to the beginning of its period.
 func (p *Pattern) Reset() { p.pos = 0 }
 
+// Advance moves the cursor n slots forward in O(1), exactly as n Next calls
+// would (without returning the rows). The event-driven simulators use it to
+// retire a whole batched activation run in one step.
+func (p *Pattern) Advance(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("patterns: Advance(%d)", n))
+	}
+	if len(p.Sequence) == 0 {
+		panic(fmt.Sprintf("patterns: pattern %q has an empty sequence", p.Name))
+	}
+	p.pos = (p.pos + n) % len(p.Sequence)
+}
+
+// Run returns the row at the cursor and how many consecutive upcoming slots
+// (at most max) activate that same row, scanning circularly. A pattern whose
+// entire period is one row reports the full max, so single-sided hammers
+// batch without bound. Run does not move the cursor; pair it with Advance.
+func (p *Pattern) Run(max int) (row, n int) {
+	if len(p.Sequence) == 0 {
+		panic(fmt.Sprintf("patterns: pattern %q has an empty sequence", p.Name))
+	}
+	row = p.Sequence[p.pos]
+	if max <= 0 {
+		return row, 0
+	}
+	n = 1
+	q := p.pos + 1
+	if q == len(p.Sequence) {
+		q = 0
+	}
+	for n < max && p.Sequence[q] == row {
+		if q == p.pos {
+			// Wrapped all the way around on the same row: the whole period
+			// is this row, so the run is unbounded.
+			return row, max
+		}
+		n++
+		q++
+		if q == len(p.Sequence) {
+			q = 0
+		}
+	}
+	return row, n
+}
+
 // Clone returns an independent iterator over the same sequence, rewound to
 // the start. The sequence and aggressor slices are shared (they are
 // read-only after construction), so clones are cheap; only the iteration

@@ -262,3 +262,78 @@ func TestConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestAdvanceMatchesNext(t *testing.T) {
+	// Advance(n) must land the cursor exactly where n Next calls would, for
+	// arbitrary interleavings, including advances spanning many periods.
+	pat := TRRespass(100, 7, 3)
+	ref := pat.Clone()
+	r := rng.New(41)
+	for step := 0; step < 200; step++ {
+		n := r.Intn(25)
+		pat.Advance(n)
+		for i := 0; i < n; i++ {
+			ref.Next()
+		}
+		if got, want := pat.Next(), ref.Next(); got != want {
+			t.Fatalf("step %d: after Advance(%d) Next() = %d, stepped clone = %d", step, n, got, want)
+		}
+	}
+	pat.Reset()
+	pat.Advance(7*1_000_003 + 2)
+	if got, want := pat.Next(), pat.Sequence[2]; got != want {
+		t.Fatalf("multi-period advance: Next() = %d, want %d", got, want)
+	}
+}
+
+func TestRunReportsSameRowPrefix(t *testing.T) {
+	p := &Pattern{Name: "runs", Sequence: []int{5, 5, 5, 7, 5}}
+	for _, tc := range []struct {
+		pos, max, wantRow, wantN int
+	}{
+		{0, 100, 5, 3}, // three 5s then a 7
+		{0, 2, 5, 2},   // capped by max
+		{3, 100, 7, 1},
+		{4, 100, 5, 4}, // wraps: 5 at pos 4, then 5,5,5 at 0..2
+		{4, 0, 5, 0},   // max 0: row reported, zero slots claimable
+	} {
+		p.Reset()
+		p.Advance(tc.pos)
+		row, n := p.Run(tc.max)
+		if row != tc.wantRow || n != tc.wantN {
+			t.Errorf("pos %d max %d: Run = (%d, %d), want (%d, %d)",
+				tc.pos, tc.max, row, n, tc.wantRow, tc.wantN)
+		}
+		if again, _ := p.Run(tc.max); again != tc.wantRow {
+			t.Errorf("pos %d: Run moved the cursor", tc.pos)
+		}
+	}
+
+	// A single-row period batches without bound (this is what makes
+	// single-sided hammers O(boundaries) on the event engine).
+	single := SingleSided(9)
+	if row, n := single.Run(1 << 20); row != 9 || n != 1<<20 {
+		t.Errorf("single-sided Run = (%d, %d), want (9, %d)", row, n, 1<<20)
+	}
+	uniform := &Pattern{Name: "uniform", Sequence: []int{3, 3}}
+	if row, n := uniform.Run(500); row != 3 || n != 500 {
+		t.Errorf("uniform two-slot Run = (%d, %d), want (3, 500)", row, n)
+	}
+}
+
+func TestAdvanceAndRunPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"advance negative": func() { SingleSided(1).Advance(-1) },
+		"advance empty":    func() { (&Pattern{}).Advance(1) },
+		"run empty":        func() { (&Pattern{}).Run(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -198,6 +198,138 @@ func (s *Stream) Bernoulli(p float64) bool {
 	return s.BernoulliT(NewThreshold(p))
 }
 
+// SkipNever is the Skip sampler's "no event ever" sentinel, returned when
+// the threshold can never fire (p <= 0). It is larger than any practical
+// simulation budget, so callers that clamp the returned skip against their
+// remaining ACT budget need no special casing.
+const SkipNever = math.MaxInt
+
+// Skip is a precomputed geometric skip-ahead sampler for the event-driven
+// engines: where the exact engines draw one Bernoulli(t) per activation and
+// act on the rare success, SkipT draws ONCE and returns how many consecutive
+// failures precede the next success. Sampling the gap directly turns
+// O(ACTs) non-event iterations into O(events) work while simulating the
+// same process: a sequence of i.i.d. Bernoulli(t) trials has geometric
+// inter-arrival gaps, so replacing the per-trial draws with SkipT leaves
+// every observable distribution unchanged (the raw draw SEQUENCE differs —
+// one draw per event instead of one per trial — which is why the event
+// engines are validated statistically rather than bit-for-bit).
+//
+// Precompute once per configuration with NewSkip; the per-event cost is one
+// raw draw, one polynomial log, and one multiply.
+type Skip struct {
+	t Threshold
+	// invLnQ is 1/ln(1-p), the inverse-CDF scale factor (negative for
+	// p in (0,1); unused for the saturated thresholds).
+	invLnQ float64
+	// boundary is the exclusion band around integer values of the scaled
+	// log within which the cheap polynomial log cannot be trusted to floor
+	// correctly (fastLogErr amplified by the scale factor); draws landing
+	// inside it recompute with math.Log. A boundary >= 0.5 degenerates to
+	// the math.Log path on every draw.
+	boundary float64
+}
+
+// NewSkip returns the skip sampler equivalent to repeated BernoulliT(t)
+// draws. Saturated thresholds behave like BernoulliT: t for p >= 1 yields
+// zero-length skips (every trial fires), t for p <= 0 yields SkipNever
+// (no trial ever fires).
+func NewSkip(t Threshold) Skip {
+	s := Skip{t: t}
+	if p := t.Prob(); p > 0 && p < 1 {
+		s.invLnQ = 1 / math.Log1p(-p)
+		s.boundary = fastLogErr * -s.invLnQ
+	}
+	return s
+}
+
+// Prob returns the per-trial success probability the sampler encodes.
+func (sk Skip) Prob() float64 { return sk.t.Prob() }
+
+// SkipT returns the number of Bernoulli failures before the next success:
+// the gap to skip before the next event. It is distributed Geometric(p) on
+// {0, 1, 2, ...} with p = t.Prob(), computed by inverse-CDF from a single
+// uniform draw on the same 53-bit lattice as BernoulliT.
+//
+// Draw-count contract: SkipT consumes exactly one raw draw from the
+// underlying source for every call, including the saturated thresholds
+// (p >= 1 returns 0, p <= 0 returns SkipNever). This mirrors BernoulliT's
+// one-draw-per-call contract so configuration sweeps over p keep their
+// streams aligned.
+func (s *Stream) SkipT(sk Skip) int {
+	u := s.next() >> 11
+	switch {
+	case sk.t >= 1<<bernoulliBits:
+		return 0
+	case sk.t == 0:
+		return SkipNever
+	}
+	// v = 1-U in (0, 1]: u is uniform on {0, ..., 2^53-1}, so 2^53-u never
+	// underflows to zero and the log argument stays finite.
+	v := float64(uint64(1)<<bernoulliBits-u) * (1.0 / (1 << bernoulliBits))
+	// Fast path: floor(fastLog(v) * invLnQ) equals the math.Log result
+	// whenever the scaled value sits further than sk.boundary from an
+	// integer — fastLog's absolute error (< fastLogErr) scaled by |invLnQ|
+	// cannot move it across the floor. Draws inside the band (and scaled
+	// values too large for unit float spacing) fall through to math.Log,
+	// keeping SkipT's outputs bit-identical to the plain formula on every
+	// draw; only their cost differs.
+	if y := fastLog(v) * sk.invLnQ; y < 1<<40 {
+		f := math.Floor(y)
+		if y-f >= sk.boundary && f+1-y >= sk.boundary {
+			return int(f)
+		}
+	}
+	k := math.Log(v) * sk.invLnQ
+	// Guard the float->int conversion: for p at the lattice floor (2^-53)
+	// the largest achievable k is ~2^58.2, representable in int64, but
+	// clamp anyway so a narrower int or a precision change cannot
+	// overflow silently.
+	if k >= SkipNever {
+		return SkipNever
+	}
+	return int(k)
+}
+
+// fastLogErr bounds fastLog's absolute error against math.Log. The residual
+// series truncates after the r^4 term; with |r| <= 2^-7 the first dropped
+// term contributes under 6e-12, the tabulated ln(m0) and 1/m0 are correctly
+// rounded, and the few remaining float roundings (the residual multiply,
+// four polynomial steps, the e*ln2 recombination with |e| <= 53) stay below
+// 1e-14 combined. 1e-8 leaves over three orders of magnitude of slack.
+const fastLogErr = 1e-8
+
+// fastLog's range reduction tables: entry i covers mantissas in
+// [1+i/128, 1+(i+1)/128), storing ln(m0) and 1/m0 for the interval base m0.
+// 2 KiB total, resident in L1 under the event engines' hot loops.
+var (
+	fastLogLn  [128]float64
+	fastLogInv [128]float64
+)
+
+func init() {
+	for i := range fastLogLn {
+		m0 := 1 + float64(i)/128
+		fastLogLn[i] = math.Log(m0)
+		fastLogInv[i] = 1 / m0
+	}
+}
+
+// fastLog is a cheap, division-free math.Log for the SkipT hot path: valid
+// for finite normal v in (0, 1], absolute error < fastLogErr. It decomposes
+// v into 2^e * m0 * (1+r) with m0 tabulated from the mantissa's top 7 bits
+// (so r = m/m0 - 1 is one multiply) and evaluates ln(1+r) by a short
+// alternating series.
+func fastLog(v float64) float64 {
+	bits := math.Float64bits(v)
+	e := int(bits>>52) - 1023
+	i := (bits >> 45) & 0x7F
+	m := math.Float64frombits(bits&(1<<52-1) | 1023<<52)
+	r := m*fastLogInv[i] - 1
+	lnr := r * (1 + r*(-0.5+r*(1.0/3+r*(-0.25))))
+	return float64(e)*math.Ln2 + fastLogLn[i] + lnr
+}
+
 // Intn returns a uniform integer in [0,n). It panics if n <= 0, mirroring
 // math/rand, because a zero-sized choice is always a caller bug.
 func (s *Stream) Intn(n int) int {

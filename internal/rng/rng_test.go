@@ -338,6 +338,194 @@ func TestGeometricEdge(t *testing.T) {
 	s.Geometric(0)
 }
 
+func TestSkipTDistributionMatchesBernoulliLoop(t *testing.T) {
+	// The skip sampler replaces "count Bernoulli failures until the next
+	// success" with a single inverse-CDF draw; both must sample the same
+	// Geometric(p) gap distribution. Compare mean and variance of SkipT
+	// gaps against gaps measured by looping BernoulliT over the same
+	// threshold, with 5-sigma tolerances on each estimator.
+	for _, p := range []float64{1.0 / 79, 1.0 / 16, 0.1, 0.5, 0.9} {
+		th := NewThreshold(p)
+		sk := NewSkip(th)
+		const n = 200000
+
+		skips := New(23)
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := float64(skips.SkipT(sk))
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+
+		loop := New(29)
+		var lSum, lSumSq float64
+		for i := 0; i < n; i++ {
+			g := 0.0
+			for !loop.BernoulliT(th) {
+				g++
+			}
+			lSum += g
+			lSumSq += g * g
+		}
+		lMean := lSum / n
+		lVariance := lSumSq/n - lMean*lMean
+
+		q := 1 - p
+		wantMean := q / p
+		wantVar := q / (p * p)
+		// Standard error of the mean is sqrt(var/n). The variance
+		// estimator's relative s.e. is ~sqrt((kappa+2)/n) where kappa is
+		// the excess kurtosis, 6 + p^2/q for the geometric distribution.
+		meanTol := 5 * math.Sqrt(wantVar/n)
+		varTol := 5 * wantVar * math.Sqrt((6+p*p/q+2)/n)
+		for _, c := range []struct {
+			name      string
+			got, want float64
+			tol       float64
+		}{
+			{"SkipT mean", mean, wantMean, meanTol},
+			{"SkipT variance", variance, wantVar, varTol},
+			{"Bernoulli-loop mean", lMean, wantMean, meanTol},
+			{"Bernoulli-loop variance", lVariance, wantVar, varTol},
+		} {
+			if math.Abs(c.got-c.want) > c.tol {
+				t.Errorf("p=%v: %s = %v, want %v ± %v", p, c.name, c.got, c.want, c.tol)
+			}
+		}
+	}
+}
+
+func TestSkipTDegenerateEdges(t *testing.T) {
+	s := New(37)
+	always := NewSkip(NewThreshold(1))
+	over := NewSkip(NewThreshold(1.5))
+	never := NewSkip(NewThreshold(0))
+	under := NewSkip(NewThreshold(-0.5))
+	nan := NewSkip(NewThreshold(math.NaN()))
+	for i := 0; i < 100; i++ {
+		if g := s.SkipT(always); g != 0 {
+			t.Fatalf("SkipT(p=1) = %d, want 0", g)
+		}
+		if g := s.SkipT(over); g != 0 {
+			t.Fatalf("SkipT(p=1.5) = %d, want 0", g)
+		}
+		if g := s.SkipT(never); g != SkipNever {
+			t.Fatalf("SkipT(p=0) = %d, want SkipNever", g)
+		}
+		if g := s.SkipT(under); g != SkipNever {
+			t.Fatalf("SkipT(p=-0.5) = %d, want SkipNever", g)
+		}
+		if g := s.SkipT(nan); g != SkipNever {
+			t.Fatalf("SkipT(p=NaN) = %d, want SkipNever", g)
+		}
+	}
+}
+
+func TestSkipTDrawCountContract(t *testing.T) {
+	// Like BernoulliT, every SkipT call must consume exactly one raw draw,
+	// including the saturated thresholds, so event-engine streams stay
+	// aligned across configuration sweeps.
+	for _, tr := range []Threshold{0, 1, 1 << 46, 1 << 52, 1 << 53} {
+		src := &countingSource{inner: NewXorShift64Star(7)}
+		s := NewStream(src)
+		sk := NewSkip(tr)
+		const calls = 100
+		for i := 0; i < calls; i++ {
+			s.SkipT(sk)
+		}
+		if src.draws != calls {
+			t.Errorf("SkipT(t=%d): %d calls consumed %d draws, want %d", tr, calls, src.draws, calls)
+		}
+	}
+}
+
+func TestSkipTNonNegativeAndFinite(t *testing.T) {
+	// The smallest representable p maximizes the skip; even there the
+	// inverse CDF must stay non-negative and below the SkipNever sentinel.
+	for _, tr := range []Threshold{1, 2, 1 << 20, NewThreshold(1.0 / 79)} {
+		s := New(41)
+		sk := NewSkip(tr)
+		for i := 0; i < 100000; i++ {
+			g := s.SkipT(sk)
+			if g < 0 || g >= SkipNever {
+				t.Fatalf("SkipT(t=%d) = %d out of range", tr, g)
+			}
+		}
+	}
+}
+
+// fixedSource replays one preset raw draw so a test can feed SkipT an exact
+// lattice point.
+type fixedSource struct{ val uint64 }
+
+func (f *fixedSource) Uint64() uint64 { return f.val }
+
+// TestSkipTFastPathBitIdenticalToReference pins SkipT's polynomial-log fast
+// path to the plain floor(log(v)/log(q)) formula on every draw: random
+// lattice points plus adversarial ones sitting right at the integer
+// boundaries of the scaled log, where an unguarded approximate log would
+// floor to the wrong gap.
+func TestSkipTFastPathBitIdenticalToReference(t *testing.T) {
+	ref := func(u uint64, sk Skip) int {
+		v := float64(uint64(1)<<bernoulliBits-u) * (1.0 / (1 << bernoulliBits))
+		k := math.Log(v) * sk.invLnQ
+		if k >= SkipNever {
+			return SkipNever
+		}
+		return int(k)
+	}
+	at := func(u uint64, sk Skip) int {
+		s := NewStream(&fixedSource{val: u << 11})
+		return s.SkipT(sk)
+	}
+	for _, p := range []float64{1.0 / 79, 0.5, 2.0 / 3, 0.01, 1e-4, 1e-9, 0.999, 1 - 1e-12} {
+		sk := NewSkip(NewThreshold(p))
+		var us []uint64
+		// The exact u where the reference first returns k, for the first 60
+		// boundaries (binary search works because ref is nondecreasing in u),
+		// and its immediate neighbors.
+		for k, top := 1, ref(1<<bernoulliBits-1, sk); k <= 60 && k <= top; k++ {
+			lo, hi := uint64(0), uint64(1)<<bernoulliBits-1
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				if ref(mid, sk) >= k {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			for d := int64(-2); d <= 2; d++ {
+				if u := int64(lo) + d; u >= 0 && u < 1<<bernoulliBits {
+					us = append(us, uint64(u))
+				}
+			}
+		}
+		r := New(uint64(math.Float64bits(p)))
+		for i := 0; i < 20_000; i++ {
+			us = append(us, r.Uint64()>>11)
+		}
+		for _, u := range us {
+			if got, want := at(u, sk), ref(u, sk); got != want {
+				t.Fatalf("p=%g u=%d: SkipT = %d, reference = %d", p, u, got, want)
+			}
+		}
+	}
+}
+
+func TestSkipTAllocationFree(t *testing.T) {
+	s := New(1)
+	sk := NewSkip(NewThreshold(1.0 / 80))
+	n := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		n += s.SkipT(sk)
+	}); avg != 0 {
+		t.Fatalf("SkipT allocates %v per call, want 0", avg)
+	}
+	_ = n
+}
+
 func TestForkDecorrelated(t *testing.T) {
 	parent := New(21)
 	a := parent.Fork()

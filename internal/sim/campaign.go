@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"pride/internal/engine"
 	"pride/internal/patterns"
 	"pride/internal/rng"
 	"pride/internal/trialrunner"
@@ -35,6 +36,13 @@ type CampaignOptions struct {
 	Progress ProgressSink
 	// Observer, when non-nil, receives per-trial lifecycle callbacks.
 	Observer trialrunner.Observer
+	// Engine selects the simulation engine: engine.Exact (the zero value)
+	// steps every activation; engine.Event skips ahead between insertions.
+	// Trials on the event engine are statistically — not bit-for-bit —
+	// equivalent to exact trials (identical where the event engine falls
+	// back), so the canonical checkpoint key embeds the engine and a
+	// campaign never resumes across an engine switch.
+	Engine engine.Kind
 }
 
 func (o CampaignOptions) runnerOpts() trialrunner.Options {
@@ -47,9 +55,9 @@ func (o CampaignOptions) runnerOpts() trialrunner.Options {
 // nothing else. Pattern suites are deterministic given their size in this
 // repository; a caller mixing suites of equal length under one path must set
 // Checkpoint.Key itself.
-func AttackCampaignKey(cfg AttackConfig, s Scheme, suiteLen, seeds int, baseSeed uint64) string {
-	return fmt.Sprintf("sim.attack|scheme=%s|params=%+v|acts=%d|trh=%d|policy=%d|patterns=%d|seeds=%d|seed=%d",
-		s.Name, cfg.Params, cfg.ACTs, cfg.TRH, cfg.Policy, suiteLen, seeds, baseSeed)
+func AttackCampaignKey(cfg AttackConfig, s Scheme, suiteLen, seeds int, baseSeed uint64, eng engine.Kind) string {
+	return fmt.Sprintf("sim.attack|scheme=%s|params=%+v|acts=%d|trh=%d|policy=%d|patterns=%d|seeds=%d|seed=%d%s",
+		s.Name, cfg.Params, cfg.ACTs, cfg.TRH, cfg.Policy, suiteLen, seeds, baseSeed, engine.KeySuffix(eng))
 }
 
 // MaxDisturbanceOverSuiteCampaign is MaxDisturbanceOverSuiteParallel as a
@@ -64,7 +72,7 @@ func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Sc
 	}
 	cp := opts.Checkpoint
 	if cp.Key == "" {
-		cp.Key = AttackCampaignKey(cfg, s, len(suite), seeds, baseSeed)
+		cp.Key = AttackCampaignKey(cfg, s, len(suite), seeds, baseSeed, opts.Engine)
 	}
 	trials := len(suite) * seeds
 	var onDone func(t int, r AttackResult) error
@@ -81,8 +89,8 @@ func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Sc
 	scratch := make([]attackScratch, ropts.PoolSize(trials))
 	results, err := trialrunner.MapCheckpointedWorker(ctx, trials, func(worker, t int) AttackResult {
 		sc := &scratch[worker]
-		return runAttack(cfg, s, sc.clone(suite, t/seeds), rng.DeriveSeed(baseSeed, uint64(t)),
-			sc.bankFor(cfg.Params, cfg.TRH))
+		return runAttackEngine(cfg, s, sc.clone(suite, t/seeds), rng.DeriveSeed(baseSeed, uint64(t)),
+			sc.bankFor(cfg.Params, cfg.TRH), opts.Engine)
 	}, onDone, ropts, cp)
 	if err != nil {
 		return AttackResult{}, err
@@ -99,9 +107,9 @@ func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Sc
 // SuiteLossCampaignKey is the canonical checkpoint key of a Fig 18 suite
 // loss campaign. The same suite-identity caveat as AttackCampaignKey
 // applies.
-func SuiteLossCampaignKey(entries, w, suiteLen, acts int, baseSeed uint64) string {
-	return fmt.Sprintf("sim.suiteloss|n=%d|w=%d|patterns=%d|acts=%d|seed=%d",
-		entries, w, suiteLen, acts, baseSeed)
+func SuiteLossCampaignKey(entries, w, suiteLen, acts int, baseSeed uint64, eng engine.Kind) string {
+	return fmt.Sprintf("sim.suiteloss|n=%d|w=%d|patterns=%d|acts=%d|seed=%d%s",
+		entries, w, suiteLen, acts, baseSeed, engine.KeySuffix(eng))
 }
 
 // totalMitigated sums the mitigation counter across a measurement's rows.
@@ -120,7 +128,7 @@ func (m LossMeasurement) totalMitigated() int64 {
 func MeasureSuiteLossCampaign(ctx context.Context, entries, w int, suite []*patterns.Pattern, acts int, baseSeed uint64, opts CampaignOptions) ([]LossMeasurement, error) {
 	cp := opts.Checkpoint
 	if cp.Key == "" {
-		cp.Key = SuiteLossCampaignKey(entries, w, len(suite), acts, baseSeed)
+		cp.Key = SuiteLossCampaignKey(entries, w, len(suite), acts, baseSeed, opts.Engine)
 	}
 	var onDone func(i int, m LossMeasurement) error
 	if sink := opts.Progress; sink != nil {
@@ -135,7 +143,7 @@ func MeasureSuiteLossCampaign(ctx context.Context, entries, w int, suite []*patt
 	ropts := opts.runnerOpts()
 	scratch := make([]lossMeasureScratch, ropts.PoolSize(len(suite)))
 	return trialrunner.MapCheckpointedWorker(ctx, len(suite), func(worker, i int) LossMeasurement {
-		return measurePatternLoss(entries, w, suite[i].Clone(), acts,
-			rng.DeriveSeed(baseSeed, uint64(i)), &scratch[worker])
+		return measurePatternLossEngine(entries, w, suite[i].Clone(), acts,
+			rng.DeriveSeed(baseSeed, uint64(i)), &scratch[worker], opts.Engine)
 	}, onDone, ropts, cp)
 }

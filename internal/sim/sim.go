@@ -200,7 +200,13 @@ func runAttack(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint64, b
 		mcfg.MitigationEveryNREF = s.MitigationEveryNREF
 	}
 	ctrl := memctrl.New(mcfg, bank, trk)
+	steppedReplay(ctrl, pat, cfg)
+	return attackResult(s, pat, bank, ctrl)
+}
 
+// steppedReplay is the exact per-ACT attack loop: one pattern step, one
+// controller activation (modulo open-row hits) per slot.
+func steppedReplay(ctrl *memctrl.Controller, pat *patterns.Pattern, cfg AttackConfig) {
 	pat.Reset()
 	openRow := -1
 	for i := 0; i < cfg.ACTs; i++ {
@@ -216,6 +222,10 @@ func runAttack(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint64, b
 		}
 		ctrl.Activate(row)
 	}
+}
+
+// attackResult collects one trial's metrics from the bank and controller.
+func attackResult(s Scheme, pat *patterns.Pattern, bank *dram.Bank, ctrl *memctrl.Controller) AttackResult {
 	return AttackResult{
 		Scheme:         s.Name,
 		Pattern:        pat.Name,

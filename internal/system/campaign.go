@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"pride/internal/engine"
 	"pride/internal/rng"
 	"pride/internal/sim"
 	"pride/internal/trialrunner"
@@ -32,6 +33,12 @@ type CampaignOptions struct {
 	Progress ProgressSink
 	// Observer, when non-nil, receives per-trial lifecycle callbacks.
 	Observer trialrunner.Observer
+	// Engine selects the simulation engine: engine.Exact (the zero value)
+	// steps every activation; engine.Event skips ahead between insertions.
+	// Trial outcomes on the event engine are statistically — not
+	// bit-for-bit — equivalent, so the canonical checkpoint key embeds the
+	// engine and a campaign never resumes across an engine switch.
+	Engine engine.Kind
 }
 
 func (o CampaignOptions) runnerOpts() trialrunner.Options {
@@ -41,9 +48,9 @@ func (o CampaignOptions) runnerOpts() trialrunner.Options {
 // MTTFCampaignKey is the canonical checkpoint key of a TTF campaign: every
 // parameter a trial's outcome depends on, and nothing else (in particular
 // not the worker count).
-func MTTFCampaignKey(cfg Config, s sim.Scheme, trials int, seed uint64) string {
-	return fmt.Sprintf("system.mttf|scheme=%s|params=%+v|banks=%d|trh=%d|maxtrefi=%d|trials=%d|seed=%d",
-		s.Name, cfg.Params, cfg.Banks, cfg.TRH, cfg.MaxTREFI, trials, seed)
+func MTTFCampaignKey(cfg Config, s sim.Scheme, trials int, seed uint64, eng engine.Kind) string {
+	return fmt.Sprintf("system.mttf|scheme=%s|params=%+v|banks=%d|trh=%d|maxtrefi=%d|trials=%d|seed=%d%s",
+		s.Name, cfg.Params, cfg.Banks, cfg.TRH, cfg.MaxTREFI, trials, seed, engine.KeySuffix(eng))
 }
 
 // MeasureMTTFCampaign is MeasureMTTFParallel as a long-running campaign: the
@@ -57,7 +64,7 @@ func MeasureMTTFCampaign(ctx context.Context, cfg Config, s sim.Scheme, trials i
 	}
 	cp := opts.Checkpoint
 	if cp.Key == "" {
-		cp.Key = MTTFCampaignKey(cfg, s, trials, seed)
+		cp.Key = MTTFCampaignKey(cfg, s, trials, seed, opts.Engine)
 	}
 	var onDone func(t int, r Result) error
 	if sink := opts.Progress; sink != nil {
@@ -71,7 +78,7 @@ func MeasureMTTFCampaign(ctx context.Context, cfg Config, s sim.Scheme, trials i
 	ropts := opts.runnerOpts()
 	scratch := make([]runScratch, ropts.PoolSize(trials))
 	results, err := trialrunner.MapCheckpointedWorker(ctx, trials, func(worker, t int) Result {
-		return run(cfg, s, rng.DeriveSeed(seed, uint64(t)), &scratch[worker])
+		return run(cfg, s, rng.DeriveSeed(seed, uint64(t)), &scratch[worker], opts.Engine)
 	}, onDone, ropts, cp)
 	if err != nil {
 		return 0, 0, err

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pride/internal/dram"
+	"pride/internal/engine"
 	"pride/internal/memctrl"
 	"pride/internal/patterns"
 	"pride/internal/rng"
@@ -63,11 +64,24 @@ type Result struct {
 	TREFIsSimulated int
 }
 
+// gapUnset marks a bank whose next insertion gap has not been drawn yet.
+// The draw is deferred to the moment the exact engine would consume it, so
+// at p = 1 (where gaps are always zero) the two engines consume the shared
+// per-bank stream in the same order and stay bit-identical.
+const gapUnset = -1
+
 // bank bundles one bank's simulation state.
 type bankState struct {
 	ctrl *memctrl.Controller
 	pat  *patterns.Pattern
 	dead bool
+
+	// Event-engine state: the bank's private stream (shared with its
+	// tracker), its gap sampler, and the idle ACTs remaining before the next
+	// insertion — carried across tREFI boundaries.
+	r   *rng.Stream
+	sk  rng.Skip
+	gap int
 }
 
 // runScratch is the reusable per-worker state of a system trial: the DRAM
@@ -97,12 +111,20 @@ func (sc *runScratch) prepare(n int) {
 // (W activations per bank per tREFI — the saturated-bus worst case of the
 // paper's analysis).
 func Run(cfg Config, s sim.Scheme, seed uint64) Result {
-	return run(cfg, s, seed, &runScratch{})
+	return run(cfg, s, seed, &runScratch{}, engine.Exact)
+}
+
+// RunEngine is Run on the selected engine. The event engine carries each
+// bank's geometric insertion gap across tREFI boundaries and retires the
+// idle stretches through memctrl.ActivateRun; it falls back to the exact
+// loop when the scheme's tracker does not support skip-ahead.
+func RunEngine(cfg Config, s sim.Scheme, seed uint64, eng engine.Kind) Result {
+	return run(cfg, s, seed, &runScratch{}, eng)
 }
 
 // run is Run against caller-supplied worker scratch, so campaign workers
 // reuse bank arrays and patterns across trials.
-func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch) Result {
+func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch, eng engine.Kind) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -123,7 +145,10 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch) Result {
 		} else {
 			sc.pats[i].Reset()
 		}
-		trk := s.New(cfg.Params, seeds.Fork())
+		// Each bank's tracker and its gap sampler share one forked stream,
+		// mirroring the exact engine's per-bank stream usage.
+		br := seeds.Fork()
+		trk := s.New(cfg.Params, br)
 		mcfg := memctrl.DefaultConfig(cfg.Params)
 		mcfg.RFMThreshold = s.RFMThreshold
 		if s.MitigationEveryNREF > 0 {
@@ -132,6 +157,21 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch) Result {
 		banks[i] = bankState{
 			ctrl: memctrl.New(mcfg, sc.drams[i], trk),
 			pat:  sc.pats[i],
+			r:    br,
+			gap:  gapUnset,
+		}
+	}
+
+	// All banks run the same scheme, so skip-ahead support is uniform:
+	// probe bank 0 before any gap draw perturbs a stream.
+	if eng == engine.Event {
+		if _, ok := banks[0].ctrl.SkipAdvancer(); !ok {
+			eng = engine.Exact
+		} else {
+			for i := range banks {
+				sa, _ := banks[i].ctrl.SkipAdvancer()
+				banks[i].sk = rng.NewSkip(rng.NewThreshold(sa.InsertionProb()))
+			}
 		}
 	}
 
@@ -139,8 +179,12 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch) Result {
 	for trefi := 1; trefi <= cfg.MaxTREFI; trefi++ {
 		for bi := range banks {
 			b := &banks[bi]
-			for a := 0; a < w; a++ {
-				b.ctrl.Activate(b.pat.Next())
+			if eng == engine.Event {
+				b.hammerTREFIEvent(w)
+			} else {
+				for a := 0; a < w; a++ {
+					b.ctrl.Activate(b.pat.Next())
+				}
 			}
 			if len(b.ctrl.Bank().Flips()) > 0 {
 				return Result{
@@ -153,6 +197,39 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch) Result {
 		}
 	}
 	return Result{TREFIsSimulated: cfg.MaxTREFI}
+}
+
+// hammerTREFIEvent retires one tREFI's worth (w ACTs) of the bank's hammer
+// pattern on the event engine: idle stretches collapse into ActivateRun
+// segments, insertion ACTs go through ActivateInsert, and a gap outlasting
+// the tREFI is carried into the next one.
+func (b *bankState) hammerTREFIEvent(w int) {
+	left := w
+	for left > 0 {
+		if b.gap == gapUnset {
+			b.gap = b.r.SkipT(b.sk)
+		}
+		if b.gap >= left {
+			b.idleACTs(left)
+			b.gap -= left
+			return
+		}
+		b.idleACTs(b.gap)
+		left -= b.gap
+		b.ctrl.ActivateInsert(b.pat.Next())
+		left--
+		b.gap = gapUnset
+	}
+}
+
+// idleACTs retires n insertion-free activations of the bank's pattern.
+func (b *bankState) idleACTs(n int) {
+	for n > 0 {
+		row, k := b.pat.Run(n)
+		b.ctrl.ActivateRun(row, k)
+		b.pat.Advance(k)
+		n -= k
+	}
 }
 
 // MeasureMTTF runs `trials` independent system simulations and returns the

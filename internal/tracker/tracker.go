@@ -49,3 +49,44 @@ type Tracker interface {
 	// reseeding any internal randomness source.
 	Reset()
 }
+
+// SkipAdvancer is implemented by trackers whose insertion decision is an
+// i.i.d. Bernoulli(p) draw independent of tracker state — PrIDE's defining
+// property (requirements R1/R2 of Section IV-B) and PARA's by construction.
+// For such trackers the event-driven engines replace the per-ACT
+// draw-and-probe loop with geometric inter-arrival sampling: draw the gap to
+// the next insertion once, account for the gap with AdvanceIdle, and apply
+// the insertion with ActivateInsert.
+//
+// The pair (AdvanceIdle(n); ActivateInsert(row)) must leave the tracker in
+// exactly the state n failed-draw OnActivate calls followed by one
+// successful-draw OnActivate(row) would, while consuming ZERO draws from the
+// tracker's randomness stream — the caller has already consumed the one
+// geometric draw that stands in for the n+1 Bernoulli draws. Draws made
+// outside OnActivate (e.g. PrIDE's transitive re-insertion inside
+// OnMitigate, Random-policy victim selection) are unaffected and still come
+// from the tracker's stream.
+type SkipAdvancer interface {
+	Tracker
+
+	// SupportsSkipAhead reports whether the CURRENT configuration keeps the
+	// insertion decision state-independent. Configurations that couple
+	// insertion to buffer contents (PrIDE's deliberately insecure R1/R2
+	// ablation switches) must return false, directing the engines back to
+	// the exact per-ACT path.
+	SupportsSkipAhead() bool
+
+	// InsertionProb returns the per-ACT insertion probability p the
+	// skip-ahead gap must be sampled with.
+	InsertionProb() float64
+
+	// AdvanceIdle accounts for n consecutive activations whose insertion
+	// draws all failed. Equivalent to n OnActivate calls that do not
+	// insert; consumes no draws. n may be zero; negative n panics.
+	AdvanceIdle(n int)
+
+	// ActivateInsert observes one activation whose insertion draw
+	// succeeded. Equivalent to an OnActivate(row) whose draw fires;
+	// consumes no draws.
+	ActivateInsert(row int)
+}

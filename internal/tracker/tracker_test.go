@@ -122,3 +122,75 @@ func TestConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestSkipAhead runs the skip-ahead equivalence suite against the trackers
+// the event-driven engines fast-forward: (AdvanceIdle; ActivateInsert) must
+// be state-equivalent to the stepped OnActivate path, draw-free. Only
+// FIFO-policy trackers may be registered here (the suite's rigged constant
+// sources would spin a Random-policy Intn forever).
+func TestSkipAhead(t *testing.T) {
+	const w = 79
+
+	specs := []trackertest.SkipSpec{
+		{
+			Name: "PrIDE",
+			New: func(r *rng.Stream) tracker.SkipAdvancer {
+				return core.New(core.DefaultConfig(w), r)
+			},
+			Snapshot: func(tr tracker.Tracker) []tracker.Mitigation {
+				return tr.(*core.PrIDE).Snapshot()
+			},
+			Prob: core.DefaultConfig(w).InsertionProb,
+		},
+		{
+			// Without transitive protection OnMitigate never draws,
+			// covering the pop-only mitigation path.
+			Name: "PrIDE-NoTransitive",
+			New: func(r *rng.Stream) tracker.SkipAdvancer {
+				cfg := core.DefaultConfig(w)
+				cfg.TransitiveProtection = false
+				cfg.InsertionProb = 1.0 / float64(w)
+				return core.New(cfg, r)
+			},
+			Snapshot: func(tr tracker.Tracker) []tracker.Mitigation {
+				return tr.(*core.PrIDE).Snapshot()
+			},
+			Prob: 1.0 / float64(w),
+		},
+		{
+			Name: "PARA",
+			New: func(r *rng.Stream) tracker.SkipAdvancer {
+				return baseline.NewPARA(1.0/float64(w+1), r)
+			},
+			Prob: 1.0 / float64(w+1),
+		},
+	}
+
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			trackertest.RunSkipAhead(t, s)
+		})
+	}
+}
+
+// TestSkipAheadGatedOnInsecureAblations pins the safety interlock: the R1/R2
+// ablation switches couple insertion to buffer state, so those
+// configurations must refuse skip-ahead and run on the exact engine.
+func TestSkipAheadGatedOnInsecureAblations(t *testing.T) {
+	const w = 79
+	base := core.DefaultConfig(w)
+	if !core.New(base, rng.New(1)).SupportsSkipAhead() {
+		t.Fatal("secure default config reports SupportsSkipAhead() = false")
+	}
+	r1 := base
+	r1.InsecureAlwaysInsertIfInvalid = true
+	if core.New(r1, rng.New(1)).SupportsSkipAhead() {
+		t.Fatal("InsecureAlwaysInsertIfInvalid config reports SupportsSkipAhead() = true")
+	}
+	r2 := base
+	r2.InsecureSkipDuplicates = true
+	if core.New(r2, rng.New(1)).SupportsSkipAhead() {
+		t.Fatal("InsecureSkipDuplicates config reports SupportsSkipAhead() = true")
+	}
+}
