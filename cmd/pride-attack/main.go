@@ -72,6 +72,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	ctx, stopChaos, faults, err := cf.ChaosContext(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer stopChaos()
 	stopProf, err := pf.Start()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -100,9 +106,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var t *report.Table
 	switch *fig {
 	case 15:
-		t, err = fig15(ctx, *nPat, *seeds, *acts, *seed, *workers, cf, stderr)
+		t, err = fig15(ctx, *nPat, *seeds, *acts, *seed, *workers, cf, faults, stderr)
 	case 18:
-		t, err = fig18(ctx, *scale, *lossActs, *seed, *workers, cf, stderr)
+		t, err = fig18(ctx, *scale, *lossActs, *seed, *workers, cf, faults, stderr)
 	default:
 		fmt.Fprintln(stderr, "unknown figure: use -fig 15 or -fig 18")
 		return 2
@@ -152,7 +158,7 @@ func replayTrace(path string, acts int, seed uint64) (*report.Table, error) {
 	return t, nil
 }
 
-func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int, cf cli.CampaignFlags, stderr io.Writer) (*report.Table, error) {
+func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int, cf cli.CampaignFlags, faults trialrunner.TrialFaults, stderr io.Writer) (*report.Table, error) {
 	p := dram.DDR5()
 	p.RowsPerBank = 8192 // attacks span a small row window; smaller banks are faster
 	p.RowBits = 13
@@ -175,6 +181,9 @@ func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int,
 			Progress:   camp,
 			Observer:   camp,
 			Engine:     cf.Engine.Kind,
+			SelfCheck:  cf.SelfCheck,
+			Retry:      cf.RetryPolicy(),
+			Faults:     faults,
 		})
 		stop()
 		if err != nil {
@@ -185,7 +194,7 @@ func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int,
 	return t, nil
 }
 
-func fig18(ctx context.Context, scale, acts int, seed uint64, workers int, cf cli.CampaignFlags, stderr io.Writer) (*report.Table, error) {
+func fig18(ctx context.Context, scale, acts int, seed uint64, workers int, cf cli.CampaignFlags, faults trialrunner.TrialFaults, stderr io.Writer) (*report.Table, error) {
 	const rowLimit = 8192
 	w := dram.DDR5().ACTsPerTREFI()
 	suite := patterns.Fig18Suite(rowLimit, scale, seed)
@@ -202,6 +211,9 @@ func fig18(ctx context.Context, scale, acts int, seed uint64, workers int, cf cl
 			Progress:   camp,
 			Observer:   camp,
 			Engine:     cf.Engine.Kind,
+			SelfCheck:  cf.SelfCheck,
+			Retry:      cf.RetryPolicy(),
+			Faults:     faults,
 		})
 		stop()
 		if err != nil {

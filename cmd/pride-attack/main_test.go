@@ -17,7 +17,7 @@ import (
 // enabled.
 func fig15Quiet(t *testing.T, nPat, seeds, acts int, seed uint64, workers int) string {
 	t.Helper()
-	tbl, err := fig15(context.Background(), nPat, seeds, acts, seed, workers, cli.CampaignFlags{}, io.Discard)
+	tbl, err := fig15(context.Background(), nPat, seeds, acts, seed, workers, cli.CampaignFlags{}, nil, io.Discard)
 	if err != nil {
 		t.Fatalf("fig15: %v", err)
 	}
@@ -26,7 +26,7 @@ func fig15Quiet(t *testing.T, nPat, seeds, acts int, seed uint64, workers int) s
 
 func fig18Quiet(t *testing.T, scale, acts int, seed uint64, workers int) string {
 	t.Helper()
-	tbl, err := fig18(context.Background(), scale, acts, seed, workers, cli.CampaignFlags{}, io.Discard)
+	tbl, err := fig18(context.Background(), scale, acts, seed, workers, cli.CampaignFlags{}, nil, io.Discard)
 	if err != nil {
 		t.Fatalf("fig18: %v", err)
 	}

@@ -66,6 +66,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	ctx, stopChaos, faults, err := cf.ChaosContext(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer stopChaos()
 	stopProf, err := pf.Start()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -107,7 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ran = true
 	}
 	if want(0, 8) {
-		t, err := fig8(ctx, p, *mcPeriods, *seed, *workers, cf, stderr)
+		t, err := fig8(ctx, p, *mcPeriods, *seed, *workers, cf, faults, stderr)
 		if err != nil {
 			return cli.FailureCode(err, cf.Checkpoint, stderr)
 		}
@@ -192,7 +198,7 @@ func table2() *report.Table {
 // fig8 runs the Monte-Carlo loss campaign behind Figure 8. It is the one
 // long-running section of this command, so it carries the full campaign
 // plumbing: cancellation, -checkpoint resume and -progress-every metering.
-func fig8(ctx context.Context, p dram.Params, periods int, seed uint64, workers int, cf cli.CampaignFlags, stderr io.Writer) (*report.Table, error) {
+func fig8(ctx context.Context, p dram.Params, periods int, seed uint64, workers int, cf cli.CampaignFlags, faults trialrunner.TrialFaults, stderr io.Writer) (*report.Table, error) {
 	w := p.ACTsPerTREFI()
 	mc := montecarlo.LossConfig{Entries: 1, Window: w, InsertionProb: 1 / float64(w), Periods: periods}
 	camp, stop := cf.StartCampaign(ctx, "fig8", montecarlo.LossCampaignTrials(mc), workers, stderr)
@@ -203,6 +209,9 @@ func fig8(ctx context.Context, p dram.Params, periods int, seed uint64, workers 
 		Progress:   camp,
 		Observer:   camp,
 		Engine:     cf.Engine.Kind,
+		SelfCheck:  cf.SelfCheck,
+		Retry:      cf.RetryPolicy(),
+		Faults:     faults,
 	})
 	if err != nil {
 		return nil, err

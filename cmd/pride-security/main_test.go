@@ -21,7 +21,7 @@ import (
 // table builders are exercised.
 func fig8Quiet(t *testing.T, p dram.Params, periods int, seed uint64, workers int) string {
 	t.Helper()
-	tbl, err := fig8(context.Background(), p, periods, seed, workers, cli.CampaignFlags{}, io.Discard)
+	tbl, err := fig8(context.Background(), p, periods, seed, workers, cli.CampaignFlags{}, nil, io.Discard)
 	if err != nil {
 		t.Fatalf("fig8: %v", err)
 	}
@@ -261,5 +261,41 @@ func TestRunFig8ProgressLines(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Fig 8") {
 		t.Fatal("figure missing from stdout")
+	}
+}
+
+// TestRunChaosFlagsSmoke drives the full CLI surface of the resilience
+// satellite flags: a seeded -chaos schedule with -trial-retries recovers in
+// place and still exits 0 with the same table, and a malformed schedule is
+// a usage error before any simulation starts.
+func TestRunChaosFlagsSmoke(t *testing.T) {
+	var want, errOut strings.Builder
+	if code := run(context.Background(),
+		[]string{"-fig", "8", "-mc-periods", "200000", "-workers", "2"},
+		&want, &errOut); code != 0 {
+		t.Fatalf("baseline exit code %d, stderr: %s", code, errOut.String())
+	}
+
+	var out strings.Builder
+	errOut.Reset()
+	code := run(context.Background(),
+		[]string{"-fig", "8", "-mc-periods", "200000", "-workers", "2",
+			"-selfcheck", "-trial-retries", "1",
+			"-chaos", "trial.err:nth=1", "-chaos-seed", "7"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("chaos run exit code %d, stderr: %s", code, errOut.String())
+	}
+	if out.String() != want.String() {
+		t.Fatal("recovered chaos run prints a different table than the undisturbed run")
+	}
+
+	errOut.Reset()
+	if code := run(context.Background(),
+		[]string{"-fig", "8", "-chaos", "::"}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed -chaos exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-chaos") {
+		t.Fatalf("usage error does not name the flag: %q", errOut.String())
 	}
 }

@@ -78,6 +78,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "-trials must be >= 1")
 		return 2
 	}
+	ctx, stopChaos, faults, err := cf.ChaosContext(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer stopChaos()
 	stopProf, err := pf.Start()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -131,6 +137,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Progress:   camp,
 			Observer:   camp,
 			Engine:     cf.Engine.Kind,
+			SelfCheck:  cf.SelfCheck,
+			Retry:      cf.RetryPolicy(),
+			Faults:     faults,
 		})
 		stop()
 		if err != nil {

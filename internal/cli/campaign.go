@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pride/internal/engine"
+	"pride/internal/faultinject"
 	"pride/internal/obs"
 	"pride/internal/trialrunner"
 )
@@ -49,6 +50,21 @@ type CampaignFlags struct {
 	// engine, so a run checkpointed under one engine never resumes under
 	// the other.
 	Engine engine.Value
+	// SelfCheck enables runtime invariant guards in the simulation engines;
+	// an event-engine trial whose guard trips re-runs on the exact engine.
+	SelfCheck bool
+	// CheckpointForce archives a stale checkpoint (key mismatch) aside and
+	// starts fresh instead of refusing to run.
+	CheckpointForce bool
+	// TrialRetries is how many times a panicked/errored trial is retried
+	// before being quarantined (0 keeps single-attempt semantics).
+	TrialRetries int
+	// TrialDeadline, when > 0, fails any trial running longer than it.
+	TrialDeadline time.Duration
+	// Chaos is the fault-injection schedule spec ("" disables); see
+	// faultinject.Parse. ChaosSeed seeds its deterministic streams.
+	Chaos     string
+	ChaosSeed uint64
 }
 
 // Register installs the -checkpoint, -progress-every and -engine flags on fs.
@@ -60,6 +76,58 @@ func (c *CampaignFlags) Register(fs *flag.FlagSet) {
 	c.Engine.Kind = engine.Event
 	fs.Var(&c.Engine, "engine",
 		`simulation engine: "event" (geometric skip-ahead) or "exact" (per-ACT reference; bit-compatible with pre-engine checkpoints)`)
+	fs.BoolVar(&c.SelfCheck, "selfcheck", false,
+		"enable runtime invariant guards; an event-engine trial whose guard trips re-runs on the exact engine")
+	fs.BoolVar(&c.CheckpointForce, "checkpoint-force", false,
+		"archive a stale checkpoint (key mismatch) to <path>.stale and start fresh instead of failing")
+	fs.IntVar(&c.TrialRetries, "trial-retries", 0,
+		"retry a panicked/errored trial this many times before quarantining it (0 disables)")
+	fs.DurationVar(&c.TrialDeadline, "trial-deadline", 0,
+		"fail any trial running longer than this, e.g. 30s (0 disables)")
+	fs.StringVar(&c.Chaos, "chaos", "",
+		`deterministic fault-injection schedule, e.g. "checkpoint.write:nth=2,kind=shortwrite;trial.panic:nth=1" ("" disables)`)
+	fs.Uint64Var(&c.ChaosSeed, "chaos-seed", 1,
+		"seed for the -chaos schedule's probabilistic triggers")
+}
+
+// RetryPolicy maps the -trial-retries / -trial-deadline flags to the
+// trialrunner policy (retries are attempts beyond the first).
+func (c CampaignFlags) RetryPolicy() trialrunner.RetryPolicy {
+	p := trialrunner.RetryPolicy{Deadline: c.TrialDeadline}
+	if c.TrialRetries > 0 {
+		p.Attempts = c.TrialRetries + 1
+	}
+	return p
+}
+
+// Injector parses the -chaos schedule into a fault injector, or returns nil
+// when chaos is disabled. Callers must assign the result to a campaign's
+// Faults field only when it is non-nil (a typed-nil interface would defeat
+// the campaigns' Faults == nil fast path).
+func (c CampaignFlags) Injector() (*faultinject.Injector, error) {
+	if c.Chaos == "" {
+		return nil, nil
+	}
+	inj, err := faultinject.Parse(c.ChaosSeed, c.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos: %w", err)
+	}
+	return inj, nil
+}
+
+// ChaosContext wires the -chaos schedule for a command: it parses the
+// injector, binds its trial.cancel site to a context derived from ctx, and
+// returns the Faults value to thread into campaign options. When chaos is
+// disabled the original context and a nil Faults interface come back (never
+// a typed-nil injector), with a no-op stop. Callers must defer stop.
+func (c CampaignFlags) ChaosContext(ctx context.Context) (context.Context, context.CancelFunc, trialrunner.TrialFaults, error) {
+	inj, err := c.Injector()
+	if err != nil || inj == nil {
+		return ctx, func() {}, nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	inj.BindCancel(cancel)
+	return ctx, cancel, inj, nil
 }
 
 // sanitizeSuffix keeps checkpoint-file suffixes filesystem-safe.
@@ -88,7 +156,7 @@ func (c CampaignFlags) CheckpointAt(section string) trialrunner.Checkpoint {
 	if section != "" {
 		path += "." + sanitizeSuffix(section)
 	}
-	return trialrunner.Checkpoint{Path: path}
+	return trialrunner.Checkpoint{Path: path, ForceFresh: c.CheckpointForce}
 }
 
 // StartCampaign creates an obs.Campaign, publishes it on the expvar surface,

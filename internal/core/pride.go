@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"pride/internal/guard"
 	"pride/internal/rng"
 	"pride/internal/tracker"
 )
@@ -86,6 +87,12 @@ type Config struct {
 	// InsecureSkipDuplicates suppresses insertion when the row is already
 	// tracked (violates R2).
 	InsecureSkipDuplicates bool
+
+	// SelfCheck enables runtime invariant guards on the FIFO structure
+	// (occupancy and pointer bounds, entry-level ranges). A violated guard
+	// panics with a guard.Violation. Off by default; the checks are integer
+	// compares, enabled by the -selfcheck campaign flag.
+	SelfCheck bool
 }
 
 // DefaultConfig returns the paper's default PrIDE configuration for a
@@ -228,6 +235,23 @@ func (p *PrIDE) Name() string {
 // Config returns the tracker's configuration.
 func (p *PrIDE) Config() Config { return p.cfg }
 
+// SetSelfCheck implements tracker.SelfChecker: it toggles the FIFO
+// invariant guards at runtime, so campaign layers can enable them from one
+// flag without reconstructing the tracker.
+func (p *PrIDE) SetSelfCheck(on bool) { p.cfg.SelfCheck = on }
+
+// check verifies the FIFO structural invariants: occupancy within
+// [0, Entries], head pointer within [0, Entries). Called from the mutating
+// operations when SelfCheck is on.
+func (p *PrIDE) check(op string) {
+	if p.occ < 0 || p.occ > p.cfg.Entries {
+		guard.Failf("pride", "fifo-occupancy", "%s: occ %d outside [0,%d]", op, p.occ, p.cfg.Entries)
+	}
+	if p.ptr < 0 || p.ptr >= p.cfg.Entries {
+		guard.Failf("pride", "fifo-pointer", "%s: ptr %d outside [0,%d)", op, p.ptr, p.cfg.Entries)
+	}
+}
+
 // Observe registers fn to be called for every insert/evict/mitigate event
 // with the affected row. The hardware has no such port; it exists for the
 // loss-probability measurements of Fig 18 and for tests. Pass nil to
@@ -299,17 +323,26 @@ func (p *PrIDE) ActivateInsert(row int) {
 // insert places e at the FIFO tail, evicting per the eviction policy when
 // the buffer is full.
 func (p *PrIDE) insert(e entry) {
+	if p.cfg.SelfCheck && (e.level < 1 || e.level > p.cfg.MaxLevel) {
+		guard.Failf("pride", "entry-level", "insert: level %d outside [1,%d]", e.level, p.cfg.MaxLevel)
+	}
 	if p.occ == p.cfg.Entries {
 		p.evict()
 	}
 	p.buf[(p.ptr+p.occ)%p.cfg.Entries] = e
 	p.occ++
 	p.stats.Insertions++
+	if p.cfg.SelfCheck {
+		p.check("insert")
+	}
 	p.emit(EventInsert, e.row)
 }
 
 // evict removes one entry without mitigation.
 func (p *PrIDE) evict() {
+	if p.cfg.SelfCheck && p.occ <= 0 {
+		guard.Failf("pride", "fifo-occupancy", "evict: occ %d, nothing to evict", p.occ)
+	}
 	switch p.cfg.Eviction {
 	case FIFO:
 		p.emit(EventEvict, p.buf[p.ptr].row)
@@ -357,6 +390,12 @@ func (p *PrIDE) OnMitigate() (tracker.Mitigation, bool) {
 	}
 	p.occ--
 	p.stats.Mitigations++
+	if p.cfg.SelfCheck {
+		p.check("mitigate")
+		if e.level < 1 || e.level > p.cfg.MaxLevel {
+			guard.Failf("pride", "entry-level", "mitigate: popped level %d outside [1,%d]", e.level, p.cfg.MaxLevel)
+		}
+	}
 	p.emit(EventMitigate, e.row)
 
 	if p.cfg.TransitiveProtection && e.level < p.cfg.MaxLevel {

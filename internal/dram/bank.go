@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"pride/internal/guard"
+)
 
 // Flip records a Rowhammer failure: a victim row crossed the device's
 // Rowhammer threshold without an intervening refresh.
@@ -66,6 +70,11 @@ type Bank struct {
 
 	// onFlip, when non-nil, is invoked for every failure as it happens.
 	onFlip func(Flip)
+
+	// selfCheck enables runtime invariant guards (flip-accounting
+	// consistency, activation-run bounds). Not part of Params so enabling
+	// it never perturbs checkpoint keys. Survives Reset.
+	selfCheck bool
 }
 
 // NewBank returns a bank with the given parameters and device Rowhammer
@@ -103,6 +112,9 @@ func (b *Bank) Rows() int { return b.params.RowsPerBank }
 // OnFlip registers fn to be called for each Rowhammer failure.
 func (b *Bank) OnFlip(fn func(Flip)) { b.onFlip = fn }
 
+// SetSelfCheck enables or disables the bank's runtime invariant guards.
+func (b *Bank) SetSelfCheck(on bool) { b.selfCheck = on }
+
 // Activate issues a demand activation to row. It returns the row's
 // activation-run length so callers can track disturbance without re-reading
 // state.
@@ -120,6 +132,9 @@ func (b *Bank) Activate(row int) int {
 	b.actRun[row]++
 	if b.actRun[row] > b.maxDisturbance {
 		b.maxDisturbance = b.actRun[row]
+	}
+	if b.selfCheck && uint64(b.actRun[row]) > b.actIndex {
+		guard.Failf("dram.bank", "actrun-bound", "row %d run %d exceeds global ACT index %d", row, b.actRun[row], b.actIndex)
 	}
 	b.disturbNeighbors(row)
 	return b.actRun[row]
@@ -174,6 +189,9 @@ func (b *Bank) HammerN(row, n int) int {
 				if k < 1 {
 					k = 1 // already over threshold: flips on the first ACT
 				}
+				if b.selfCheck && k > n {
+					guard.Failf("dram.bank", "flip-accounting", "burst flip of row %d at intra-burst ACT %d > burst length %d", v, k, n)
+				}
 				b.flipped[v] = true
 				b.flipScratch = append(b.flipScratch, Flip{
 					Row:      v,
@@ -212,6 +230,11 @@ func (b *Bank) disturbNeighbors(row int) {
 				b.maxHammers = b.hammers[v]
 			}
 			if b.trh > 0 && b.hammers[v] >= b.trh && !b.flipped[v] {
+				if b.selfCheck && b.hammers[v] > b.trh {
+					// The count steps by one per ACT, so the first crossing
+					// must land exactly on the threshold.
+					guard.Failf("dram.bank", "flip-accounting", "row %d first crossed threshold at %d > trh %d", v, b.hammers[v], b.trh)
+				}
 				b.flipped[v] = true
 				f := Flip{Row: v, Hammers: b.hammers[v], ACTIndex: b.actIndex}
 				b.flips = append(b.flips, f)

@@ -1,0 +1,468 @@
+// Package faultinject provides deterministic, seeded fault schedules for
+// chaos-testing the campaign stack. An Injector is armed with per-site
+// triggers (nth-call, every-k-calls, probabilistic) and consulted from
+// injection points threaded through the layers under test:
+//
+//   - checkpoint I/O (trialrunner): open/create/write/sync/rename failures
+//     and short (torn) writes, via the CheckpointFault hook;
+//   - trial execution (trialrunner): forced panics and forced errors per
+//     (trial, attempt), via the TrialFault hook;
+//   - engine self-checks (montecarlo/sim/system): forced invariant trips
+//     that exercise the event→exact fallback, via EngineTrip;
+//   - context cancellation: a bound cancel function invoked when the
+//     trial.cancel site fires, the test stand-in for a SIGINT/SIGTERM.
+//
+// Determinism: probabilistic decisions for indexed sites (trials, engine
+// trips) are a pure function of (seed, site, index) — never of scheduling —
+// so a chaos run replays bit-identically from its seed at any worker count.
+// Call-counted sites (checkpoint I/O) are deterministic whenever the call
+// order is (single-writer checkpoint appends are; they run under the pool's
+// onDone mutex in completion order, which is deterministic at workers=1).
+//
+// A schedule round-trips through a compact spec string
+// ("checkpoint.write:nth=2,kind=shortwrite;trial.panic:at=1"), so a failing
+// chaos run is reproducible from the seed and spec in its log line.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pride/internal/rng"
+)
+
+// Kind classifies what an injected fault does at its injection point.
+type Kind int
+
+const (
+	// KindError fails the operation/attempt with the *Fault as a plain error.
+	KindError Kind = iota
+	// KindPanic makes a trial attempt panic with the *Fault (exercising the
+	// pool's recover/retry machinery rather than its error path).
+	KindPanic
+	// KindShortWrite makes a checkpoint write land only a prefix of its
+	// payload before failing — the torn-write case CRC recovery must catch.
+	KindShortWrite
+)
+
+// String returns the spec spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindShortWrite:
+		return "shortwrite"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "error":
+		return KindError, nil
+	case "panic":
+		return KindPanic, nil
+	case "shortwrite":
+		return KindShortWrite, nil
+	default:
+		return KindError, fmt.Errorf("faultinject: unknown kind %q", s)
+	}
+}
+
+// Fault is the error an injected fault surfaces as.
+type Fault struct {
+	// Site is the injection point that fired.
+	Site string
+	// Kind is what the fault does there.
+	Kind Kind
+	// Call is the 1-based call (or 0-based index, for indexed sites) the
+	// fault fired at, for log lines.
+	Call int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: %s fault at site %q (call %d)", f.Kind, f.Site, f.Call)
+}
+
+// Panics reports whether the fault should be raised as a panic at its
+// injection point (KindPanic) rather than returned as an error. Injection
+// points discover the capability structurally, so they need no dependency
+// on this package.
+func (f *Fault) Panics() bool { return f.Kind == KindPanic }
+
+// Short reports whether the fault is a torn write (KindShortWrite): the
+// injection point should land a partial payload before failing. Discovered
+// structurally, like Panics.
+func (f *Fault) Short() bool { return f.Kind == KindShortWrite }
+
+// Canonical site names. Layers consult sites by these names; tests arm them.
+const (
+	SiteCheckpointOpen   = "checkpoint.open"
+	SiteCheckpointCreate = "checkpoint.create"
+	SiteCheckpointWrite  = "checkpoint.write"
+	SiteCheckpointSync   = "checkpoint.sync"
+	SiteCheckpointRename = "checkpoint.rename"
+	SiteTrialPanic       = "trial.panic"
+	SiteTrialErr         = "trial.err"
+	SiteTrialCancel      = "trial.cancel"
+	SiteEngineTrip       = "engine.trip"
+)
+
+// Trigger describes when an armed site fires. Conditions compose as OR; the
+// zero Trigger never fires.
+type Trigger struct {
+	// Nth fires on exactly the n-th call (1-based) for call-counted sites,
+	// or at index n-1 for indexed sites. 0 disables.
+	Nth int
+	// Every fires on every k-th call (call%k == 0, 1-based), or at every
+	// k-th index ((index+1)%k == 0). 0 disables; 1 fires always.
+	Every int
+	// Prob fires with this probability per call/index, drawn from the
+	// site's private seeded stream (call-counted) or derived statelessly
+	// from (seed, site, index) (indexed). 0 disables.
+	Prob float64
+	// Limit caps the total fires of a call-counted site (0 = unlimited).
+	// Indexed sites ignore it: a cap would reintroduce scheduling order
+	// into the decision.
+	Limit int
+	// Kind is what the fault does when it fires (default KindError).
+	Kind Kind
+	// Attempts is how many leading attempts of a faulted trial fail, for
+	// the trial.* sites: the default 0 means 1 (the first attempt fails and
+	// a retry succeeds); -1 means every attempt fails, exhausting the retry
+	// budget and quarantining the trial. Other sites ignore it.
+	Attempts int
+}
+
+func (t Trigger) failsAttempt(attempt int) bool {
+	if t.Attempts < 0 {
+		return true
+	}
+	n := t.Attempts
+	if n == 0 {
+		n = 1
+	}
+	return attempt < n
+}
+
+// site is the mutable per-site state: the armed trigger, a call counter, a
+// fire counter, and a private deterministic stream for Prob draws.
+type site struct {
+	trig  Trigger
+	calls int
+	fired int
+	r     *rng.Stream
+	thr   rng.Threshold
+}
+
+// Injector is a seeded set of armed fault sites. All methods are safe for
+// concurrent use; an unarmed site never fires and costs one map lookup.
+type Injector struct {
+	seed uint64
+
+	mu     sync.Mutex
+	sites  map[string]*site
+	cancel func()
+}
+
+// New returns an Injector with no sites armed.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, sites: make(map[string]*site)}
+}
+
+// Seed returns the injector's seed, for log lines.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// siteSeed derives the per-site stream seed from (seed, site name) alone, so
+// arming order never changes a site's draw sequence.
+func (in *Injector) siteSeed(name string) uint64 {
+	// FNV-1a over the site name, mixed through the index-derivation hash.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return rng.DeriveSeed(in.seed, h)
+}
+
+// Arm installs (or replaces) the trigger of a site, resetting its counters.
+func (in *Injector) Arm(name string, t Trigger) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[name] = &site{
+		trig: t,
+		r:    rng.New(in.siteSeed(name)),
+		thr:  rng.NewThreshold(clampProb(t.Prob)),
+	}
+}
+
+func clampProb(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// BindCancel registers the cancel function the trial.cancel site invokes
+// when it fires — the deterministic stand-in for a signal landing mid-run.
+func (in *Injector) BindCancel(cancel func()) {
+	in.mu.Lock()
+	in.cancel = cancel
+	in.mu.Unlock()
+}
+
+// Fire counts one call to a call-counted site and reports whether the armed
+// trigger fires on it. Unarmed sites never fire.
+func (in *Injector) Fire(name string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil {
+		return false
+	}
+	s.calls++
+	if s.trig.Limit > 0 && s.fired >= s.trig.Limit {
+		return false
+	}
+	hit := false
+	if s.trig.Nth > 0 && s.calls == s.trig.Nth {
+		hit = true
+	}
+	if !hit && s.trig.Every > 0 && s.calls%s.trig.Every == 0 {
+		hit = true
+	}
+	if !hit && s.trig.Prob > 0 && s.r.BernoulliT(s.thr) {
+		hit = true
+	}
+	if hit {
+		s.fired++
+	}
+	return hit
+}
+
+// FireAt decides, deterministically and independently of call order, whether
+// the site fires at the given logical index (a trial number, an engine-trip
+// slot). The decision is a pure function of (seed, site, index, trigger):
+// Nth matches index == Nth-1, Every matches (index+1)%Every == 0, and Prob
+// draws one Bernoulli from a stream derived from (seed, site, index). Limit
+// is ignored (it would couple the decision to scheduling order). FireAt
+// counts fires but not calls.
+func (in *Injector) FireAt(name string, index uint64) bool {
+	in.mu.Lock()
+	s := in.sites[name]
+	if s == nil {
+		in.mu.Unlock()
+		return false
+	}
+	trig, thr, siteSeed := s.trig, s.thr, in.siteSeed(name)
+	in.mu.Unlock()
+
+	hit := false
+	if trig.Nth > 0 && index == uint64(trig.Nth-1) {
+		hit = true
+	}
+	if !hit && trig.Every > 0 && (index+1)%uint64(trig.Every) == 0 {
+		hit = true
+	}
+	if !hit && trig.Prob > 0 && rng.Derived(siteSeed, index).BernoulliT(thr) {
+		hit = true
+	}
+	if hit {
+		in.mu.Lock()
+		s.fired++
+		in.mu.Unlock()
+	}
+	return hit
+}
+
+// Err is Fire returning the fault as an error: nil when the site does not
+// fire, a *Fault of the armed kind when it does.
+func (in *Injector) Err(name string) error {
+	if !in.Fire(name) {
+		return nil
+	}
+	in.mu.Lock()
+	s := in.sites[name]
+	call, kind := s.calls, s.trig.Kind
+	in.mu.Unlock()
+	return &Fault{Site: name, Kind: kind, Call: call}
+}
+
+// Calls returns how many times a call-counted site has been consulted.
+func (in *Injector) Calls(name string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.sites[name]; s != nil {
+		return s.calls
+	}
+	return 0
+}
+
+// Fired returns how many times a site has fired, for test assertions and
+// chaos-run summaries.
+func (in *Injector) Fired(name string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.sites[name]; s != nil {
+		return s.fired
+	}
+	return 0
+}
+
+// CheckpointFault implements trialrunner's checkpoint fault hook: op is the
+// bare operation name ("open", "create", "write", "sync", "rename"),
+// consulted as site "checkpoint.<op>".
+func (in *Injector) CheckpointFault(op string) error {
+	return in.Err("checkpoint." + op)
+}
+
+// TrialFault implements trialrunner's trial fault hook: consulted before
+// attempt `attempt` (0-based) of trial `trial`. The trial.panic and
+// trial.err sites decide per trial index (scheduling-independent), failing
+// the number of leading attempts their trigger's Attempts field names. The
+// trial.cancel site is call-counted on first attempts and invokes the bound
+// cancel function when it fires.
+func (in *Injector) TrialFault(trial, attempt int) error {
+	if attempt == 0 && in.Fire(SiteTrialCancel) {
+		in.mu.Lock()
+		cancel := in.cancel
+		in.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	if f := in.trialSite(SiteTrialPanic, KindPanic, trial, attempt); f != nil {
+		return f
+	}
+	if f := in.trialSite(SiteTrialErr, KindError, trial, attempt); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (in *Injector) trialSite(name string, kind Kind, trial, attempt int) error {
+	in.mu.Lock()
+	s := in.sites[name]
+	in.mu.Unlock()
+	if s == nil || !s.trig.failsAttempt(attempt) {
+		return nil
+	}
+	if !in.FireAt(name, uint64(trial)) {
+		return nil
+	}
+	return &Fault{Site: name, Kind: kind, Call: trial}
+}
+
+// EngineTrip reports whether the forced-invariant-trip site fires for the
+// given trial index. Campaign layers consult it inside their guarded
+// event-engine runs; a trip makes the trial fall back to the exact engine
+// exactly as a real guard violation would.
+func (in *Injector) EngineTrip(trial uint64) bool {
+	return in.FireAt(SiteEngineTrip, trial)
+}
+
+// String renders the armed schedule as a spec string (sites sorted by name)
+// that Parse accepts, so chaos log lines are replayable.
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.sites))
+	for name := range in.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		t := in.sites[name].trig
+		var kv []string
+		if t.Nth > 0 {
+			kv = append(kv, fmt.Sprintf("nth=%d", t.Nth))
+		}
+		if t.Every > 0 {
+			kv = append(kv, fmt.Sprintf("every=%d", t.Every))
+		}
+		if t.Prob > 0 {
+			kv = append(kv, fmt.Sprintf("prob=%g", t.Prob))
+		}
+		if t.Limit > 0 {
+			kv = append(kv, fmt.Sprintf("limit=%d", t.Limit))
+		}
+		if t.Kind != KindError {
+			kv = append(kv, "kind="+t.Kind.String())
+		}
+		if t.Attempts != 0 {
+			kv = append(kv, fmt.Sprintf("attempts=%d", t.Attempts))
+		}
+		parts = append(parts, name+":"+strings.Join(kv, ","))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds an Injector from a seed and a spec string:
+//
+//	site:key=val,key=val;site2:key=val
+//
+// Keys: nth, every, prob, limit, attempts (integers / float), and
+// kind=error|panic|shortwrite. An empty spec yields an injector with no
+// sites armed. Parse(seed, in.String()) reproduces in's schedule.
+func Parse(seed uint64, spec string) (*Injector, error) {
+	in := New(seed)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return in, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, kvs, ok := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faultinject: malformed site clause %q (want site:key=val,...)", part)
+		}
+		var t Trigger
+		for _, kv := range strings.Split(kvs, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: malformed trigger field %q in site %q", kv, name)
+			}
+			var err error
+			switch k {
+			case "nth":
+				t.Nth, err = strconv.Atoi(v)
+			case "every":
+				t.Every, err = strconv.Atoi(v)
+			case "prob":
+				t.Prob, err = strconv.ParseFloat(v, 64)
+			case "limit":
+				t.Limit, err = strconv.Atoi(v)
+			case "attempts":
+				t.Attempts, err = strconv.Atoi(v)
+			case "kind":
+				t.Kind, err = parseKind(v)
+			default:
+				return nil, fmt.Errorf("faultinject: unknown trigger field %q in site %q", k, name)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad value for %s in site %q: %v", k, name, err)
+			}
+		}
+		in.Arm(name, t)
+	}
+	return in, nil
+}

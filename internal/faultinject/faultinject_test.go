@@ -1,0 +1,352 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Fire(SiteCheckpointWrite) {
+			t.Fatal("unarmed site fired")
+		}
+		if in.FireAt(SiteTrialPanic, uint64(i)) {
+			t.Fatal("unarmed indexed site fired")
+		}
+	}
+	if err := in.Err(SiteCheckpointSync); err != nil {
+		t.Fatalf("unarmed Err = %v", err)
+	}
+	if err := in.TrialFault(3, 0); err != nil {
+		t.Fatalf("unarmed TrialFault = %v", err)
+	}
+	if in.EngineTrip(7) {
+		t.Fatal("unarmed EngineTrip fired")
+	}
+}
+
+func TestNthAndEveryTriggers(t *testing.T) {
+	in := New(1)
+	in.Arm("a", Trigger{Nth: 3})
+	var fires []int
+	for i := 1; i <= 6; i++ {
+		if in.Fire("a") {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("nth=3 fires = %v", fires)
+	}
+
+	in.Arm("b", Trigger{Every: 2})
+	fires = nil
+	for i := 1; i <= 6; i++ {
+		if in.Fire("b") {
+			fires = append(fires, i)
+		}
+	}
+	if want := []int{2, 4, 6}; !equalInts(fires, want) {
+		t.Fatalf("every=2 fires = %v, want %v", fires, want)
+	}
+	if got := in.Fired("b"); got != 3 {
+		t.Fatalf("Fired(b) = %d", got)
+	}
+	if got := in.Calls("b"); got != 6 {
+		t.Fatalf("Calls(b) = %d", got)
+	}
+}
+
+func TestLimitCapsCallCountedFires(t *testing.T) {
+	in := New(1)
+	in.Arm("a", Trigger{Every: 1, Limit: 2})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire("a") {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("limit=2 fired %d times", n)
+	}
+}
+
+func TestProbFiresDeterministicallyFromSeed(t *testing.T) {
+	runOnce := func(seed uint64) []bool {
+		in := New(seed)
+		in.Arm("p", Trigger{Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire("p")
+		}
+		return out
+	}
+	a, b := runOnce(42), runOnce(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed prob sequences diverge at call %d", i)
+		}
+	}
+	c := runOnce(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-draw sequences")
+	}
+}
+
+func TestSiteStreamsIndependentOfArmingOrder(t *testing.T) {
+	seq := func(in *Injector, name string) []bool {
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = in.Fire(name)
+		}
+		return out
+	}
+	in1 := New(9)
+	in1.Arm("x", Trigger{Prob: 0.5})
+	in1.Arm("y", Trigger{Prob: 0.5})
+	in2 := New(9)
+	in2.Arm("y", Trigger{Prob: 0.5})
+	in2.Arm("x", Trigger{Prob: 0.5})
+	if x1, x2 := seq(in1, "x"), seq(in2, "x"); !equalBools(x1, x2) {
+		t.Fatal("site x sequence depends on arming order")
+	}
+	if y1, y2 := seq(in1, "y"), seq(in2, "y"); !equalBools(y1, y2) {
+		t.Fatal("site y sequence depends on arming order")
+	}
+}
+
+func TestFireAtIsSchedulingIndependent(t *testing.T) {
+	decide := func(order []uint64) map[uint64]bool {
+		in := New(7)
+		in.Arm(SiteEngineTrip, Trigger{Prob: 0.4})
+		out := make(map[uint64]bool)
+		for _, i := range order {
+			out[i] = in.FireAt(SiteEngineTrip, i)
+		}
+		return out
+	}
+	fwd := decide([]uint64{0, 1, 2, 3, 4, 5, 6, 7})
+	rev := decide([]uint64{7, 6, 5, 4, 3, 2, 1, 0})
+	for i := uint64(0); i < 8; i++ {
+		if fwd[i] != rev[i] {
+			t.Fatalf("FireAt decision for index %d depends on call order", i)
+		}
+	}
+	any := false
+	for _, v := range fwd {
+		if v {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("prob=0.4 over 8 indices fired nothing (suspicious)")
+	}
+}
+
+func TestFireAtNthAndEvery(t *testing.T) {
+	in := New(1)
+	in.Arm("n", Trigger{Nth: 3})
+	for i := uint64(0); i < 6; i++ {
+		want := i == 2
+		if got := in.FireAt("n", i); got != want {
+			t.Fatalf("nth=3 FireAt(%d) = %v", i, got)
+		}
+	}
+	in.Arm("e", Trigger{Every: 3})
+	for i := uint64(0); i < 9; i++ {
+		want := (i+1)%3 == 0
+		if got := in.FireAt("e", i); got != want {
+			t.Fatalf("every=3 FireAt(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestErrReturnsFault(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteCheckpointWrite, Trigger{Nth: 2, Kind: KindShortWrite})
+	if err := in.Err(SiteCheckpointWrite); err != nil {
+		t.Fatalf("call 1 errored: %v", err)
+	}
+	err := in.Err(SiteCheckpointWrite)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("call 2 error %v is not a *Fault", err)
+	}
+	if f.Site != SiteCheckpointWrite || f.Kind != KindShortWrite || f.Call != 2 {
+		t.Fatalf("fault = %+v", f)
+	}
+	for _, want := range []string{"shortwrite", SiteCheckpointWrite, "call 2"} {
+		if !strings.Contains(f.Error(), want) {
+			t.Fatalf("fault message missing %q: %q", want, f.Error())
+		}
+	}
+}
+
+func TestCheckpointFaultRoutesToSite(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteCheckpointSync, Trigger{Nth: 1})
+	if err := in.CheckpointFault("write"); err != nil {
+		t.Fatalf("write faulted: %v", err)
+	}
+	if err := in.CheckpointFault("sync"); err == nil {
+		t.Fatal("sync did not fault")
+	}
+}
+
+func TestTrialFaultAttemptsSemantics(t *testing.T) {
+	// Default Attempts=0 means exactly the first attempt fails.
+	in := New(1)
+	in.Arm(SiteTrialPanic, Trigger{Nth: 4, Kind: KindPanic})
+	if err := in.TrialFault(2, 0); err != nil {
+		t.Fatalf("trial 2 faulted: %v", err)
+	}
+	err := in.TrialFault(3, 0)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != KindPanic {
+		t.Fatalf("trial 3 attempt 0: %v", err)
+	}
+	if err := in.TrialFault(3, 1); err != nil {
+		t.Fatalf("trial 3 attempt 1 should succeed: %v", err)
+	}
+
+	// Attempts=-1 fails every attempt (quarantine path).
+	in2 := New(1)
+	in2.Arm(SiteTrialErr, Trigger{Nth: 1, Attempts: -1})
+	for a := 0; a < 5; a++ {
+		if err := in2.TrialFault(0, a); err == nil {
+			t.Fatalf("attempts=-1 let attempt %d through", a)
+		}
+	}
+
+	// Attempts=2 fails the first two attempts only.
+	in3 := New(1)
+	in3.Arm(SiteTrialErr, Trigger{Nth: 1, Attempts: 2})
+	for a := 0; a < 4; a++ {
+		err := in3.TrialFault(0, a)
+		if (a < 2) != (err != nil) {
+			t.Fatalf("attempts=2 attempt %d: err=%v", a, err)
+		}
+	}
+}
+
+func TestBindCancelFires(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteTrialCancel, Trigger{Nth: 2})
+	n := 0
+	in.BindCancel(func() { n++ })
+	in.TrialFault(0, 0)
+	if n != 0 {
+		t.Fatal("cancel fired on first attempt-0 call")
+	}
+	in.TrialFault(1, 0)
+	if n != 1 {
+		t.Fatalf("cancel fired %d times, want 1", n)
+	}
+	// Retries (attempt>0) do not advance the cancel site.
+	in.TrialFault(1, 1)
+	if got := in.Calls(SiteTrialCancel); got != 2 {
+		t.Fatalf("retry advanced cancel site: calls=%d", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "checkpoint.write:nth=2,kind=shortwrite;trial.panic:nth=4,kind=panic;engine.trip:every=3;flaky:prob=0.25,limit=5,attempts=-1"
+	in, err := Parse(99, spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if in.Seed() != 99 {
+		t.Fatalf("seed = %d", in.Seed())
+	}
+	out := in.String()
+	in2, err := Parse(99, out)
+	if err != nil {
+		t.Fatalf("Parse(String()): %v (spec %q)", err, out)
+	}
+	if got := in2.String(); got != out {
+		t.Fatalf("round trip unstable: %q vs %q", got, out)
+	}
+	// Semantics survive the round trip.
+	if !in2.FireAt(SiteEngineTrip, 2) || in2.FireAt(SiteEngineTrip, 3) {
+		t.Fatal("engine.trip every=3 semantics lost in round trip")
+	}
+	if in2.Err(SiteCheckpointWrite) != nil {
+		t.Fatal("checkpoint.write nth=2 fired on call 1 after round trip")
+	}
+	if in2.Err(SiteCheckpointWrite) == nil {
+		t.Fatal("checkpoint.write nth=2 missing after round trip")
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	in, err := Parse(1, "")
+	if err != nil || in == nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	for _, bad := range []string{
+		"nocolon",
+		"site:badfield=1",
+		"site:nth=xyz",
+		"site:kind=meteor",
+		":nth=1",
+		"site:nth",
+	} {
+		if _, err := Parse(1, bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectorConcurrencySafe(t *testing.T) {
+	in := New(5)
+	in.Arm("c", Trigger{Prob: 0.5})
+	in.Arm(SiteEngineTrip, Trigger{Prob: 0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.Fire("c")
+				in.FireAt(SiteEngineTrip, uint64(w*200+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := in.Calls("c"); got != 1600 {
+		t.Fatalf("Calls = %d, want 1600", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+// Package guard carries the runtime invariant checks the simulation engines
+// run when self-checking is enabled (-selfcheck). A tripped guard panics
+// with a *Violation, a value the campaign layers recognise: an event-engine
+// trial whose guard trips is re-run on the exact reference engine and the
+// divergence is counted, instead of aborting the whole campaign.
+//
+// Guards follow the MINT/DAPPER philosophy the trackers themselves use:
+// state the minimal invariants explicitly and verify them where they could
+// break, so a silent corruption (an engine bug, a bad refactor, a cosmic
+// ray in a week-long sweep) surfaces as a named invariant with a component
+// and a detail string rather than as slightly-wrong statistics.
+//
+// The checks are written to be cheap — integer compares on values the hot
+// path already holds — and every call site is gated behind a self-check
+// flag, so disabled guards cost one predictable branch.
+package guard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Violation is the panic payload of a tripped invariant guard.
+type Violation struct {
+	// Component names the subsystem whose invariant tripped
+	// ("memctrl", "dram.bank", "pride", "montecarlo.event", ...).
+	Component string
+	// Invariant names the violated property ("fifo-occupancy",
+	// "raa-bound", "gap-accounting", ...).
+	Invariant string
+	// Detail carries the observed values.
+	Detail string
+}
+
+// Error implements error, so a recovered Violation can travel inside
+// trialrunner's PanicError and still be identified with errors.As.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("guard: %s: invariant %q violated: %s", v.Component, v.Invariant, v.Detail)
+}
+
+// Failf panics with a *Violation for the given component and invariant.
+// Call sites keep the hot path branch-only:
+//
+//	if occ > n {
+//		guard.Failf("pride", "fifo-occupancy", "occ %d > entries %d", occ, n)
+//	}
+func Failf(component, invariant, format string, args ...any) {
+	panic(&Violation{Component: component, Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// AsViolation reports whether a recovered panic value is (or wraps) a guard
+// violation. It accepts the raw recover() value: a *Violation, any error
+// wrapping one, or anything else (reported as not-a-violation).
+func AsViolation(v any) (*Violation, bool) {
+	switch x := v.(type) {
+	case *Violation:
+		return x, true
+	case error:
+		var g *Violation
+		if errors.As(x, &g) {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes f, recovering a guard Violation into the second return value
+// while letting every other panic propagate unchanged — the campaign layers
+// use it to re-run a tripped event-engine trial on the exact engine instead
+// of aborting, without swallowing genuine bugs.
+func Run[T any](f func() T) (out T, v *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			if gv, ok := AsViolation(r); ok {
+				v = gv
+				return
+			}
+			panic(r)
+		}
+	}()
+	return f(), nil
+}

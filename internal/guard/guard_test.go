@@ -1,0 +1,79 @@
+package guard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFailfPanicsWithViolation(t *testing.T) {
+	defer func() {
+		v, ok := AsViolation(recover())
+		if !ok {
+			t.Fatal("recovered value is not a *Violation")
+		}
+		if v.Component != "pride" || v.Invariant != "fifo-occupancy" {
+			t.Fatalf("violation fields: %+v", v)
+		}
+		if !strings.Contains(v.Detail, "occ 5 > entries 4") {
+			t.Fatalf("detail not formatted: %q", v.Detail)
+		}
+		msg := v.Error()
+		for _, want := range []string{"guard:", "pride", "fifo-occupancy", "occ 5 > entries 4"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("Error() missing %q: %q", want, msg)
+			}
+		}
+	}()
+	Failf("pride", "fifo-occupancy", "occ %d > entries %d", 5, 4)
+	t.Fatal("Failf returned")
+}
+
+func TestAsViolationRecognisesWrappedErrors(t *testing.T) {
+	v := &Violation{Component: "memctrl", Invariant: "raa-bound", Detail: "raa 41 >= threshold 40"}
+	wrapped := fmt.Errorf("trial 3 panicked: %w", v)
+	got, ok := AsViolation(wrapped)
+	if !ok || got != v {
+		t.Fatalf("AsViolation(wrapped) = %v, %v", got, ok)
+	}
+	if _, ok := AsViolation("some other panic"); ok {
+		t.Fatal("plain string recognised as violation")
+	}
+	if _, ok := AsViolation(fmt.Errorf("unrelated")); ok {
+		t.Fatal("unrelated error recognised as violation")
+	}
+	if _, ok := AsViolation(nil); ok {
+		t.Fatal("nil recognised as violation")
+	}
+}
+
+func TestRunRecoversViolationAndPassesResult(t *testing.T) {
+	got, v := Run(func() int { return 42 })
+	if got != 42 || v != nil {
+		t.Fatalf("Run(clean) = %d, %v", got, v)
+	}
+	_, v = Run(func() int {
+		Failf("sim.event", "forced-trip", "injected")
+		return 0
+	})
+	if v == nil {
+		t.Fatal("Run did not recover the violation")
+	}
+	if v.Component != "sim.event" || v.Invariant != "forced-trip" {
+		t.Fatalf("recovered violation: %+v", v)
+	}
+}
+
+func TestRunLetsForeignPanicsPropagate(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || s != "genuine bug" {
+			t.Fatalf("recovered %v, want the original panic value", r)
+		}
+	}()
+	Run(func() int { panic("genuine bug") })
+	t.Fatal("Run returned after a foreign panic")
+}

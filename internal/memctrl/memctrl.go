@@ -15,6 +15,7 @@ import (
 
 	"pride/internal/baseline"
 	"pride/internal/dram"
+	"pride/internal/guard"
 	"pride/internal/tracker"
 )
 
@@ -33,6 +34,11 @@ type Config struct {
 	// (resetting row hammer counts once per tREFW). Attack experiments
 	// shorter than a tREFW can disable it for speed.
 	PeriodicRefresh bool
+	// SelfCheck enables runtime invariant guards on the controller's
+	// cadence machinery (tREFI position, RAA counter bounds, skip-ahead
+	// progress) and propagates to the bank and tracker at construction.
+	// A violated guard panics with a guard.Violation.
+	SelfCheck bool
 }
 
 // DefaultConfig returns the paper's default controller configuration for
@@ -99,6 +105,12 @@ func New(cfg Config, bank *dram.Bank, trk tracker.Tracker) *Controller {
 	c := &Controller{cfg: cfg, bank: bank, trk: trk}
 	c.im, _ = trk.(baseline.ImmediateMitigator)
 	c.sa, _ = trk.(tracker.SkipAdvancer)
+	if cfg.SelfCheck {
+		bank.SetSelfCheck(true)
+		if sc, ok := trk.(tracker.SelfChecker); ok {
+			sc.SetSelfCheck(true)
+		}
+	}
 	return c
 }
 
@@ -157,6 +169,17 @@ func (c *Controller) ActivateRun(row, n int) {
 	}
 	w := c.cfg.Params.ACTsPerTREFI()
 	for n > 0 {
+		if c.cfg.SelfCheck {
+			// Cadence monotonicity: the loop must sit strictly inside the
+			// current tREFI (and RFM window), or a boundary was missed and
+			// the split will drift from the stepped path.
+			if c.actsInTREFI < 0 || c.actsInTREFI >= w {
+				guard.Failf("memctrl", "trefi-position", "ActivateRun: actsInTREFI %d outside [0,%d)", c.actsInTREFI, w)
+			}
+			if c.cfg.RFMThreshold > 0 && (c.raa < 0 || c.raa >= c.cfg.RFMThreshold) {
+				guard.Failf("memctrl", "raa-bound", "ActivateRun: raa %d outside [0,%d)", c.raa, c.cfg.RFMThreshold)
+			}
+		}
 		// Distance to the next cadence boundary, capped by the run.
 		k := w - c.actsInTREFI
 		if c.cfg.RFMThreshold > 0 {
@@ -166,6 +189,11 @@ func (c *Controller) ActivateRun(row, n int) {
 		}
 		if n < k {
 			k = n
+		}
+		if c.cfg.SelfCheck && k < 1 {
+			// Progress: every segment must retire at least one ACT, or the
+			// split loops forever.
+			guard.Failf("memctrl", "skip-progress", "ActivateRun: segment length %d with %d ACTs left", k, n)
 		}
 		c.stats.ACTs += uint64(k)
 		c.bank.HammerN(row, k)
@@ -202,6 +230,9 @@ func (c *Controller) postActivate() {
 	// RFM: one extra mitigation opportunity per threshold ACTs.
 	if c.cfg.RFMThreshold > 0 {
 		c.raa++
+		if c.cfg.SelfCheck && c.raa > c.cfg.RFMThreshold {
+			guard.Failf("memctrl", "raa-bound", "postActivate: raa %d exceeds threshold %d", c.raa, c.cfg.RFMThreshold)
+		}
 		if c.raa >= c.cfg.RFMThreshold {
 			c.raa = 0
 			c.stats.RFMs++
@@ -210,6 +241,9 @@ func (c *Controller) postActivate() {
 	}
 
 	c.actsInTREFI++
+	if c.cfg.SelfCheck && c.actsInTREFI > c.cfg.Params.ACTsPerTREFI() {
+		guard.Failf("memctrl", "trefi-position", "postActivate: actsInTREFI %d exceeds window %d", c.actsInTREFI, c.cfg.Params.ACTsPerTREFI())
+	}
 	if c.actsInTREFI >= c.cfg.Params.ACTsPerTREFI() {
 		c.actsInTREFI = 0
 		c.ref()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pride/internal/engine"
+	"pride/internal/guard"
 	"pride/internal/rng"
 	"pride/internal/trialrunner"
 )
@@ -45,10 +46,46 @@ type CampaignOptions struct {
 	// canonical checkpoint key embeds the engine and a campaign never
 	// resumes across an engine switch.
 	Engine engine.Kind
+	// SelfCheck enables runtime invariant guards in the simulation engines
+	// (-selfcheck). An event-engine trial whose guard trips is re-run on
+	// the exact engine (the divergence counted via AddEngineFallbacks on
+	// Progress) instead of aborting the campaign.
+	SelfCheck bool
+	// Retry bounds re-execution of panicked/errored trials; see
+	// trialrunner.RetryPolicy. Zero keeps single-attempt semantics.
+	Retry trialrunner.RetryPolicy
+	// Faults, when non-nil, injects deterministic faults into trial
+	// execution and checkpoint I/O (chaos testing; faultinject.Injector
+	// implements it). Production runs leave it nil.
+	Faults trialrunner.TrialFaults
 }
 
 func (o CampaignOptions) runnerOpts() trialrunner.Options {
-	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer}
+	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer, Retry: o.Retry, Faults: o.Faults}
+}
+
+// fallbackSink is the optional Progress capability for counting event→exact
+// engine fallbacks (internal/obs.Campaign implements it).
+type fallbackSink interface{ AddEngineFallbacks(n int64) }
+
+// engineTripper is the optional Faults capability that forces an invariant
+// trip for a given trial index (faultinject.Injector implements it).
+type engineTripper interface{ EngineTrip(trial uint64) bool }
+
+// tripForced reports whether the fault schedule forces an engine trip on
+// trial i.
+func (o CampaignOptions) tripForced(i int) bool {
+	if et, ok := o.Faults.(engineTripper); ok {
+		return et.EngineTrip(uint64(i))
+	}
+	return false
+}
+
+// countFallback records one event→exact fallback on the progress sink.
+func (o CampaignOptions) countFallback() {
+	if fs, ok := o.Progress.(fallbackSink); ok {
+		fs.AddEngineFallbacks(1)
+	}
 }
 
 // LossCampaignKey is the canonical checkpoint key of a loss campaign: every
@@ -97,10 +134,7 @@ func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts
 	if cp.Key == "" {
 		cp.Key = LossCampaignKey(cfg, seed, opts.Engine)
 	}
-	simulate := simulateLoss
-	if opts.Engine == engine.Event {
-		simulate = simulateLossEvent
-	}
+	cfg.SelfCheck = cfg.SelfCheck || opts.SelfCheck
 	sizes := chunkSizes(cfg.Periods, minLossChunkPeriods)
 	var onDone func(i int, r LossResult) error
 	if sink := opts.Progress; sink != nil {
@@ -119,7 +153,25 @@ func SimulateLossCampaign(ctx context.Context, cfg LossConfig, seed uint64, opts
 		func(worker, i int) LossResult {
 			c := cfg
 			c.Periods = sizes[i]
-			return simulate(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			if opts.Engine != engine.Event {
+				return simulateLoss(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			}
+			// Guarded event run: a tripped invariant (real or injected)
+			// falls back to the exact reference engine on a fresh stream
+			// derived from the same trial index, so the campaign degrades
+			// gracefully instead of aborting.
+			forced := opts.tripForced(i)
+			r, v := guard.Run(func() LossResult {
+				if forced {
+					guard.Failf("montecarlo.event", "forced-trip", "injected engine trip (trial %d)", i)
+				}
+				return simulateLossEvent(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			})
+			if v == nil {
+				return r
+			}
+			opts.countFallback()
+			return simulateLoss(c, rng.Derived(seed, uint64(i)), &scratch[worker])
 		},
 		func(acc, next LossResult) LossResult {
 			acc.merge(next)
@@ -157,10 +209,7 @@ func SimulateRoundsCampaign(ctx context.Context, cfg RoundConfig, seed uint64, o
 	if cp.Key == "" {
 		cp.Key = RoundsCampaignKey(cfg, seed, opts.Engine)
 	}
-	simulate := simulateRounds
-	if opts.Engine == engine.Event {
-		simulate = simulateRoundsEvent
-	}
+	cfg.SelfCheck = cfg.SelfCheck || opts.SelfCheck
 	sizes := chunkSizes(cfg.Rounds, minRoundChunk)
 	var onDone func(i int, r RoundResult) error
 	if sink := opts.Progress; sink != nil {
@@ -176,7 +225,21 @@ func SimulateRoundsCampaign(ctx context.Context, cfg RoundConfig, seed uint64, o
 		func(worker, i int) RoundResult {
 			c := cfg
 			c.Rounds = sizes[i]
-			return simulate(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			if opts.Engine != engine.Event {
+				return simulateRounds(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			}
+			forced := opts.tripForced(i)
+			r, v := guard.Run(func() RoundResult {
+				if forced {
+					guard.Failf("montecarlo.event", "forced-trip", "injected engine trip (trial %d)", i)
+				}
+				return simulateRoundsEvent(c, rng.Derived(seed, uint64(i)), &scratch[worker])
+			})
+			if v == nil {
+				return r
+			}
+			opts.countFallback()
+			return simulateRounds(c, rng.Derived(seed, uint64(i)), &scratch[worker])
 		},
 		func(acc, next RoundResult) RoundResult {
 			acc.Rounds += next.Rounds

@@ -3,6 +3,7 @@ package montecarlo
 import (
 	"fmt"
 
+	"pride/internal/guard"
 	"pride/internal/rng"
 )
 
@@ -94,6 +95,21 @@ func simulateLossEvent(cfg LossConfig, r *rng.Stream, sc *lossScratch) LossResul
 				startOcc[0] += uint64(m)
 			}
 		}
+		if cfg.SelfCheck {
+			// Gap accounting: after replaying the crossed boundaries the
+			// clock must sit inside the current window with a consistent
+			// period index, and the FIFO inside its bounds — any drift here
+			// silently mis-attributes every later insertion.
+			if pos < 0 || pos >= w {
+				guard.Failf("montecarlo.event", "gap-accounting", "window position %d outside [0,%d) at slot %d", pos, w, t)
+			}
+			if t-pos != period*w {
+				guard.Failf("montecarlo.event", "gap-accounting", "slot %d, position %d inconsistent with period %d (w=%d)", t, pos, period, w)
+			}
+			if occ < 0 || occ > entries || ptr < 0 || ptr >= entries {
+				guard.Failf("montecarlo.event", "fifo-bounds", "occ %d ptr %d outside FIFO of %d", occ, ptr, entries)
+			}
+		}
 		k := pos + 1
 		perPos[pos].Insertions++
 		if occ == entries {
@@ -118,6 +134,9 @@ func simulateLossEvent(cfg LossConfig, r *rng.Stream, sc *lossScratch) LossResul
 	// recording an occupancy sample; once the FIFO empties, the remaining
 	// empty starts are a single closed-form add.
 	rem := cfg.Periods - period
+	if cfg.SelfCheck && rem < 0 {
+		guard.Failf("montecarlo.event", "gap-accounting", "drain: period %d beyond budget %d", period, cfg.Periods)
+	}
 	pops := occ
 	if pops > rem {
 		pops = rem

@@ -12,6 +12,7 @@ package montecarlo
 import (
 	"fmt"
 
+	"pride/internal/guard"
 	"pride/internal/rng"
 )
 
@@ -26,6 +27,11 @@ type LossConfig struct {
 	// Periods is the number of tREFI windows to simulate (the paper uses
 	// 100 million; tests use far fewer since the estimator is unbiased).
 	Periods int
+	// SelfCheck enables runtime invariant guards (FIFO occupancy bounds,
+	// event-engine gap accounting). A violated guard panics with a
+	// guard.Violation; campaigns catch it and fall back to the exact
+	// engine. Not part of the checkpoint key.
+	SelfCheck bool
 }
 
 func (c LossConfig) validate() error {
@@ -175,6 +181,9 @@ func simulateLoss(cfg LossConfig, r *rng.Stream, sc *lossScratch) LossResult {
 			ptr = (ptr + 1) % cfg.Entries
 			occ--
 		}
+		if cfg.SelfCheck && (occ < 0 || occ > cfg.Entries || ptr < 0 || ptr >= cfg.Entries) {
+			guard.Failf("montecarlo", "fifo-bounds", "period %d: occ %d ptr %d outside FIFO of %d", period, occ, ptr, cfg.Entries)
+		}
 	}
 	return res
 }
@@ -191,6 +200,8 @@ type RoundConfig struct {
 	TRH int
 	// Rounds is the number of independent rounds to simulate.
 	Rounds int
+	// SelfCheck enables runtime invariant guards; see LossConfig.SelfCheck.
+	SelfCheck bool
 }
 
 // RoundResult reports measured attack-round outcomes.

@@ -36,6 +36,11 @@ type Campaign struct {
 	periods       atomic.Int64
 	mitigations   atomic.Int64
 	activations   atomic.Int64
+
+	trialRetries      atomic.Int64
+	checkpointRetries atomic.Int64
+	engineFallbacks   atomic.Int64
+	quarantined       atomic.Int64
 }
 
 // NewCampaign returns a Campaign named name, expecting totalTrials trials on
@@ -78,6 +83,21 @@ func (c *Campaign) AddMitigations(n int64) { c.mitigations.Add(n) }
 // AddActivations records n simulated demand activations (sim.ProgressSink).
 func (c *Campaign) AddActivations(n int64) { c.activations.Add(n) }
 
+// AddTrialRetries records n retried trial attempts (trialrunner's retry
+// policy re-executing a panicked/errored trial).
+func (c *Campaign) AddTrialRetries(n int64) { c.trialRetries.Add(n) }
+
+// AddCheckpointRetries records n retried checkpoint writes (transient I/O
+// errors absorbed by the checkpoint writer's backoff loop).
+func (c *Campaign) AddCheckpointRetries(n int64) { c.checkpointRetries.Add(n) }
+
+// AddEngineFallbacks records n trials re-run on the exact reference engine
+// after a self-check guard or gap-accounting trip on the event engine.
+func (c *Campaign) AddEngineFallbacks(n int64) { c.engineFallbacks.Add(n) }
+
+// AddQuarantined records n trials whose retry budget was exhausted.
+func (c *Campaign) AddQuarantined(n int64) { c.quarantined.Add(n) }
+
 // Snapshot is a point-in-time view of a campaign with derived rates.
 type Snapshot struct {
 	Name           string  `json:"name"`
@@ -89,8 +109,14 @@ type Snapshot struct {
 	Periods        int64   `json:"periods"`
 	Mitigations    int64   `json:"mitigations"`
 	Activations    int64   `json:"activations"`
-	TrialsPerSec   float64 `json:"trials_per_sec"`
-	PeriodsPerSec  float64 `json:"periods_per_sec"`
+	// Resilience counters: retries absorbed, fallbacks taken, trials given
+	// up on. All zero in a healthy undisturbed run.
+	TrialRetries      int64   `json:"trial_retries"`
+	CheckpointRetries int64   `json:"checkpoint_retries"`
+	EngineFallbacks   int64   `json:"engine_fallbacks"`
+	Quarantined       int64   `json:"quarantined"`
+	TrialsPerSec      float64 `json:"trials_per_sec"`
+	PeriodsPerSec     float64 `json:"periods_per_sec"`
 	// Utilization is busy-worker time over elapsed wall-clock time times the
 	// pool width: 1.0 means every worker computed the whole time.
 	Utilization float64 `json:"utilization"`
@@ -109,6 +135,11 @@ func (c *Campaign) Snapshot() Snapshot {
 		Periods:        c.periods.Load(),
 		Mitigations:    c.mitigations.Load(),
 		Activations:    c.activations.Load(),
+
+		TrialRetries:      c.trialRetries.Load(),
+		CheckpointRetries: c.checkpointRetries.Load(),
+		EngineFallbacks:   c.engineFallbacks.Load(),
+		Quarantined:       c.quarantined.Load(),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		s.TrialsPerSec = float64(s.TrialsDone) / sec
@@ -121,11 +152,18 @@ func (c *Campaign) Snapshot() Snapshot {
 // Line renders the snapshot as one structured key=value progress line, the
 // format the CLIs emit to stderr.
 func (s Snapshot) Line() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"progress campaign=%s elapsed=%.1fs trials=%d/%d skipped=%d trials_per_sec=%.2f periods=%d periods_per_sec=%.3g mitigations=%d activations=%d active_workers=%d util=%.2f",
 		s.Name, s.ElapsedSeconds, s.TrialsDone+s.TrialsSkipped, s.TrialsTotal, s.TrialsSkipped,
 		s.TrialsPerSec, s.Periods, s.PeriodsPerSec, s.Mitigations, s.Activations,
 		s.ActiveWorkers, s.Utilization)
+	// Resilience keys appear only once something went wrong, so the healthy
+	// line stays compact and a non-clean run is visible at a glance.
+	if s.TrialRetries != 0 || s.CheckpointRetries != 0 || s.EngineFallbacks != 0 || s.Quarantined != 0 {
+		line += fmt.Sprintf(" trial_retries=%d checkpoint_retries=%d engine_fallbacks=%d quarantined=%d",
+			s.TrialRetries, s.CheckpointRetries, s.EngineFallbacks, s.Quarantined)
+	}
+	return line
 }
 
 // Line renders the campaign's current progress line.

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResilienceCountersInSnapshot(t *testing.T) {
+	c := NewCampaign("unit", 10, 4)
+	c.AddTrialRetries(2)
+	c.AddCheckpointRetries(1)
+	c.AddEngineFallbacks(3)
+	c.AddQuarantined(1)
+	s := c.Snapshot()
+	if s.TrialRetries != 2 || s.CheckpointRetries != 1 || s.EngineFallbacks != 3 || s.Quarantined != 1 {
+		t.Fatalf("resilience snapshot wrong: %+v", s)
+	}
+}
+
+func TestLineHidesResilienceKeysWhenClean(t *testing.T) {
+	c := NewCampaign("unit", 10, 4)
+	if line := c.Line(); strings.Contains(line, "trial_retries") {
+		t.Fatalf("healthy line carries resilience keys: %q", line)
+	}
+	// One retry flips the whole resilience group on, so a non-clean run is
+	// visible at a glance even when the other counters are still zero.
+	c.AddTrialRetries(1)
+	line := c.Line()
+	for _, want := range []string{"trial_retries=1", "checkpoint_retries=0", "engine_fallbacks=0", "quarantined=0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line missing %q: %q", want, line)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pride/internal/engine"
+	"pride/internal/guard"
 	"pride/internal/patterns"
 	"pride/internal/rng"
 	"pride/internal/trialrunner"
@@ -43,10 +44,46 @@ type CampaignOptions struct {
 	// back), so the canonical checkpoint key embeds the engine and a
 	// campaign never resumes across an engine switch.
 	Engine engine.Kind
+	// SelfCheck enables runtime invariant guards in the controller, bank
+	// and tracker (-selfcheck). An event-engine trial whose guard trips is
+	// re-run on the exact engine (the divergence counted via
+	// AddEngineFallbacks on Progress) instead of aborting the campaign.
+	SelfCheck bool
+	// Retry bounds re-execution of panicked/errored trials; see
+	// trialrunner.RetryPolicy. Zero keeps single-attempt semantics.
+	Retry trialrunner.RetryPolicy
+	// Faults, when non-nil, injects deterministic faults into trial
+	// execution and checkpoint I/O (chaos testing; faultinject.Injector
+	// implements it). Production runs leave it nil.
+	Faults trialrunner.TrialFaults
 }
 
 func (o CampaignOptions) runnerOpts() trialrunner.Options {
-	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer}
+	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer, Retry: o.Retry, Faults: o.Faults}
+}
+
+// fallbackSink is the optional Progress capability for counting event→exact
+// engine fallbacks (internal/obs.Campaign implements it).
+type fallbackSink interface{ AddEngineFallbacks(n int64) }
+
+// engineTripper is the optional Faults capability that forces an invariant
+// trip for a given trial index (faultinject.Injector implements it).
+type engineTripper interface{ EngineTrip(trial uint64) bool }
+
+// tripForced reports whether the fault schedule forces an engine trip on
+// trial i.
+func (o CampaignOptions) tripForced(i int) bool {
+	if et, ok := o.Faults.(engineTripper); ok {
+		return et.EngineTrip(uint64(i))
+	}
+	return false
+}
+
+// countFallback records one event→exact fallback on the progress sink.
+func (o CampaignOptions) countFallback() {
+	if fs, ok := o.Progress.(fallbackSink); ok {
+		fs.AddEngineFallbacks(1)
+	}
 }
 
 // AttackCampaignKey is the canonical checkpoint key of a Fig 15 suite
@@ -74,6 +111,7 @@ func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Sc
 	if cp.Key == "" {
 		cp.Key = AttackCampaignKey(cfg, s, len(suite), seeds, baseSeed, opts.Engine)
 	}
+	cfg.SelfCheck = cfg.SelfCheck || opts.SelfCheck
 	trials := len(suite) * seeds
 	var onDone func(t int, r AttackResult) error
 	if sink := opts.Progress; sink != nil {
@@ -89,8 +127,27 @@ func MaxDisturbanceOverSuiteCampaign(ctx context.Context, cfg AttackConfig, s Sc
 	scratch := make([]attackScratch, ropts.PoolSize(trials))
 	results, err := trialrunner.MapCheckpointedWorker(ctx, trials, func(worker, t int) AttackResult {
 		sc := &scratch[worker]
-		return runAttackEngine(cfg, s, sc.clone(suite, t/seeds), rng.DeriveSeed(baseSeed, uint64(t)),
-			sc.bankFor(cfg.Params, cfg.TRH), opts.Engine)
+		pat := sc.clone(suite, t/seeds)
+		seed := rng.DeriveSeed(baseSeed, uint64(t))
+		if opts.Engine != engine.Event {
+			return runAttack(cfg, s, pat, seed, sc.bankFor(cfg.Params, cfg.TRH))
+		}
+		// Guarded event run: a tripped invariant (real or injected) falls
+		// back to the exact reference engine against a freshly-reset bank
+		// and the same derived seed, so the campaign degrades gracefully
+		// instead of aborting.
+		forced := opts.tripForced(t)
+		r, v := guard.Run(func() AttackResult {
+			if forced {
+				guard.Failf("sim.event", "forced-trip", "injected engine trip (trial %d)", t)
+			}
+			return runAttackEvent(cfg, s, pat, seed, sc.bankFor(cfg.Params, cfg.TRH))
+		})
+		if v == nil {
+			return r
+		}
+		opts.countFallback()
+		return runAttack(cfg, s, pat, seed, sc.bankFor(cfg.Params, cfg.TRH))
 	}, onDone, ropts, cp)
 	if err != nil {
 		return AttackResult{}, err
@@ -143,7 +200,21 @@ func MeasureSuiteLossCampaign(ctx context.Context, entries, w int, suite []*patt
 	ropts := opts.runnerOpts()
 	scratch := make([]lossMeasureScratch, ropts.PoolSize(len(suite)))
 	return trialrunner.MapCheckpointedWorker(ctx, len(suite), func(worker, i int) LossMeasurement {
-		return measurePatternLossEngine(entries, w, suite[i].Clone(), acts,
-			rng.DeriveSeed(baseSeed, uint64(i)), &scratch[worker], opts.Engine)
+		seed := rng.DeriveSeed(baseSeed, uint64(i))
+		if opts.Engine != engine.Event {
+			return measurePatternLoss(entries, w, suite[i].Clone(), acts, seed, &scratch[worker], opts.SelfCheck)
+		}
+		forced := opts.tripForced(i)
+		m, v := guard.Run(func() LossMeasurement {
+			if forced {
+				guard.Failf("sim.event", "forced-trip", "injected engine trip (trial %d)", i)
+			}
+			return measurePatternLossEvent(entries, w, suite[i].Clone(), acts, seed, &scratch[worker], opts.SelfCheck)
+		})
+		if v == nil {
+			return m
+		}
+		opts.countFallback()
+		return measurePatternLoss(entries, w, suite[i].Clone(), acts, seed, &scratch[worker], opts.SelfCheck)
 	}, onDone, ropts, cp)
 }

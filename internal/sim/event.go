@@ -63,6 +63,7 @@ func runAttackEvent(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint
 	if s.MitigationEveryNREF > 0 {
 		mcfg.MitigationEveryNREF = s.MitigationEveryNREF
 	}
+	mcfg.SelfCheck = cfg.SelfCheck
 	ctrl := memctrl.New(mcfg, bank, trk)
 
 	sa, ok := ctrl.SkipAdvancer()
@@ -103,20 +104,20 @@ func idleACTs(ctrl *memctrl.Controller, pat *patterns.Pattern, n int) {
 
 // MeasurePatternLossEngine is MeasurePatternLoss on the selected engine.
 func MeasurePatternLossEngine(entries, w int, pat *patterns.Pattern, acts int, seed uint64, eng engine.Kind) LossMeasurement {
-	return measurePatternLossEngine(entries, w, pat, acts, seed, &lossMeasureScratch{}, eng)
+	return measurePatternLossEngine(entries, w, pat, acts, seed, &lossMeasureScratch{}, eng, false)
 }
 
-func measurePatternLossEngine(entries, w int, pat *patterns.Pattern, acts int, seed uint64, sc *lossMeasureScratch, eng engine.Kind) LossMeasurement {
+func measurePatternLossEngine(entries, w int, pat *patterns.Pattern, acts int, seed uint64, sc *lossMeasureScratch, eng engine.Kind, selfCheck bool) LossMeasurement {
 	if eng == engine.Event {
-		return measurePatternLossEvent(entries, w, pat, acts, seed, sc)
+		return measurePatternLossEvent(entries, w, pat, acts, seed, sc, selfCheck)
 	}
-	return measurePatternLoss(entries, w, pat, acts, seed, sc)
+	return measurePatternLoss(entries, w, pat, acts, seed, sc, selfCheck)
 }
 
 // measurePatternLossEvent is the event-driven measurePatternLoss: the
 // tracker-only replay has no bank, so an idle stretch is just AdvanceIdle
 // plus cursor movement, split at the every-w-ACTs mitigation boundaries.
-func measurePatternLossEvent(entries, w int, pat *patterns.Pattern, acts int, seed uint64, sc *lossMeasureScratch) LossMeasurement {
+func measurePatternLossEvent(entries, w int, pat *patterns.Pattern, acts int, seed uint64, sc *lossMeasureScratch, selfCheck bool) LossMeasurement {
 	if acts <= 0 {
 		panic(fmt.Sprintf("sim: acts must be positive, got %d", acts))
 	}
@@ -125,6 +126,7 @@ func measurePatternLossEvent(entries, w int, pat *patterns.Pattern, acts int, se
 		InsertionProb: 1 / float64(w),
 		MaxLevel:      7,
 		RowBits:       32,
+		SelfCheck:     selfCheck,
 	}
 	r := rng.New(seed)
 	trk := core.New(cfg, r)

@@ -124,6 +124,11 @@ type AttackConfig struct {
 	// Policy is the page policy; the zero value is the paper's
 	// closed-page worst case.
 	Policy RowPolicy
+	// SelfCheck enables runtime invariant guards in the controller, bank
+	// and tracker for this trial (-selfcheck). A violated guard panics
+	// with a guard.Violation; campaigns catch event-engine violations and
+	// fall back to the exact engine. Not part of any checkpoint key.
+	SelfCheck bool
 }
 
 // AttackResult reports one trial's metrics.
@@ -199,6 +204,7 @@ func runAttack(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint64, b
 	if s.MitigationEveryNREF > 0 {
 		mcfg.MitigationEveryNREF = s.MitigationEveryNREF
 	}
+	mcfg.SelfCheck = cfg.SelfCheck
 	ctrl := memctrl.New(mcfg, bank, trk)
 	steppedReplay(ctrl, pat, cfg)
 	return attackResult(s, pat, bank, ctrl)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pride/internal/engine"
+	"pride/internal/guard"
 	"pride/internal/rng"
 	"pride/internal/sim"
 	"pride/internal/trialrunner"
@@ -39,10 +40,47 @@ type CampaignOptions struct {
 	// bit-for-bit — equivalent, so the canonical checkpoint key embeds the
 	// engine and a campaign never resumes across an engine switch.
 	Engine engine.Kind
+	// SelfCheck enables runtime invariant guards in the per-bank
+	// controllers, banks and trackers (-selfcheck). An event-engine trial
+	// whose guard trips is re-run on the exact engine (the divergence
+	// counted via AddEngineFallbacks on Progress) instead of aborting the
+	// campaign.
+	SelfCheck bool
+	// Retry bounds re-execution of panicked/errored trials; see
+	// trialrunner.RetryPolicy. Zero keeps single-attempt semantics.
+	Retry trialrunner.RetryPolicy
+	// Faults, when non-nil, injects deterministic faults into trial
+	// execution and checkpoint I/O (chaos testing; faultinject.Injector
+	// implements it). Production runs leave it nil.
+	Faults trialrunner.TrialFaults
 }
 
 func (o CampaignOptions) runnerOpts() trialrunner.Options {
-	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer}
+	return trialrunner.Options{Workers: o.Workers, Observer: o.Observer, Retry: o.Retry, Faults: o.Faults}
+}
+
+// fallbackSink is the optional Progress capability for counting event→exact
+// engine fallbacks (internal/obs.Campaign implements it).
+type fallbackSink interface{ AddEngineFallbacks(n int64) }
+
+// engineTripper is the optional Faults capability that forces an invariant
+// trip for a given trial index (faultinject.Injector implements it).
+type engineTripper interface{ EngineTrip(trial uint64) bool }
+
+// tripForced reports whether the fault schedule forces an engine trip on
+// trial i.
+func (o CampaignOptions) tripForced(i int) bool {
+	if et, ok := o.Faults.(engineTripper); ok {
+		return et.EngineTrip(uint64(i))
+	}
+	return false
+}
+
+// countFallback records one event→exact fallback on the progress sink.
+func (o CampaignOptions) countFallback() {
+	if fs, ok := o.Progress.(fallbackSink); ok {
+		fs.AddEngineFallbacks(1)
+	}
 }
 
 // MTTFCampaignKey is the canonical checkpoint key of a TTF campaign: every
@@ -66,6 +104,7 @@ func MeasureMTTFCampaign(ctx context.Context, cfg Config, s sim.Scheme, trials i
 	if cp.Key == "" {
 		cp.Key = MTTFCampaignKey(cfg, s, trials, seed, opts.Engine)
 	}
+	cfg.SelfCheck = cfg.SelfCheck || opts.SelfCheck
 	var onDone func(t int, r Result) error
 	if sink := opts.Progress; sink != nil {
 		onDone = func(t int, r Result) error {
@@ -78,7 +117,26 @@ func MeasureMTTFCampaign(ctx context.Context, cfg Config, s sim.Scheme, trials i
 	ropts := opts.runnerOpts()
 	scratch := make([]runScratch, ropts.PoolSize(trials))
 	results, err := trialrunner.MapCheckpointedWorker(ctx, trials, func(worker, t int) Result {
-		return run(cfg, s, rng.DeriveSeed(seed, uint64(t)), &scratch[worker], opts.Engine)
+		trialSeed := rng.DeriveSeed(seed, uint64(t))
+		if opts.Engine != engine.Event {
+			return run(cfg, s, trialSeed, &scratch[worker], opts.Engine)
+		}
+		// Guarded event run: a tripped invariant (real or injected) falls
+		// back to the exact reference engine under the same derived seed
+		// (run resets the scratch's banks itself), so the campaign
+		// degrades gracefully instead of aborting.
+		forced := opts.tripForced(t)
+		r, v := guard.Run(func() Result {
+			if forced {
+				guard.Failf("system.event", "forced-trip", "injected engine trip (trial %d)", t)
+			}
+			return run(cfg, s, trialSeed, &scratch[worker], engine.Event)
+		})
+		if v == nil {
+			return r
+		}
+		opts.countFallback()
+		return run(cfg, s, trialSeed, &scratch[worker], engine.Exact)
 	}, onDone, ropts, cp)
 	if err != nil {
 		return 0, 0, err

@@ -33,6 +33,11 @@ type Config struct {
 	TRH int
 	// MaxTREFI bounds the simulation length in refresh intervals.
 	MaxTREFI int
+	// SelfCheck enables runtime invariant guards in every bank's
+	// controller, bank and tracker (-selfcheck). A violated guard panics
+	// with a guard.Violation; campaigns catch event-engine violations and
+	// fall back to the exact engine. Not part of the checkpoint key.
+	SelfCheck bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -154,6 +159,7 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch, eng engine.Kind)
 		if s.MitigationEveryNREF > 0 {
 			mcfg.MitigationEveryNREF = s.MitigationEveryNREF
 		}
+		mcfg.SelfCheck = cfg.SelfCheck
 		banks[i] = bankState{
 			ctrl: memctrl.New(mcfg, sc.drams[i], trk),
 			pat:  sc.pats[i],

@@ -90,3 +90,14 @@ type SkipAdvancer interface {
 	// consumes no draws.
 	ActivateInsert(row int)
 }
+
+// SelfChecker is implemented by trackers that can enable runtime invariant
+// guards (-selfcheck): cheap assertions on internal state (FIFO occupancy
+// and pointer bounds, entry-level ranges) that panic with a guard.Violation
+// when an engine bug or memory corruption silently breaks the structure.
+// Discovered structurally by the simulation layers, so trackers without
+// self-checks need no stub.
+type SelfChecker interface {
+	// SetSelfCheck enables or disables the tracker's invariant guards.
+	SetSelfCheck(on bool)
+}

@@ -29,6 +29,108 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("trialrunner: trial %d panicked: %v", e.Trial, e.Value)
 }
 
+// Unwrap exposes a panic value that was itself an error (a guard.Violation,
+// an injected fault), so errors.As sees through the panic wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// TrialFailure reports a trial whose every attempt failed. With the default
+// single-attempt policy the pool reports the bare underlying error instead;
+// TrialFailure appears only when a retry budget was actually exhausted.
+type TrialFailure struct {
+	// Trial is the index of the failed trial.
+	Trial int
+	// Attempts is how many attempts were made.
+	Attempts int
+	// Err is the last attempt's error (*PanicError, *DeadlineError, or an
+	// injected fault).
+	Err error
+}
+
+// Error implements error.
+func (e *TrialFailure) Error() string {
+	return fmt.Sprintf("trialrunner: trial %d failed after %d attempts: %v", e.Trial, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *TrialFailure) Unwrap() error { return e.Err }
+
+// QuarantineError summarises the trials that exhausted their retry budget in
+// one run. It is joined into the final error after the per-trial failures,
+// so callers can list the quarantined set without walking the join.
+type QuarantineError struct {
+	// Trials holds the quarantined trial indices in ascending order.
+	Trials []int
+}
+
+// Error implements error.
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("trialrunner: %d trial(s) quarantined after exhausting retries: %v", len(e.Trials), e.Trials)
+}
+
+// DeadlineError reports a trial attempt that ran longer than the per-trial
+// deadline. The check is post-completion: the attempt runs to the end (so
+// shared scratch arenas are never abandoned mid-use) and its wall-clock
+// duration is compared afterwards, making the deadline a detector for
+// wedged-but-terminating trials rather than a preemption mechanism.
+type DeadlineError struct {
+	// Trial is the index of the slow trial.
+	Trial int
+	// Elapsed is the attempt's measured duration.
+	Elapsed time.Duration
+	// Deadline is the configured limit it exceeded.
+	Deadline time.Duration
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("trialrunner: trial %d exceeded deadline: ran %v > %v", e.Trial, e.Elapsed, e.Deadline)
+}
+
+// RetryPolicy bounds re-execution of failed trial attempts. Because every
+// trial derives its RNG stream from its trial index (not from execution
+// order), a retried attempt replays the identical stream: a transient fault
+// (an injected one, a flaky hook) retries to the exact result the
+// undisturbed run produces, and a deterministic bug fails every attempt and
+// quarantines the trial instead of flaking.
+type RetryPolicy struct {
+	// Attempts is the total number of attempts per trial (>= 1).
+	// 0 means 1: a single attempt, no retry.
+	Attempts int
+	// Deadline, when > 0, fails any attempt whose wall-clock duration
+	// exceeds it (post-completion check, see DeadlineError).
+	Deadline time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// TrialFaults is the pool's fault-injection hook (faultinject.Injector
+// implements it). When armed, it is consulted before every attempt; a
+// non-nil error fails the attempt before the trial function runs. A fault
+// value exposing Panics() true is raised as a panic through the pool's real
+// recover machinery instead, so chaos tests exercise the same code path a
+// genuine trial panic does.
+type TrialFaults interface {
+	TrialFault(trial, attempt int) error
+}
+
+// retryReporter and quarantineReporter are optional observer capabilities,
+// discovered structurally (obs.Campaign implements both): retries and
+// quarantines are reported to whatever observer the campaign installed
+// without widening the Observer interface every existing implementation
+// must satisfy.
+type retryReporter interface{ AddTrialRetries(n int64) }
+type quarantineReporter interface{ AddQuarantined(n int64) }
+
 // Observer receives per-trial lifecycle callbacks for progress metering
 // (internal/obs implements it). Callbacks fire on worker goroutines,
 // concurrently; implementations must be safe for concurrent use. The
@@ -54,6 +156,12 @@ type Options struct {
 	Skip func(i int) bool
 	// Observer, when non-nil, receives TrialStart/TrialEnd callbacks.
 	Observer Observer
+	// Retry bounds re-execution of failed trials. The zero value keeps the
+	// historic semantics: one attempt, failure is terminal.
+	Retry RetryPolicy
+	// Faults, when non-nil, injects deterministic faults into trial
+	// execution (chaos testing). Production runs leave it nil.
+	Faults TrialFaults
 }
 
 // workers resolves the pool size.
@@ -129,35 +237,77 @@ func MapOptsWorker[R any](ctx context.Context, trials int, trial func(worker, i 
 	}
 
 	var (
-		mu      sync.Mutex
-		panics  []*PanicError
-		hookErr error
-		stopped atomic.Bool // set on hook error; ctx handles cancellation
-		next    atomic.Int64
-		wg      sync.WaitGroup
+		mu       sync.Mutex
+		failures []TrialFailure
+		hookErr  error
+		stopped  atomic.Bool // set on hook error; ctx handles cancellation
+		next     atomic.Int64
+		wg       sync.WaitGroup
 	)
+
+	// runAttempt executes one attempt of trial i and reports how it failed,
+	// nil on success. Injected faults fire before the trial function; a
+	// panic-kind fault is raised through the same recover machinery a real
+	// trial panic uses.
+	runAttempt := func(worker, i, attempt int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Trial: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		if opts.Faults != nil {
+			if f := opts.Faults.TrialFault(i, attempt); f != nil {
+				if p, ok := f.(interface{ Panics() bool }); ok && p.Panics() {
+					panic(f)
+				}
+				return f
+			}
+		}
+		results[i] = trial(worker, i)
+		return nil
+	}
+
+	maxAttempts := opts.Retry.attempts()
 
 	runOne := func(worker, i int) {
 		if opts.Observer != nil {
 			opts.Observer.TrialStart(i)
 		}
 		start := time.Now()
-		perr := func() (perr *PanicError) {
-			defer func() {
-				if v := recover(); v != nil {
-					perr = &PanicError{Trial: i, Value: v, Stack: debug.Stack()}
+		var lastErr error
+		attempts := 0
+		for a := 0; a < maxAttempts; a++ {
+			attempts = a + 1
+			attemptStart := time.Now()
+			aErr := runAttempt(worker, i, a)
+			if aErr == nil && opts.Retry.Deadline > 0 {
+				if el := time.Since(attemptStart); el > opts.Retry.Deadline {
+					aErr = &DeadlineError{Trial: i, Elapsed: el, Deadline: opts.Retry.Deadline}
 				}
-			}()
-			results[i] = trial(worker, i)
-			return nil
-		}()
+			}
+			if aErr == nil {
+				lastErr = nil
+				break
+			}
+			lastErr = aErr
+			if a+1 < maxAttempts {
+				if rr, ok := opts.Observer.(retryReporter); ok {
+					rr.AddTrialRetries(1)
+				}
+			}
+		}
 		if opts.Observer != nil {
 			opts.Observer.TrialEnd(i, time.Since(start))
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		if perr != nil {
-			panics = append(panics, perr)
+		if lastErr != nil {
+			failures = append(failures, TrialFailure{Trial: i, Attempts: attempts, Err: lastErr})
+			if maxAttempts > 1 {
+				if qr, ok := opts.Observer.(quarantineReporter); ok {
+					qr.AddQuarantined(1)
+				}
+			}
 			return
 		}
 		if onDone != nil && hookErr == nil {
@@ -197,12 +347,25 @@ func MapOptsWorker[R any](ctx context.Context, trials int, trial func(worker, i 
 		wg.Wait()
 	}
 
-	// Assemble a deterministic error: panics sorted by trial index, then the
-	// hook error, then the cancellation cause.
-	sort.Slice(panics, func(a, b int) bool { return panics[a].Trial < panics[b].Trial })
-	errs := make([]error, 0, len(panics)+2)
-	for _, p := range panics {
-		errs = append(errs, p)
+	// Assemble a deterministic error: failures sorted by trial index, then
+	// the quarantine summary, then the hook error, then the cancellation
+	// cause. Single-attempt failures surface as their bare underlying error
+	// (historically a *PanicError); only an exhausted retry budget wraps
+	// the error in a *TrialFailure and lists the trial as quarantined.
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Trial < failures[b].Trial })
+	errs := make([]error, 0, len(failures)+3)
+	var quarantined []int
+	for i := range failures {
+		f := &failures[i]
+		if maxAttempts > 1 {
+			errs = append(errs, f)
+			quarantined = append(quarantined, f.Trial)
+		} else {
+			errs = append(errs, f.Err)
+		}
+	}
+	if len(quarantined) > 0 {
+		errs = append(errs, &QuarantineError{Trials: quarantined})
 	}
 	if hookErr != nil {
 		errs = append(errs, hookErr)

@@ -285,9 +285,9 @@ func TestPoolSize(t *testing.T) {
 		workers, trials, want int
 	}{
 		{4, 100, 4},
-		{4, 2, 2},  // clamped to trials
+		{4, 2, 2}, // clamped to trials
 		{1, 50, 1},
-		{8, 0, 8},  // degenerate trial counts leave the pool size alone
+		{8, 0, 8}, // degenerate trial counts leave the pool size alone
 		{3, -1, 3},
 	}
 	for _, c := range cases {
