@@ -404,17 +404,20 @@ func BenchmarkSystemTTFValidation(b *testing.B) {
 	b.ReportMetric(mttf, "measured-MTTF-ms")
 }
 
-// BenchmarkAdversarialSearch runs a short guided-fuzzing campaign against
-// PrIDE and reports the plateau disturbance (must stay under TRH* = 3.8K).
+// BenchmarkAdversarialSearch runs a short island-model search campaign
+// against PrIDE and reports the plateau disturbance (must stay under
+// TRH* = 3.8K).
 func BenchmarkAdversarialSearch(b *testing.B) {
 	p := dram.DDR5()
 	p.RowsPerBank = 4096
 	p.RowBits = 12
 	cfg := fuzz.Config{
-		Attack:     sim.AttackConfig{Params: p, ACTs: 40_000},
-		Rounds:     3,
-		Population: 3,
-		MaxPairs:   8,
+		Attack:       sim.AttackConfig{Params: p, ACTs: 40_000},
+		Generations:  3,
+		Islands:      2,
+		Population:   3,
+		MigrateEvery: 2,
+		MaxPairs:     8,
 	}
 	best := 0
 	for i := 0; i < b.N; i++ {

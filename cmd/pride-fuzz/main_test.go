@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pride/internal/cli"
+	"pride/internal/corpus"
+	"pride/internal/sim"
+)
+
+// quickArgs keeps CLI-level searches small enough for a unit test.
+func quickArgs(extra ...string) []string {
+	return append([]string{
+		"-generations", "4", "-islands", "2", "-population", "3",
+		"-migrate-every", "2", "-acts", "20000", "-workers", "2",
+	}, extra...)
+}
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), quickArgs(), &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Island search vs PrIDE", "Worst pattern found", "TRH*"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWorkerInvariantOutput(t *testing.T) {
+	var want, errOut strings.Builder
+	if code := run(context.Background(), quickArgs("-workers", "1"), &want, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, workers := range []string{"2", "5"} {
+		var out strings.Builder
+		errOut.Reset()
+		if code := run(context.Background(), quickArgs("-workers", workers), &out, &errOut); code != 0 {
+			t.Fatalf("-workers %s: exit code %d, stderr: %s", workers, code, errOut.String())
+		}
+		if out.String() != want.String() {
+			t.Fatalf("-workers %s output differs from -workers 1", workers)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"unknown scheme": {"-scheme", "NoSuchTracker"},
+		"bad workers":    quickArgs("-workers", "0"),
+		"bad engine":     quickArgs("-engine", "quantum"),
+		"bad chaos":      quickArgs("-chaos", "::"),
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Errorf("%s: exit code %d, want 2 (stderr: %s)", name, code, errOut.String())
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("%s: no diagnostic on stderr", name)
+		}
+	}
+}
+
+func TestRunInterruptedExits130WithResumeHint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGINT before any epoch completes
+	base := filepath.Join(t.TempDir(), "fuzz.ckpt")
+	var out, errOut strings.Builder
+	code := run(ctx, quickArgs("-checkpoint", base), &out, &errOut)
+	if code != cli.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d; stderr: %s", code, cli.ExitInterrupted, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "resume") {
+		t.Fatalf("no resume hint on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunInterruptedWithoutCheckpointStillExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run(ctx, quickArgs(), &out, &errOut); code != cli.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d", code, cli.ExitInterrupted)
+	}
+	if !strings.Contains(errOut.String(), "-checkpoint") {
+		t.Fatalf("no checkpoint suggestion on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunResumesFromCheckpointBitIdentical(t *testing.T) {
+	var want, errOut strings.Builder
+	if code := run(context.Background(), quickArgs("-seed", "5"), &want, &errOut); code != 0 {
+		t.Fatalf("uninterrupted run failed (%d): %s", code, errOut.String())
+	}
+
+	// Interrupt a checkpointed run partway: cancel the context from a
+	// progress hook is not reachable from the CLI, so emulate the operator
+	// workflow — run with an immediately-cancelled context (nothing done),
+	// then resume; and separately trust the fuzz package's mid-run tests.
+	base := filepath.Join(t.TempDir(), "fuzz.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out1 strings.Builder
+	errOut.Reset()
+	if code := run(ctx, quickArgs("-seed", "5", "-checkpoint", base), &out1, &errOut); code != cli.ExitInterrupted {
+		t.Fatalf("interrupted run: exit code %d, want %d", code, cli.ExitInterrupted)
+	}
+
+	var resumed strings.Builder
+	errOut.Reset()
+	if code := run(context.Background(), quickArgs("-seed", "5", "-checkpoint", base), &resumed, &errOut); code != 0 {
+		t.Fatalf("resumed run failed (%d): %s", code, errOut.String())
+	}
+	if resumed.String() != want.String() {
+		t.Fatalf("resumed stdout differs from uninterrupted run:\n%s\nvs\n%s", resumed.String(), want.String())
+	}
+}
+
+func TestRunSavesTraceAndCorpusEntry(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.trace")
+	corpusDir := filepath.Join(dir, "corpus")
+	var out, errOut strings.Builder
+	code := run(context.Background(), quickArgs("-save", trace, "-corpus", corpusDir), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	entries, err := corpus.Load(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "pride" {
+		t.Fatalf("corpus entries = %+v, want one pride entry", entries)
+	}
+	// The committed entry must verify immediately: the sidecar's expected
+	// disturbance is the search's measurement, replayed under the same seed.
+	if _, err := entries[0].Verify(); err != nil {
+		t.Fatalf("freshly-generated corpus entry fails verification: %v", err)
+	}
+	if !strings.Contains(out.String(), "Corpus entry") {
+		t.Fatalf("no corpus confirmation in output:\n%s", out.String())
+	}
+}
+
+func TestCorpusClassesCoverSearchSchemes(t *testing.T) {
+	known := map[string]bool{}
+	for _, s := range sim.SearchSchemes() {
+		known[s.Name] = true
+		if _, ok := corpusClasses[s.Name]; !ok {
+			t.Errorf("scheme %q has no corpus class; -scheme all -corpus would fail", s.Name)
+		}
+	}
+	for name := range corpusClasses {
+		if !known[name] {
+			t.Errorf("corpusClasses names unknown scheme %q", name)
+		}
+	}
+}

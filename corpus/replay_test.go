@@ -1,0 +1,106 @@
+// Package corpus replays the committed attack corpus — the paper's
+// Section VII-F security claim as a regression suite.
+//
+// Every entry in this directory is the best attack an island-model search
+// (cmd/pride-fuzz) found against one tracker, committed as a trace plus a
+// JSON sidecar. This test re-runs each attack against a freshly-built
+// tracker and asserts:
+//
+//   - the replayed disturbance is within the sidecar's tolerance of the
+//     committed value (the simulator and trackers still behave the same);
+//   - "bounded" entries stay at or below the analytic PrIDE bound TRH*;
+//   - "climbing" entries stay above it AND above PrIDE's own replayed
+//     disturbance — the counter-based trackers remain attackable, so the
+//     contrast that carries the paper's central claim cannot silently rot.
+//
+// If this suite goes red, see EXPERIMENTS.md ("Adversarial search & corpus
+// replay") for the triage procedure. Do not regenerate the corpus to make
+// it green without understanding which side changed.
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	icorpus "pride/internal/corpus"
+)
+
+// load reads the committed entries next to this test file.
+func load(t *testing.T) []icorpus.Entry {
+	t.Helper()
+	entries, err := icorpus.Load(".")
+	if err != nil {
+		t.Fatalf("loading committed corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	return entries
+}
+
+func TestCorpusCoversTheLineUp(t *testing.T) {
+	entries := load(t)
+	seen := map[string]bool{}
+	for _, e := range entries {
+		seen[e.Sidecar.Scheme] = true
+	}
+	if !seen["PrIDE"] {
+		t.Error("no committed entry for PrIDE")
+	}
+	baselines := 0
+	for scheme := range seen {
+		if !strings.HasPrefix(scheme, "PrIDE") {
+			baselines++
+		}
+	}
+	if baselines < 4 {
+		t.Errorf("only %d baseline entries committed, want >= 4 (%v)", baselines, seen)
+	}
+	climbing := 0
+	for _, e := range entries {
+		if e.Sidecar.Class == icorpus.ClassClimbing {
+			climbing++
+		}
+	}
+	if climbing == 0 {
+		t.Error("no climbing entries: the suite would no longer demonstrate the contrast")
+	}
+}
+
+func TestCorpusReplays(t *testing.T) {
+	entries := load(t)
+
+	// PrIDE's replayed disturbance anchors the cross-entry contrast.
+	prideMeasured := -1
+	measured := make(map[string]int, len(entries))
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			m, err := e.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			measured[e.Name] = m
+			if e.Sidecar.Scheme == "PrIDE" {
+				prideMeasured = m
+			}
+			t.Logf("%s (%s): replayed %d, committed %d, analytic bound %.1f",
+				e.Sidecar.Scheme, e.Sidecar.Class, m, e.Sidecar.ExpectedDisturbance, e.Sidecar.Bound())
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	if prideMeasured < 0 {
+		t.Fatal("no PrIDE entry replayed")
+	}
+	for _, e := range entries {
+		if e.Sidecar.Class != icorpus.ClassClimbing {
+			continue
+		}
+		if m := measured[e.Name]; m <= prideMeasured {
+			t.Errorf("%s: climbing entry replayed %d, not above PrIDE's %d — the counter-based tracker no longer looks worse than PrIDE under guided attack",
+				e.Sidecar.Scheme, m, prideMeasured)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package corpus
+
+import (
+	"testing"
+)
+
+// FuzzReadSidecar throws arbitrary byte soup at the sidecar parser — the
+// companion of patterns.FuzzReadTrace for the other half of a corpus entry.
+// The parser must never panic, and whenever it accepts an input, the parsed
+// sidecar must be valid and survive a MarshalSidecar/ReadSidecar round trip
+// unchanged — the property that makes a committed entry self-describing.
+func FuzzReadSidecar(f *testing.F) {
+	valid, err := MarshalSidecar(Sidecar{
+		Scheme: "PrIDE", Class: ClassBounded, Seed: 1, ACTs: 100,
+		RowsPerBank: 64, RowBits: 6, Engine: "event",
+		Islands: 2, Population: 3, Generations: 4, MigrateEvery: 2, MaxPairs: 8,
+		CampaignSeed: 9, ExpectedDisturbance: 10, Tolerance: 0.2, Note: "seed",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		string(valid),
+		"",
+		"{}",
+		"null",
+		"[]",
+		`{"scheme":"PrIDE"}`,
+		`{"scheme":"TRR","class":"climbing","seed":2,"acts":650000,"rows_per_bank":8192,"row_bits":13,"engine":"event","expected_disturbance":7000}`,
+		`{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":NaN}`,
+		`{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5,"tolerance":1e308}`,
+		`{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5,"extra":true}`,
+		`{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5}{"trailing":1}`,
+		`{"scheme":"PrIDE","class":"bounded","acts":-1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5}`,
+		`{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":400,"engine":"event","expected_disturbance":5}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSidecar(data)
+		if err != nil {
+			return
+		}
+		// Accepted sidecars must uphold the parser's documented guarantees.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted sidecar fails Validate: %v", err)
+		}
+		out, err := MarshalSidecar(s)
+		if err != nil {
+			t.Fatalf("serializing an accepted sidecar failed: %v", err)
+		}
+		back, err := ReadSidecar(out)
+		if err != nil {
+			t.Fatalf("re-reading a written sidecar failed: %v\nsidecar:\n%s", err, out)
+		}
+		if back != s {
+			t.Fatalf("sidecar changed across round trip:\n%+v\nvs\n%+v", s, back)
+		}
+		// RowBits validated against RowsPerBank means the shift below cannot
+		// overflow into nonsense for accepted inputs.
+		if s.RowBits > 62 {
+			t.Fatalf("accepted sidecar has absurd row_bits %d", s.RowBits)
+		}
+	})
+}

@@ -1,0 +1,307 @@
+package corpus
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pride/internal/patterns"
+)
+
+func validSidecar() Sidecar {
+	return Sidecar{
+		Scheme:              "PrIDE",
+		Class:               ClassBounded,
+		Seed:                12345,
+		ACTs:                60_000,
+		RowsPerBank:         4096,
+		RowBits:             12,
+		Engine:              "event",
+		Islands:             3,
+		Population:          4,
+		Generations:         6,
+		MigrateEvery:        2,
+		MaxPairs:            8,
+		CampaignSeed:        42,
+		ExpectedDisturbance: 900,
+	}
+}
+
+func validPattern() *patterns.Pattern {
+	return &patterns.Pattern{
+		Name:       "blacksmith(test)",
+		Aggressors: []int{1000, 1002},
+		Sequence:   []int{1000, 1002, 1000, 1002, 2000},
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	s := validSidecar()
+	s.Tolerance = 0.25
+	s.Note = "round trip"
+	raw, err := MarshalSidecar(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSidecar(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("sidecar changed across round trip:\n%+v\nvs\n%+v", s, got)
+	}
+}
+
+func TestReadSidecarRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Sidecar)
+		raw     string // when non-empty, used verbatim instead of a mutated sidecar
+		wantErr string
+	}{
+		{
+			name:    "missing scheme",
+			mutate:  func(s *Sidecar) { s.Scheme = "" },
+			wantErr: "scheme",
+		},
+		{
+			name:    "wrong scheme name",
+			mutate:  func(s *Sidecar) { s.Scheme = "PrlDE" },
+			wantErr: `unknown scheme "PrlDE"`,
+		},
+		{
+			name:    "unknown class",
+			mutate:  func(s *Sidecar) { s.Class = "plateauing" },
+			wantErr: "class",
+		},
+		{
+			name:    "missing class",
+			mutate:  func(s *Sidecar) { s.Class = "" },
+			wantErr: "class",
+		},
+		{
+			name:    "zero acts",
+			mutate:  func(s *Sidecar) { s.ACTs = 0 },
+			wantErr: "acts",
+		},
+		{
+			name:    "missing geometry",
+			mutate:  func(s *Sidecar) { s.RowsPerBank = 0 },
+			wantErr: "rows_per_bank",
+		},
+		{
+			name:    "row bits cannot address rows",
+			mutate:  func(s *Sidecar) { s.RowBits = 4 },
+			wantErr: "row_bits",
+		},
+		{
+			name:    "unknown engine",
+			mutate:  func(s *Sidecar) { s.Engine = "quantum" },
+			wantErr: "engine",
+		},
+		{
+			name:    "missing expected disturbance",
+			mutate:  func(s *Sidecar) { s.ExpectedDisturbance = 0 },
+			wantErr: "expected_disturbance",
+		},
+		{
+			name:    "negative tolerance",
+			mutate:  func(s *Sidecar) { s.Tolerance = -0.1 },
+			wantErr: "tolerance",
+		},
+		{
+			name:    "tolerance of one swallows any regression",
+			mutate:  func(s *Sidecar) { s.Tolerance = 1.0 },
+			wantErr: "tolerance",
+		},
+		{
+			name:    "NaN disturbance",
+			raw:     `{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":NaN}`,
+			wantErr: "decoding sidecar",
+		},
+		{
+			name:    "NaN tolerance",
+			raw:     `{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5,"tolerance":NaN}`,
+			wantErr: "decoding sidecar",
+		},
+		{
+			name:    "unknown field",
+			raw:     `{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5,"tollerance":0.2}`,
+			wantErr: "tollerance",
+		},
+		{
+			name:    "trailing garbage",
+			raw:     `{"scheme":"PrIDE","class":"bounded","acts":1,"rows_per_bank":16,"row_bits":4,"engine":"event","expected_disturbance":5}{"again":true}`,
+			wantErr: "trailing data",
+		},
+		{
+			name:    "not json at all",
+			raw:     "name: trace\nseq: 1 2 3\n",
+			wantErr: "decoding sidecar",
+		},
+		{
+			name:    "empty file",
+			raw:     "",
+			wantErr: "decoding sidecar",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := []byte(tc.raw)
+			if tc.raw == "" && tc.mutate != nil {
+				s := validSidecar()
+				tc.mutate(&s)
+				var err error
+				raw, err = marshalUnvalidated(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := ReadSidecar(raw)
+			if err == nil {
+				t.Fatalf("corrupted sidecar accepted: %s", raw)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// marshalUnvalidated encodes a sidecar without MarshalSidecar's validation,
+// so the corruption table can exercise ReadSidecar's checks.
+func marshalUnvalidated(s Sidecar) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+func TestWriteEntryLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := validSidecar()
+	name, err := WriteEntry(dir, s, validPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "pride" {
+		t.Fatalf("entry name = %q, want pride", name)
+	}
+	entries, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("loaded %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "pride" || e.Sidecar != s {
+		t.Fatalf("entry changed across write/load: %+v", e)
+	}
+	want := validPattern()
+	if e.Pattern.Name != want.Name || len(e.Pattern.Sequence) != len(want.Sequence) {
+		t.Fatalf("pattern changed across write/load: %+v", e.Pattern)
+	}
+	for i, row := range want.Sequence {
+		if e.Pattern.Sequence[i] != row {
+			t.Fatalf("sequence[%d] = %d, want %d", i, e.Pattern.Sequence[i], row)
+		}
+	}
+}
+
+func TestWriteEntryRejectsOutOfRangeRows(t *testing.T) {
+	s := validSidecar()
+	p := validPattern()
+	p.Sequence = append(p.Sequence, s.RowsPerBank)
+	if _, err := WriteEntry(t.TempDir(), s, p); err == nil {
+		t.Fatal("pattern with out-of-range row accepted")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"PrIDE":       "pride",
+		"PrIDE+RFM40": "pride-rfm40",
+		"PARA-MC":     "para-mc",
+		"TRR":         "trr",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Fatalf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadRejectsHalfCommittedEntries(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteEntry(dir, validSidecar(), validPattern()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sidecar without trace.
+	if err := os.Rename(filepath.Join(dir, "pride.trace"), filepath.Join(dir, "pride.trace.bak")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "no matching") {
+		t.Fatalf("sidecar without trace: err = %v", err)
+	}
+	if err := os.Rename(filepath.Join(dir, "pride.trace.bak"), filepath.Join(dir, "pride.trace")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace without sidecar.
+	if err := os.Remove(filepath.Join(dir, "pride.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "no matching") {
+		t.Fatalf("trace without sidecar: err = %v", err)
+	}
+}
+
+func TestVerifyCatchesTamperedExpectation(t *testing.T) {
+	// A small, fast end-to-end check of the regression logic itself: replay
+	// an entry whose committed expectation was tampered with.
+	dir := t.TempDir()
+	s := validSidecar()
+	s.ACTs = 5_000
+	name, err := WriteEntry(dir, s, validPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := entries[0].Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured < 1 {
+		t.Fatalf("replay measured %d, want a positive disturbance", measured)
+	}
+
+	// Re-commit with the true measurement: Verify passes.
+	s.ExpectedDisturbance = measured
+	if _, err := WriteEntry(dir, s, validPattern()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := entries[0].Verify(); err != nil {
+		t.Fatalf("honest entry failed verification: %v (name %s)", err, name)
+	}
+
+	// Tamper: an expectation 3x the truth must fail.
+	s.ExpectedDisturbance = 3 * measured
+	if _, err := WriteEntry(dir, s, validPattern()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := entries[0].Verify(); err == nil {
+		t.Fatal("tampered expectation passed verification")
+	}
+}

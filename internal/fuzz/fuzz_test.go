@@ -5,6 +5,7 @@ import (
 
 	"pride/internal/analytic"
 	"pride/internal/dram"
+	"pride/internal/engine"
 	"pride/internal/rng"
 	"pride/internal/sim"
 )
@@ -18,32 +19,63 @@ func fuzzParams() dram.Params {
 
 func fuzzConfig() Config {
 	return Config{
-		Attack:     sim.AttackConfig{Params: fuzzParams(), ACTs: 60_000},
-		Rounds:     6,
-		Population: 4,
-		MaxPairs:   8,
+		Attack:       sim.AttackConfig{Params: fuzzParams(), ACTs: 60_000},
+		Generations:  6,
+		Islands:      3,
+		Population:   4,
+		MigrateEvery: 2,
+		MaxPairs:     8,
+		Engine:       engine.Event,
 	}
 }
 
 func TestSearchReturnsValidResult(t *testing.T) {
-	res := Search(fuzzConfig(), sim.PrIDEScheme(), 1)
+	cfg := fuzzConfig()
+	res := Search(cfg, sim.PrIDEScheme(), 1)
 	if res.BestPattern == nil || res.BestPattern.Len() == 0 {
 		t.Fatal("no best pattern returned")
 	}
 	if res.BestDisturbance <= 0 {
 		t.Fatal("non-positive best disturbance")
 	}
-	if len(res.History) != 6 {
-		t.Fatalf("history length %d, want 6", len(res.History))
+	if len(res.History) != cfg.Generations {
+		t.Fatalf("history length %d, want %d", len(res.History), cfg.Generations)
 	}
-	if res.Evaluations < 4*7 {
-		t.Fatalf("evaluations = %d, suspiciously few", res.Evaluations)
+	if len(res.IslandHistories) != cfg.Islands {
+		t.Fatalf("island histories %d, want %d", len(res.IslandHistories), cfg.Islands)
 	}
-	// History is non-decreasing (elitist search).
-	for i := 1; i < len(res.History); i++ {
-		if res.History[i] < res.History[i-1] {
-			t.Fatalf("best score regressed: %v", res.History)
+	wantEvals := cfg.Islands * cfg.Population * (cfg.Generations + 1)
+	if res.Evaluations != wantEvals {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, wantEvals)
+	}
+	if res.BestIsland < 0 || res.BestIsland >= cfg.Islands {
+		t.Fatalf("best island %d out of range", res.BestIsland)
+	}
+	// Per-island and global histories are non-decreasing (elitist search).
+	for i, h := range res.IslandHistories {
+		if len(h) != cfg.Generations {
+			t.Fatalf("island %d history length %d, want %d", i, len(h), cfg.Generations)
 		}
+		for g := 1; g < len(h); g++ {
+			if h[g] < h[g-1] {
+				t.Fatalf("island %d best regressed: %v", i, h)
+			}
+		}
+	}
+	for g := 1; g < len(res.History); g++ {
+		if res.History[g] < res.History[g-1] {
+			t.Fatalf("global best regressed: %v", res.History)
+		}
+	}
+	// The global best is the final global history entry and is reproducible
+	// from (BestGenome, BestSeed) — the contract the corpus relies on.
+	if res.History[len(res.History)-1] != res.BestDisturbance {
+		t.Fatalf("history tail %d != best %d", res.History[len(res.History)-1], res.BestDisturbance)
+	}
+	replay := sim.RunAttackEngine(cfg.Attack, sim.PrIDEScheme(), res.BestGenome.Build(), res.BestSeed, cfg.Engine)
+	if replay.MaxDisturbance != res.BestDisturbance {
+		t.Fatalf("replaying best genome under its seed gave %d, search reported %d",
+			replay.MaxDisturbance, res.BestDisturbance)
 	}
 }
 
@@ -63,17 +95,103 @@ func TestSearchClimbsAgainstPRoHIT(t *testing.T) {
 	// Against a pattern-dependent tracker the search must find patterns
 	// substantially worse than PrIDE's plateau.
 	cfg := fuzzConfig()
-	var prohit sim.Scheme
-	for _, s := range sim.Fig15Schemes() {
-		if s.Name == "PRoHIT" {
-			prohit = s
-		}
+	prohit, err := sim.SchemeByName("PRoHIT")
+	if err != nil {
+		t.Fatal(err)
 	}
 	resP := Search(cfg, prohit, 3)
 	resPride := Search(cfg, sim.PrIDEScheme(), 3)
 	if resP.BestDisturbance <= resPride.BestDisturbance {
 		t.Fatalf("search against PRoHIT (%d) found nothing worse than PrIDE (%d)",
 			resP.BestDisturbance, resPride.BestDisturbance)
+	}
+}
+
+func TestSearchKeyCoversEvolutionInputs(t *testing.T) {
+	// Everything the evolution depends on must be in the checkpoint key —
+	// including MigrateEvery, because epoch boundaries define which derived
+	// stream drives which generation. The worker count must NOT be in it.
+	base := fuzzConfig()
+	key := func(mutate func(*Config)) string {
+		cfg := base
+		mutate(&cfg)
+		return SearchKey(cfg, sim.PrIDEScheme(), 1)
+	}
+	ref := key(func(*Config) {})
+	mutations := map[string]func(*Config){
+		"generations": func(c *Config) { c.Generations++ },
+		"islands":     func(c *Config) { c.Islands++ },
+		"population":  func(c *Config) { c.Population++ },
+		"migrate":     func(c *Config) { c.MigrateEvery++ },
+		"maxpairs":    func(c *Config) { c.MaxPairs++ },
+		"acts":        func(c *Config) { c.Attack.ACTs++ },
+		"engine":      func(c *Config) { c.Engine = engine.Exact },
+	}
+	for name, m := range mutations {
+		if key(m) == ref {
+			t.Errorf("changing %s did not change the checkpoint key", name)
+		}
+	}
+	if SearchKey(base, sim.PrIDEScheme(), 2) == ref {
+		t.Error("changing the seed did not change the checkpoint key")
+	}
+	if SearchKey(base, sim.TRRScheme(), 1) == ref {
+		t.Error("changing the scheme did not change the checkpoint key")
+	}
+}
+
+func TestEpochsPartition(t *testing.T) {
+	cases := []struct{ gens, every, epochs int }{
+		{6, 2, 3}, {6, 4, 2}, {1, 1, 1}, {7, 3, 3}, {5, 10, 1},
+	}
+	for _, c := range cases {
+		cfg := Config{Generations: c.gens, MigrateEvery: c.every}
+		if got := cfg.Epochs(); got != c.epochs {
+			t.Fatalf("Epochs(%d,%d) = %d, want %d", c.gens, c.every, got, c.epochs)
+		}
+		total := 0
+		for e := 0; e < cfg.Epochs(); e++ {
+			g := cfg.generationsIn(e)
+			if g < 1 || g > c.every {
+				t.Fatalf("generationsIn(%d) = %d out of range for %+v", e, g, c)
+			}
+			total += g
+		}
+		if total != c.gens {
+			t.Fatalf("epochs of %+v cover %d generations, want %d", c, total, c.gens)
+		}
+	}
+}
+
+func TestMigrateRingReplacesWorst(t *testing.T) {
+	mk := func(scores ...int) IslandState {
+		st := IslandState{}
+		for _, s := range scores {
+			st.Members = append(st.Members, Member{Score: s})
+			if s > st.Best.Score {
+				st.Best = Member{Score: s}
+			}
+		}
+		return st
+	}
+	islands := []IslandState{mk(10, 2, 5), mk(7, 1, 3), mk(4, 9, 6)}
+	migrate(islands)
+	// Island 1's worst (1 at index 1) replaced by island 0's best (10), etc.
+	if islands[1].Members[1].Score != 10 {
+		t.Fatalf("island 1 did not receive island 0's elite: %+v", islands[1].Members)
+	}
+	if islands[2].Members[0].Score != 7 {
+		t.Fatalf("island 2 did not receive island 1's elite: %+v", islands[2].Members)
+	}
+	if islands[0].Members[1].Score != 9 {
+		t.Fatalf("island 0 did not receive island 2's elite: %+v", islands[0].Members)
+	}
+	// Simultaneous, not cascading: island 2 got island 1's original best (7),
+	// not the migrated 10.
+	for _, m := range islands[2].Members {
+		if m.Score == 10 {
+			t.Fatalf("migration cascaded: %+v", islands[2].Members)
+		}
 	}
 }
 
@@ -112,12 +230,24 @@ func TestMutateDoesNotAliasParent(t *testing.T) {
 }
 
 func TestSearchPanicsOnBadConfig(t *testing.T) {
-	cfg := fuzzConfig()
-	cfg.Rounds = 0
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Search(cfg, sim.PrIDEScheme(), 1)
+	bad := []func(*Config){
+		func(c *Config) { c.Generations = 0 },
+		func(c *Config) { c.Islands = 0 },
+		func(c *Config) { c.Population = 0 },
+		func(c *Config) { c.MigrateEvery = 0 },
+		func(c *Config) { c.MaxPairs = 0 },
+		func(c *Config) { c.Attack.ACTs = 0 },
+	}
+	for i, breakIt := range bad {
+		cfg := fuzzConfig()
+		breakIt(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			Search(cfg, sim.PrIDEScheme(), 1)
+		}()
+	}
 }

@@ -1,0 +1,98 @@
+package fuzz
+
+import (
+	"pride/internal/patterns"
+	"pride/internal/rng"
+)
+
+// Genome is a mutable encoding of a Blacksmith-family attack pattern. All
+// fields are exported plain integers so a genome round-trips exactly through
+// encoding/json — the property the island search's checkpoint layer and the
+// corpus sidecars rely on.
+type Genome struct {
+	Base        int   `json:"base"`
+	Pairs       int   `json:"pairs"`
+	Period      int   `json:"period"`
+	Frequencies []int `json:"frequencies"`
+	Phases      []int `json:"phases"`
+	Amplitudes  []int `json:"amplitudes"`
+	DecoyRows   []int `json:"decoy_rows,omitempty"`
+}
+
+// RandomGenome draws a fresh genome within the bank's rows.
+func RandomGenome(rows, maxPairs int, r *rng.Stream) Genome {
+	pairs := 1 + r.Intn(maxPairs)
+	g := Genome{
+		Base:   rows/8 + r.Intn(rows/2),
+		Pairs:  pairs,
+		Period: 8 << r.Intn(3),
+	}
+	for i := 0; i < pairs; i++ {
+		g.Frequencies = append(g.Frequencies, 1<<(1+r.Intn(4)))
+		g.Phases = append(g.Phases, r.Intn(8))
+		g.Amplitudes = append(g.Amplitudes, 1+r.Intn(4))
+	}
+	decoys := r.Intn(8)
+	for i := 0; i < decoys; i++ {
+		g.DecoyRows = append(g.DecoyRows, rows/16+r.Intn(rows/2))
+	}
+	return g
+}
+
+// Mutate returns a tweaked copy: one parameter class is perturbed.
+func (g Genome) Mutate(rows, maxPairs int, r *rng.Stream) Genome {
+	out := g.clone()
+	switch r.Intn(6) {
+	case 0: // shift the aggressor block
+		out.Base = rows/8 + r.Intn(rows/2)
+	case 1: // change one frequency
+		i := r.Intn(out.Pairs)
+		out.Frequencies[i] = 1 << (1 + r.Intn(4))
+	case 2: // change one phase
+		i := r.Intn(out.Pairs)
+		out.Phases[i] = r.Intn(out.Period)
+	case 3: // change one amplitude
+		i := r.Intn(out.Pairs)
+		out.Amplitudes[i] = 1 + r.Intn(4)
+	case 4: // add or drop a pair
+		if out.Pairs < maxPairs && r.Bernoulli(0.5) {
+			out.Pairs++
+			out.Frequencies = append(out.Frequencies, 1<<(1+r.Intn(4)))
+			out.Phases = append(out.Phases, r.Intn(8))
+			out.Amplitudes = append(out.Amplitudes, 1+r.Intn(4))
+		} else if out.Pairs > 1 {
+			out.Pairs--
+			out.Frequencies = out.Frequencies[:out.Pairs]
+			out.Phases = out.Phases[:out.Pairs]
+			out.Amplitudes = out.Amplitudes[:out.Pairs]
+		}
+	default: // rework decoys
+		out.DecoyRows = nil
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			out.DecoyRows = append(out.DecoyRows, rows/16+r.Intn(rows/2))
+		}
+	}
+	return out
+}
+
+func (g Genome) clone() Genome {
+	out := g
+	out.Frequencies = append([]int(nil), g.Frequencies...)
+	out.Phases = append([]int(nil), g.Phases...)
+	out.Amplitudes = append([]int(nil), g.Amplitudes...)
+	out.DecoyRows = append([]int(nil), g.DecoyRows...)
+	return out
+}
+
+// Build materializes the genome as a pattern.
+func (g Genome) Build() *patterns.Pattern {
+	return patterns.Blacksmith(patterns.BlacksmithConfig{
+		Base:        g.Base,
+		Pairs:       g.Pairs,
+		Period:      g.Period,
+		Frequencies: g.Frequencies,
+		Phases:      g.Phases,
+		Amplitudes:  g.Amplitudes,
+		DecoyRows:   g.DecoyRows,
+	})
+}

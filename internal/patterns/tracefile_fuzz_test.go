@@ -28,6 +28,13 @@ func FuzzReadTrace(f *testing.F) {
 		"name: spaced  name \n seq : 8 9 \n",
 		"name: dup\nname: dup2\nseq: 1\n",
 		strings.Repeat("seq: 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16\n", 4),
+		// The shape committed corpus entries take: a blacksmith-family name,
+		// a sorted aggressors header, and wrapped seq lines (see
+		// internal/corpus).
+		"name: blacksmith(pairs=2,period=16)\n" +
+			"aggressors: 1000 1002 1003 1005\n" +
+			"seq: 1000 1002 1000 1002 1003 1005 1003 1005 1000 1002 1000 1002 1003 1005 1003 1005\n" +
+			"seq: 3000 3001\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

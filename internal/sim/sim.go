@@ -97,6 +97,39 @@ func Fig15Schemes() []Scheme {
 	}
 }
 
+// TRRScheme returns the vendor-style deterministic TRR baseline (a small
+// counter table with periodic-eviction weaknesses). It is not part of the
+// paper's Figure 15 line-up, but the adversarial search targets it because
+// it represents the deployed in-DRAM trackers the TRRespass/Blacksmith line
+// of work bypassed.
+func TRRScheme() Scheme {
+	return Scheme{
+		Name:                "TRR",
+		MitigationEveryNREF: 1,
+		New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+			return baseline.NewTRR(baseline.DefaultTRREntries, p.RowBits)
+		},
+	}
+}
+
+// SearchSchemes returns the tracker line-up the adversarial search targets:
+// the Figure 15 schemes plus the TRR baseline.
+func SearchSchemes() []Scheme {
+	return append(Fig15Schemes(), TRRScheme())
+}
+
+// SchemeByName resolves a scheme from SearchSchemes by its exact name.
+func SchemeByName(name string) (Scheme, error) {
+	var names []string
+	for _, s := range SearchSchemes() {
+		if s.Name == name {
+			return s, nil
+		}
+		names = append(names, s.Name)
+	}
+	return Scheme{}, fmt.Errorf("sim: unknown scheme %q (have %v)", name, names)
+}
+
 // RowPolicy selects the DRAM page policy for a trial.
 type RowPolicy int
 

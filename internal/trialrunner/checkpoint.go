@@ -224,6 +224,18 @@ func readCheckpoint(cp Checkpoint, trials int, faults CheckpointFaults) (map[int
 	return stored, nil
 }
 
+// LoadCheckpoint reads the stored trial records of an existing checkpoint
+// file without running anything, keyed by trial index. A missing file yields
+// an empty map; corrupt records are dropped individually; a header naming a
+// different experiment or trial count errors (wrapping ErrStaleCheckpoint)
+// unless cp.ForceFresh archives the file. Campaigns whose trials form a
+// dependency chain (the island search's migration epochs) use it to restore
+// intermediate state before calling MapCheckpointed, which only hands back
+// stored results after the run completes.
+func LoadCheckpoint(cp Checkpoint, trials int) (map[int]json.RawMessage, error) {
+	return loadCheckpoint(cp, trials, nil)
+}
+
 // checkpointWriter appends freshly-completed trial records, flushing and
 // syncing every cp.every() records. Records accumulate in a pending buffer
 // and are written to the file directly (no bufio: its sticky error state
