@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		scale    = fs.Int("scale", 30, "Fig 18: trace-count divisor (1 = the paper's 900 traces)")
 		lossActs = fs.Int("loss-acts", 400_000, "Fig 18: activations per trace")
 		seed     = fs.Uint64("seed", 1, "base seed")
+		zoo      = fs.Bool("zoo", false, "include the tracker zoo (MINT, MOAT) in Fig 15 and trace replays")
 		csv      = fs.Bool("csv", false, "emit CSV")
 		workers  = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for attack trials (>= 1; 1 = serial; results are worker-count invariant)")
@@ -90,7 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}()
 
 	if *trace != "" {
-		t, err := replayTrace(*trace, *acts, *seed)
+		t, err := replayTrace(*trace, *acts, *seed, *zoo)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -106,7 +107,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var t *report.Table
 	switch *fig {
 	case 15:
-		t, err = fig15(ctx, *nPat, *seeds, *acts, *seed, *workers, cf, faults, stderr)
+		t, err = fig15(ctx, *nPat, *seeds, *acts, *seed, *workers, *zoo, cf, faults, stderr)
 	case 18:
 		t, err = fig18(ctx, *scale, *lossActs, *seed, *workers, cf, faults, stderr)
 	default:
@@ -124,8 +125,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// replayTrace runs one exported trace file against every Fig 15 scheme.
-func replayTrace(path string, acts int, seed uint64) (*report.Table, error) {
+// replayTrace runs one exported trace file against every Fig 15 scheme
+// (plus the tracker zoo when requested).
+func replayTrace(path string, acts int, seed uint64, zoo bool) (*report.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -151,14 +153,18 @@ func replayTrace(path string, acts int, seed uint64) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Trace %s (%q, period %d) x %d ACTs", path, pat.Name, pat.Len(), acts),
 		"Tracker", "Max Disturbance", "Peak Victim Hammers", "Mitigations")
-	for _, s := range sim.Fig15Schemes() {
+	schemes := sim.Fig15Schemes()
+	if zoo {
+		schemes = append(schemes, sim.ZooSchemes()...)
+	}
+	for _, s := range schemes {
 		res := sim.RunAttack(cfg, s, pat, seed)
 		t.AddRow(s.Name, res.MaxDisturbance, res.MaxHammers, res.Mitigations)
 	}
 	return t, nil
 }
 
-func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int, cf cli.CampaignFlags, faults trialrunner.TrialFaults, stderr io.Writer) (*report.Table, error) {
+func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int, zoo bool, cf cli.CampaignFlags, faults trialrunner.TrialFaults, stderr io.Writer) (*report.Table, error) {
 	p := dram.DDR5()
 	p.RowsPerBank = 8192 // attacks span a small row window; smaller banks are faster
 	p.RowBits = 13
@@ -170,7 +176,11 @@ func fig15(ctx context.Context, nPat, seeds, acts int, seed uint64, workers int,
 		fmt.Sprintf("Fig 15: maximum disturbance across %d patterns x %d seeds (%d ACTs each; PrIDE TRH* = %.0f)",
 			len(suite), seeds, acts, pride.TRHStar),
 		"Tracker", "Max Disturbance", "Worst Pattern", "Peak Victim Hammers")
-	for _, s := range sim.Fig15Schemes() {
+	schemes := sim.Fig15Schemes()
+	if zoo {
+		schemes = append(schemes, sim.ZooSchemes()...)
+	}
+	for _, s := range schemes {
 		// One campaign (and one checkpoint file) per scheme: each section
 		// resumes independently and the progress meter names the scheme.
 		section := "fig15-" + s.Name

@@ -17,7 +17,7 @@ import (
 // enabled.
 func fig15Quiet(t *testing.T, nPat, seeds, acts int, seed uint64, workers int) string {
 	t.Helper()
-	tbl, err := fig15(context.Background(), nPat, seeds, acts, seed, workers, cli.CampaignFlags{}, nil, io.Discard)
+	tbl, err := fig15(context.Background(), nPat, seeds, acts, seed, workers, false, cli.CampaignFlags{}, nil, io.Discard)
 	if err != nil {
 		t.Fatalf("fig15: %v", err)
 	}
@@ -40,6 +40,23 @@ func TestFig15TableListsAllSchemes(t *testing.T) {
 		if !strings.Contains(out, scheme) {
 			t.Errorf("scheme %s missing:\n%s", scheme, out)
 		}
+	}
+}
+
+func TestFig15ZooFlagAddsSchemes(t *testing.T) {
+	tbl, err := fig15(context.Background(), 2, 1, 20_000, 1, 2, true, cli.CampaignFlags{}, nil, io.Discard)
+	if err != nil {
+		t.Fatalf("fig15: %v", err)
+	}
+	out := tbl.String()
+	for _, scheme := range []string{"MINT", "MOAT"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("zoo scheme %s missing:\n%s", scheme, out)
+		}
+	}
+	// Without -zoo the line-up stays the paper's own.
+	if base := fig15Quiet(t, 2, 1, 20_000, 1, 2); strings.Contains(base, "MINT") || strings.Contains(base, "MOAT") {
+		t.Errorf("zoo schemes leaked into the default Fig 15 line-up:\n%s", base)
 	}
 }
 
@@ -108,7 +125,7 @@ func TestReplayTrace(t *testing.T) {
 	}
 	f.Close()
 
-	tbl, err := replayTrace(path, 20_000, 1)
+	tbl, err := replayTrace(path, 20_000, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +136,7 @@ func TestReplayTrace(t *testing.T) {
 }
 
 func TestReplayTraceErrors(t *testing.T) {
-	if _, err := replayTrace("/nonexistent/file", 100, 1); err == nil {
+	if _, err := replayTrace("/nonexistent/file", 100, 1, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -127,7 +144,7 @@ func TestReplayTraceErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("seq: not-a-row\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := replayTrace(bad, 100, 1); err == nil {
+	if _, err := replayTrace(bad, 100, 1, false); err == nil {
 		t.Fatal("malformed trace accepted")
 	}
 }

@@ -53,7 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		schemeName = fs.String("scheme", "PrIDE",
-			`target tracker (PrIDE, PrIDE+RFM40, PrIDE+RFM16, PRoHIT, DSAC, PARA-MC, PARFM, TRR), or "all"`)
+			`target tracker (PrIDE, PrIDE+RFM40, PrIDE+RFM16, PRoHIT, DSAC, PARA-MC, PARFM, TRR, MINT, MOAT), or "all"`)
 		generations = fs.Int("generations", 20, "mutate-evaluate generations per island")
 		islands     = fs.Int("islands", 4, "independent populations evolving in parallel")
 		population  = fs.Int("population", 6, "genomes per island")
@@ -207,6 +207,8 @@ var corpusClasses = map[string]struct {
 	"DSAC":        {corpus.ClassBounded, "documented deviation: this DSAC reimplementation resists the search (EXPERIMENTS.md, Fig 15 notes); the silicon break (>9K) is not reproduced"},
 	"PRoHIT":      {corpus.ClassClimbing, "table thrashing lets the search drive disturbance past the analytic bound"},
 	"TRR":         {corpus.ClassClimbing, "Blacksmith-style many-sided patterns defeat the sampler, as on real DDR4 TRR"},
+	"MINT":        {corpus.ClassBounded, "the interval schedule commits insertions before the pattern runs; pattern-oblivious like PrIDE"},
+	"MOAT":        {corpus.ClassBounded, "deterministic ATO alert caps disturbance at 128 regardless of pattern shape"},
 }
 
 // saveCorpusEntry persists the search's best attack as a committed corpus

@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		table     = fs.Int("table", 0, "paper table number to regenerate (1,2,3,4,5,6,8,9,11,12)")
 		fig       = fs.Int("fig", 0, "paper figure number to regenerate (8, 9)")
+		zoo       = fs.Bool("zoo", false, "emit the tracker-zoo analytic comparison (every scheme incl. MINT, MOAT)")
 		all       = fs.Bool("all", false, "regenerate every table and figure")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		mcPeriods = fs.Int("mc-periods", 20_000_000, "Monte-Carlo tREFI periods for Fig 8 (paper: 100M)")
@@ -156,11 +157,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		emit(table12(p, *ttf))
 		ran = true
 	}
+	if *zoo || *all {
+		emit(zooTable(p, *ttf))
+		ran = true
+	}
 	if !ran {
 		fmt.Fprintln(stderr, "nothing selected: use -table N, -fig N or -all (see -help)")
 		return 2
 	}
 	return 0
+}
+
+// zooTable is the cross-design analytic comparison over the full scheme
+// enum, including the related-work zoo (MINT, MOAT) beyond the paper's own
+// tables. MOAT's row is deterministic (p-hat 1, no tardiness): its TRH* is
+// the ATO alert threshold, not an Eq. 8 evaluation.
+func zooTable(p dram.Params, ttf float64) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Tracker zoo: analytic thresholds at TTF %.0f years", ttf),
+		"Scheme", "Entries", "Window", "p-hat", "Tardiness", "TRH*", "TRH-D*")
+	for _, s := range analytic.AllSchemes() {
+		r := analytic.EvaluateScheme(s, p, ttf)
+		t.AddRow(r.Name, r.Entries, r.Window,
+			fmt.Sprintf("%.5f", r.PHat), r.Tardiness,
+			fmt.Sprintf("%.0f", r.TRHStar), fmt.Sprintf("%.0f", r.TRHDoubleSided()))
+	}
+	return t
 }
 
 func table1(p dram.Params) *report.Table {

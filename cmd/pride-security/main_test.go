@@ -44,12 +44,36 @@ func TestEveryTableBuilderProducesRows(t *testing.T) {
 		"table9":  func() string { return table9(p).String() },
 		"table11": func() string { return table11().String() },
 		"table12": func() string { return table12(p, ttf).String() },
+		"zoo":     func() string { return zooTable(p, ttf).String() },
 	}
 	for name, build := range builders {
 		out := build()
 		if lines := strings.Count(out, "\n"); lines < 4 {
 			t.Errorf("%s: only %d lines:\n%s", name, lines, out)
 		}
+	}
+}
+
+func TestZooTableCoversTheZoo(t *testing.T) {
+	out := zooTable(dram.DDR5(), analytic.DefaultTargetTTFYears).String()
+	for _, scheme := range []string{"PrIDE", "MINT", "MOAT", "PARFM"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("zoo table missing %s:\n%s", scheme, out)
+		}
+	}
+	// MOAT's deterministic row: TRH* is exactly the ATO threshold.
+	if !strings.Contains(out, "128") {
+		t.Errorf("zoo table missing MOAT's deterministic TRH* 128:\n%s", out)
+	}
+}
+
+func TestRunZooFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-zoo"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Tracker zoo") || !strings.Contains(out.String(), "MINT") {
+		t.Fatalf("-zoo output incomplete:\n%s", out.String())
 	}
 }
 

@@ -5,16 +5,24 @@
 // the expected bank and system time-to-fail (Table IX's math for arbitrary
 // configurations).
 //
+// With -shootout it instead renders the cross-design tracker shootout: every
+// tracker in the zoo side by side with its analytic TRH* (where one exists),
+// per-bank storage bits, simulator throughput, and the committed corpus's
+// best attack against it.
+//
 // Usage:
 //
 //	pride-trh                                   # paper-default PrIDE
 //	pride-trh -entries 8 -window 40 -p 0.025    # custom tracker
 //	pride-trh -device-trhd 1500                 # TTF for a real device
+//	pride-trh -shootout                         # tracker zoo shootout
+//	pride-trh -shootout -json out.json -compare SHOOTOUT_baseline.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,7 +35,7 @@ import (
 // contributes to the final TRH*: the idealized insertion-failure-only
 // threshold (Eq. 4), the retention-failure penalty from the lossy buffer
 // (Eq. 6), and the tardiness term (Eq. 8).
-func printDecomposition(r analytic.Result, ttf float64) {
+func printDecomposition(r analytic.Result, ttf float64, stdout io.Writer) {
 	ideal := analytic.TRHStarTIF(r.P, r.RoundTime, ttf)
 	withTRF := r.TRHStarNoTardiness
 	t := report.NewTable("\nFailure-mode decomposition (Section II-G / Eq. 4-8)",
@@ -37,24 +45,49 @@ func printDecomposition(r analytic.Result, ttf float64) {
 		fmt.Sprintf("+%.0f", withTRF-ideal))
 	t.AddRow("TIF + TRF + Tardiness (Eq. 8)", r.TRHStar,
 		fmt.Sprintf("+%.0f", r.TRHStar-ideal))
-	t.Render(os.Stdout)
-	fmt.Printf("Interpretation: retention failures cost %.0f activations of threshold; the\n",
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "Interpretation: retention failures cost %.0f activations of threshold; the\n",
 		withTRF-ideal)
-	fmt.Printf("FIFO's bounded mitigation delay costs another %d (= N*W). Counter trackers\n",
+	fmt.Fprintf(stdout, "FIFO's bounded mitigation delay costs another %d (= N*W). Counter trackers\n",
 		r.Tardiness)
-	fmt.Println("cannot even write this table: their failure modes depend on the pattern.")
+	fmt.Fprintln(stdout, "cannot even write this table: their failure modes depend on the pattern.")
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected so the CLI surface is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pride-trh", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		entries    = flag.Int("entries", 4, "tracker FIFO entries N")
-		explain    = flag.Bool("explain", false, "also print the failure-mode decomposition (TIF/TRF/tardiness)")
-		window     = flag.Int("window", 0, "mitigation window W in ACTs (0 = derive from DDR5 tREFI: 79)")
-		p          = flag.Float64("p", 0, "insertion probability (0 = 1/(W+1), the transitive-safe default)")
-		ttf        = flag.Float64("ttf", analytic.DefaultTargetTTFYears, "target time-to-fail per bank, years")
-		deviceTRHD = flag.Int("device-trhd", 0, "optional device TRH-D: also print expected TTF")
+		entries    = fs.Int("entries", 4, "tracker FIFO entries N")
+		explain    = fs.Bool("explain", false, "also print the failure-mode decomposition (TIF/TRF/tardiness)")
+		window     = fs.Int("window", 0, "mitigation window W in ACTs (0 = derive from DDR5 tREFI: 79)")
+		p          = fs.Float64("p", 0, "insertion probability (0 = 1/(W+1), the transitive-safe default)")
+		ttf        = fs.Float64("ttf", analytic.DefaultTargetTTFYears, "target time-to-fail per bank, years")
+		deviceTRHD = fs.Int("device-trhd", 0, "optional device TRH-D: also print expected TTF")
+
+		shootout   = fs.Bool("shootout", false, "render the cross-design tracker shootout instead of the calculator")
+		corpusDir  = fs.String("corpus", "corpus", "committed attack corpus directory for the shootout's corpus columns")
+		acts       = fs.Int("acts", 200_000, "activations per tracker for the shootout's ns/ACT measurement")
+		jsonOut    = fs.String("json", "", "also write the shootout as a JSON report to this path")
+		comparePth = fs.String("compare", "", "baseline shootout JSON to gate against (timing is never gated)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *shootout {
+		return runShootout(shootoutOptions{
+			CorpusDir: *corpusDir,
+			ACTs:      *acts,
+			TTFYears:  *ttf,
+			JSONOut:   *jsonOut,
+			Compare:   *comparePth,
+		}, stdout, stderr)
+	}
 
 	params := dram.DDR5()
 	w := *window
@@ -66,8 +99,8 @@ func main() {
 		ins = 1 / float64(w+1)
 	}
 	if ins <= 0 || ins > 1 || *entries < 1 || w < 1 {
-		fmt.Fprintln(os.Stderr, "invalid configuration: need entries >= 1, window >= 1, 0 < p <= 1")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "invalid configuration: need entries >= 1, window >= 1, 0 < p <= 1")
+		return 2
 	}
 
 	round := params.TREFI * time.Duration(w) / time.Duration(params.ACTsPerTREFI())
@@ -84,10 +117,10 @@ func main() {
 	t.AddRow("TRH-D* (double-sided)", r.TRHDoubleSided())
 	t.AddRow("TRH* (BR=2 victim sharing)", r.TRHVictimSharing(4))
 	t.AddRow("Target TTF (bank)", report.FormatTTFYears(*ttf))
-	t.Render(os.Stdout)
+	t.Render(stdout)
 
 	if *explain {
-		printDecomposition(r, *ttf)
+		printDecomposition(r, *ttf, stdout)
 	}
 
 	if *deviceTRHD > 0 {
@@ -98,6 +131,7 @@ func main() {
 			"Scope", "TTF")
 		t2.AddRow("Per bank (continuous attack)", report.FormatTTFYears(bank))
 		t2.AddRow(fmt.Sprintf("System (%d concurrent banks)", params.TFAWLimit), report.FormatTTFYears(system))
-		t2.Render(os.Stdout)
+		t2.Render(stdout)
 	}
+	return 0
 }

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoCorpus points the shootout at the committed corpus two levels up.
+const repoCorpus = "../../corpus"
+
+func smokeOpts() shootoutOptions {
+	return shootoutOptions{CorpusDir: repoCorpus, ACTs: 2_000, TTFYears: 10_000}
+}
+
+func TestShootoutCoversTheZoo(t *testing.T) {
+	rep, err := buildShootout(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]shootoutRow{}
+	for _, r := range rep.Rows {
+		rows[r.Scheme] = r
+	}
+	for _, scheme := range []string{"PrIDE", "PrIDE+RFM40", "PrIDE+RFM16",
+		"PRoHIT", "DSAC", "PARA-MC", "PARFM", "TRR", "MINT", "MOAT"} {
+		if _, ok := rows[scheme]; !ok {
+			t.Errorf("shootout missing %s", scheme)
+		}
+	}
+
+	// The paper's published bit budgets anchor the storage column.
+	if got := rows["PrIDE"].StorageBits; got != 85 {
+		t.Errorf("PrIDE storage %d bits, want the paper's 85", got)
+	}
+	if got := rows["MINT"].StorageBits; got != 32 {
+		t.Errorf("MINT storage %d bits, want 32", got)
+	}
+
+	// Probabilistic trackers carry an analytic TRH*; pattern-dependent
+	// counter designs must not pretend to have one.
+	for _, scheme := range []string{"PrIDE", "MINT", "MOAT", "PARFM"} {
+		if rows[scheme].TRHStar == nil {
+			t.Errorf("%s has no analytic TRH*", scheme)
+		}
+	}
+	for _, scheme := range []string{"PRoHIT", "DSAC", "TRR"} {
+		if rows[scheme].TRHStar != nil {
+			t.Errorf("%s reports an analytic TRH* (%v) but its failure modes are pattern-dependent",
+				scheme, *rows[scheme].TRHStar)
+		}
+	}
+	if trh := rows["MOAT"].TRHStar; trh != nil && *trh != 128 {
+		t.Errorf("MOAT TRH* = %v, want the ATO cap 128", *trh)
+	}
+
+	// Every committed corpus entry for a zoo scheme must surface.
+	for _, scheme := range []string{"PrIDE", "MINT", "MOAT", "TRR"} {
+		if rows[scheme].CorpusBest == nil {
+			t.Errorf("%s has no corpus column despite a committed entry", scheme)
+		}
+	}
+}
+
+func TestShootoutCompareGatesDeterministicColumns(t *testing.T) {
+	rep, err := buildShootout(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical reports pass even with wildly different timing.
+	noisy := rep
+	noisy.Rows = append([]shootoutRow(nil), rep.Rows...)
+	for i := range noisy.Rows {
+		noisy.Rows[i].NsPerACT = rep.Rows[i].NsPerACT * 100
+	}
+	var out strings.Builder
+	if failures := compareShootouts(noisy, rep, &out); failures != 0 {
+		t.Fatalf("timing-only drift gated: %d failures\n%s", failures, out.String())
+	}
+
+	// A storage regression fails.
+	tampered := rep
+	tampered.Rows = append([]shootoutRow(nil), rep.Rows...)
+	tampered.Rows[0].StorageBits++
+	out.Reset()
+	if failures := compareShootouts(tampered, rep, &out); failures != 1 {
+		t.Fatalf("storage drift not gated: %d failures\n%s", failures, out.String())
+	}
+
+	// A corpus-column change fails.
+	tampered.Rows = append([]shootoutRow(nil), rep.Rows...)
+	worse := 999_999
+	tampered.Rows[0].CorpusBest = &worse
+	out.Reset()
+	if failures := compareShootouts(tampered, rep, &out); failures != 1 {
+		t.Fatalf("corpus drift not gated: %d failures\n%s", failures, out.String())
+	}
+
+	// A new tracker passes as NEW; a dropped tracker fails as GONE.
+	grown := rep
+	grown.Rows = append(append([]shootoutRow(nil), rep.Rows...), shootoutRow{Scheme: "BRAND-NEW"})
+	out.Reset()
+	if failures := compareShootouts(grown, rep, &out); failures != 0 {
+		t.Fatalf("NEW tracker gated: %d failures\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "NEW") {
+		t.Fatalf("NEW tracker not reported:\n%s", out.String())
+	}
+	shrunk := rep
+	shrunk.Rows = rep.Rows[1:]
+	out.Reset()
+	if failures := compareShootouts(shrunk, rep, &out); failures != 1 {
+		t.Fatalf("GONE tracker not gated: %d failures\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "GONE") && !strings.Contains(out.String(), "no longer measured") {
+		t.Fatalf("GONE tracker not reported:\n%s", out.String())
+	}
+}
+
+func TestShootoutMatchesCommittedBaseline(t *testing.T) {
+	// The committed baseline must stay in sync with the code — the same gate
+	// CI's shootout-smoke job applies.
+	rep, err := buildShootout(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile("../../SHOOTOUT_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base shootoutReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if failures := compareShootouts(rep, base, &out); failures != 0 {
+		t.Fatalf("shootout deviates from committed SHOOTOUT_baseline.json (%d failures) — regenerate it with\n  go run ./cmd/pride-trh -shootout -acts 20000 -json SHOOTOUT_baseline.json\nonly after understanding which side changed:\n%s",
+			failures, out.String())
+	}
+}
+
+func TestRunShootoutEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "shootout.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-shootout", "-acts", "2000", "-corpus", repoCorpus, "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Tracker shootout", "PrIDE", "MINT", "MOAT", "Storage bits"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Round-trip: compare against the JSON we just wrote.
+	out.Reset()
+	code = run([]string{"-shootout", "-acts", "2000", "-corpus", repoCorpus, "-compare", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("self-compare exit %d, stderr: %s\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "matches baseline") {
+		t.Fatalf("self-compare did not report a match:\n%s", out.String())
+	}
+}
+
+func TestRunShootoutErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-shootout", "-corpus", "/nonexistent"}, &out, &errOut); code != 1 {
+		t.Errorf("missing corpus dir: exit %d, want 1", code)
+	}
+	if code := run([]string{"-shootout", "-acts", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("-acts 0: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-shootout", "-acts", "2000", "-corpus", repoCorpus, "-compare", bad}, &out, &errOut); code != 1 {
+		t.Errorf("malformed baseline: exit %d, want 1", code)
+	}
+}
+
+func TestRunCalculatorStillWorks(t *testing.T) {
+	// The refactor to an injectable run() must not change the calculator.
+	var out, errOut strings.Builder
+	if code := run([]string{"-explain", "-device-trhd", "1500"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"PrIDE security model", "TRH-S*", "Failure-mode decomposition", "Expected time-to-fail"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if code := run([]string{"-entries", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("invalid config: exit %d, want 2", code)
+	}
+}

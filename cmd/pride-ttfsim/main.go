@@ -59,6 +59,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		horizon = fs.Int("horizon", 200_000, "simulation horizon in tREFI")
 		seed    = fs.Uint64("seed", 1, "base seed")
 		rfm     = fs.Int("rfm", 0, "RFM threshold (0 = plain PrIDE)")
+		schemeN = fs.String("scheme", "",
+			`tracker to measure: empty = PrIDE (see -rfm), or "MINT". MOAT is rejected: it is deterministic and cannot fail below ATO, so a TTF measurement is meaningless`)
 		csv     = fs.Bool("csv", false, "emit CSV")
 		workers = fs.Int("workers", trialrunner.DefaultWorkers(),
 			"worker goroutines for the trial pool (>= 1; 1 = serial; results are worker-count invariant)")
@@ -101,16 +103,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	scheme := sim.PrIDEScheme()
 	analyticScheme := analytic.SchemePrIDE
-	switch *rfm {
-	case 0:
-	case 16:
-		scheme = sim.PrIDERFMScheme(16)
-		analyticScheme = analytic.SchemePrIDERFM16
-	case 40:
-		scheme = sim.PrIDERFMScheme(40)
-		analyticScheme = analytic.SchemePrIDERFM40
+	switch *schemeN {
+	case "", "PrIDE":
+		switch *rfm {
+		case 0:
+		case 16:
+			scheme = sim.PrIDERFMScheme(16)
+			analyticScheme = analytic.SchemePrIDERFM16
+		case 40:
+			scheme = sim.PrIDERFMScheme(40)
+			analyticScheme = analytic.SchemePrIDERFM40
+		default:
+			fmt.Fprintln(stderr, "-rfm must be 0, 16 or 40")
+			return 2
+		}
+	case "MINT":
+		if *rfm != 0 {
+			fmt.Fprintln(stderr, "-rfm applies only to PrIDE; MINT has no RFM co-design here")
+			return 2
+		}
+		scheme = sim.MINTScheme()
+		analyticScheme = analytic.SchemeMINT
+	case "MOAT":
+		fmt.Fprintln(stderr, "-scheme MOAT is rejected: MOAT is deterministic (no row exceeds ATO = 128 activations), so it never fails at the thresholds this tool sweeps and a mean-time-to-fail is undefined")
+		return 2
 	default:
-		fmt.Fprintln(stderr, "-rfm must be 0, 16 or 40")
+		fmt.Fprintf(stderr, "-scheme must be empty, PrIDE or MINT, got %q\n", *schemeN)
 		return 2
 	}
 	r := analytic.EvaluateScheme(analyticScheme, params, analytic.DefaultTargetTTFYears)

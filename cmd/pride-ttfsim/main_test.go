@@ -28,6 +28,34 @@ func TestRunProducesMeasurementTable(t *testing.T) {
 	}
 }
 
+func TestRunSchemeMINT(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), shortArgs("-scheme", "MINT", "-workers", "2"), &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "MINT") {
+		t.Fatalf("output missing the MINT scheme name:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnmeasurableSchemes(t *testing.T) {
+	// MOAT never fails below ATO, so a TTF measurement is rejected with an
+	// explanation rather than silently reporting an infinite MTTF.
+	var out, errOut strings.Builder
+	if code := run(context.Background(), shortArgs("-scheme", "MOAT"), &out, &errOut); code != 2 {
+		t.Fatalf("-scheme MOAT: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "deterministic") {
+		t.Fatalf("-scheme MOAT: no explanation on stderr: %q", errOut.String())
+	}
+	if code := run(context.Background(), shortArgs("-scheme", "bogus"), &out, &errOut); code != 2 {
+		t.Fatalf("-scheme bogus: exit code %d, want 2", code)
+	}
+	if code := run(context.Background(), shortArgs("-scheme", "MINT", "-rfm", "16"), &out, &errOut); code != 2 {
+		t.Fatalf("-scheme MINT -rfm 16: exit code %d, want 2", code)
+	}
+}
+
 func TestRunWorkerCountInvariant(t *testing.T) {
 	// The whole report must be byte-identical across -workers values.
 	render := func(workers string) string {

@@ -44,8 +44,10 @@ func TestCorpusCoversTheLineUp(t *testing.T) {
 	for _, e := range entries {
 		seen[e.Sidecar.Scheme] = true
 	}
-	if !seen["PrIDE"] {
-		t.Error("no committed entry for PrIDE")
+	for _, required := range []string{"PrIDE", "MINT", "MOAT"} {
+		if !seen[required] {
+			t.Errorf("no committed entry for %s", required)
+		}
 	}
 	baselines := 0
 	for scheme := range seen {

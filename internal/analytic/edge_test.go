@@ -1,0 +1,131 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"pride/internal/tracker"
+)
+
+// These tests pin the degenerate corners of the TRH* derivation, where the
+// closed forms simplify enough to check by hand: certain insertion (p = 1),
+// a single-entry buffer (N = 1), and an RFM co-design whose extra budget is
+// zero (which must collapse to plain PrIDE exactly).
+
+func TestPEqualsOneDegeneratesToZeroTIF(t *testing.T) {
+	// With p = 1 every activation is mitigated: TIF = (1-p)^TRH = 0 for any
+	// positive round, and TRH*_TIF = ln(round/TTF)/ln(0) = 0 — the tracker
+	// alone imposes no threshold, only tardiness does.
+	if got := TIF(1, 1); got != 0 {
+		t.Fatalf("TIF(1, 1) = %v, want 0", got)
+	}
+	if got := TRHStarTIF(1, ddr5().TREFI, DefaultTargetTTFYears); got != 0 {
+		t.Fatalf("TRH*_TIF(p=1) = %v, want 0", got)
+	}
+	if got := TRHStarTIFTRF(1, 0, ddr5().TREFI, DefaultTargetTTFYears); got != 0 {
+		t.Fatalf("TRH*_TIF+TRF(p=1, L=0) = %v, want 0", got)
+	}
+	// The full Analyze at p=1, N=1 hits the OTHER degenerate corner: with
+	// certain insertion every later activation displaces the single entry,
+	// so the loss model says L = 1, p-hat = 0, and no finite threshold is
+	// secure — the thrashing tracker never completes a mitigation. The
+	// formula's raw division would return -Inf (a sign artifact of
+	// ln(1-0) = +0); the hardened form must report +Inf.
+	r := Analyze("certain", 1, w79, 1, ddr5().TREFI, DefaultTargetTTFYears)
+	if r.Loss != 1 {
+		t.Fatalf("Analyze(p=1, N=1) loss = %v, want 1 (every insertion displaces the entry)", r.Loss)
+	}
+	if !math.IsInf(r.TRHStar, 1) {
+		t.Fatalf("Analyze(p=1, N=1) TRH* = %v, want +Inf (tracker thrashes, nothing is ever mitigated)", r.TRHStar)
+	}
+}
+
+func TestSingleEntryDegenerateForm(t *testing.T) {
+	// N = 1 is the PARA-register limit: tardiness is exactly one window, and
+	// the loss model must agree with the closed-form single-entry loss (an
+	// entry survives only if no later insertion displaces it before its
+	// mitigation slot).
+	p := 1.0 / float64(w79)
+	r := Analyze("single", 1, w79, p, ddr5().TREFI, DefaultTargetTTFYears)
+	if r.Tardiness != w79 {
+		t.Fatalf("N=1 tardiness = %d, want W = %d", r.Tardiness, w79)
+	}
+	if r.Loss != LossProbability(1, w79, p) {
+		t.Fatalf("N=1 loss = %v, want LossProbability(1, W, p) = %v", r.Loss, LossProbability(1, w79, p))
+	}
+	if r.PHat != p*(1-r.Loss) {
+		t.Fatalf("N=1 p-hat = %v, want p(1-L) = %v", r.PHat, p*(1-r.Loss))
+	}
+	// Consistency of the threshold decomposition.
+	wantBase := TRHStarTIFTRF(p, r.Loss, ddr5().TREFI, DefaultTargetTTFYears)
+	if math.Abs(r.TRHStarNoTardiness-wantBase) > 1e-9 {
+		t.Fatalf("N=1 base = %v, want TRHStarTIFTRF = %v", r.TRHStarNoTardiness, wantBase)
+	}
+	if math.Abs(r.TRHStar-(wantBase+float64(w79))) > 1e-9 {
+		t.Fatal("N=1 TRH* must equal base + W exactly")
+	}
+}
+
+func TestZeroRFMBudgetCollapsesToPlainPrIDE(t *testing.T) {
+	// The RFM co-design is modelled by shrinking the window to the RFM
+	// threshold. With zero extra RFM budget the threshold stays at the full
+	// window W and the "co-design" must reproduce plain PrIDE to the bit —
+	// same N, same W, same p, same round, hence the identical Result.
+	plain := EvaluateScheme(SchemePrIDE, ddr5(), DefaultTargetTTFYears)
+	rfm0 := Analyze(plain.Name, 4, w79, 1/float64(w79+1), ddr5().TREFI, DefaultTargetTTFYears)
+	if plain != rfm0 {
+		t.Fatalf("zero-budget RFM co-design diverged from plain PrIDE:\nplain %+v\nrfm0  %+v", plain, rfm0)
+	}
+	// And a real budget must strictly help (smaller window, lower TRH*).
+	rfm40 := EvaluateScheme(SchemePrIDERFM40, ddr5(), DefaultTargetTTFYears)
+	if rfm40.TRHStar >= plain.TRHStar {
+		t.Fatalf("RFM40 TRH* = %.0f, must be below plain PrIDE's %.0f", rfm40.TRHStar, plain.TRHStar)
+	}
+}
+
+func TestMINTAnalyticThreshold(t *testing.T) {
+	// MINT: N=1, p = 1/W exactly (the interval schedule gives every ACT the
+	// same selection probability), L = 0 (the slot is always mitigated
+	// before displacement), tardiness one window. TRH* = TRH*_TIF(1/79) + 79
+	// = 3056 + 79 ~ 3135.
+	r := EvaluateScheme(SchemeMINT, ddr5(), DefaultTargetTTFYears)
+	want := TRHStarTIF(1.0/float64(w79), ddr5().TREFI, DefaultTargetTTFYears) + float64(w79)
+	if math.Abs(r.TRHStar-want) > 1e-9 {
+		t.Fatalf("MINT TRH* = %v, want TRH*_TIF(1/W) + W = %v", r.TRHStar, want)
+	}
+	if math.Abs(r.TRHStar-3135) > 15 {
+		t.Fatalf("MINT TRH* = %.0f, want ~3135", r.TRHStar)
+	}
+	if r.Entries != 1 || r.Loss != 0 || r.Tardiness != w79 {
+		t.Fatalf("MINT degenerate form wrong: %+v", r)
+	}
+	// MINT's single zero-loss slot beats PrIDE's 4-entry FIFO analytically
+	// (no N*W tardiness), which is the shootout's headline comparison.
+	pride := EvaluateScheme(SchemePrIDE, ddr5(), DefaultTargetTTFYears)
+	if r.TRHStar >= pride.TRHStar {
+		t.Fatalf("MINT TRH* %.0f must be below PrIDE's %.0f", r.TRHStar, pride.TRHStar)
+	}
+}
+
+func TestMOATAnalyticThresholdIsATO(t *testing.T) {
+	// MOAT is deterministic: TRH* = ATO regardless of the security target.
+	for _, ttf := range []float64{100, 10_000, 1e6} {
+		r := EvaluateScheme(SchemeMOAT, ddr5(), ttf)
+		if r.TRHStar != float64(tracker.DefaultMOATATO) {
+			t.Fatalf("MOAT TRH* = %v at TTF %v years, want ATO = %d", r.TRHStar, ttf, tracker.DefaultMOATATO)
+		}
+		if r.TRHStarNoTardiness != r.TRHStar || r.Tardiness != 0 {
+			t.Fatalf("MOAT must have no tardiness term: %+v", r)
+		}
+	}
+	// Deterministic beats every probabilistic scheme in the zoo.
+	moat := EvaluateScheme(SchemeMOAT, ddr5(), DefaultTargetTTFYears)
+	for _, s := range AllSchemes() {
+		if s == SchemeMOAT {
+			continue
+		}
+		if r := EvaluateScheme(s, ddr5(), DefaultTargetTTFYears); r.TRHStar <= moat.TRHStar {
+			t.Fatalf("%v TRH* = %.0f, expected above MOAT's deterministic %.0f", s, r.TRHStar, moat.TRHStar)
+		}
+	}
+}

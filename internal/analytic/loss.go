@@ -37,6 +37,12 @@ func LossAtPosition(w, k int) float64 {
 // log space to stay stable for the n<=~200 windows used here.
 func binomialPMF(n int, p float64) []float64 {
 	pmf := make([]float64, n+1)
+	if p >= 1 {
+		// Certain insertion: all mass at k=n. The recurrence below would
+		// divide by q=0 (0 * Inf = NaN), so handle the edge directly.
+		pmf[n] = 1
+		return pmf
+	}
 	// Start from P(0) = (1-p)^n and use the recurrence
 	// P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
 	q := 1 - p

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pride/internal/dram"
+	"pride/internal/tracker"
 )
 
 // Scheme identifies a mitigation scheme whose analytic security model this
@@ -35,6 +36,17 @@ const (
 	// last mitigation, pick one uniformly at random, clear the buffer. We
 	// model it with Mithril's DDR4 window of 166 activations.
 	SchemePARFM
+	// SchemeMINT is the minimalist single-slot interval tracker
+	// (arXiv:2407.16038): exactly one activation per mitigation window is
+	// selected, uniformly, ahead of time. The worst-case attacker spreads
+	// each aggressor's activations one per interval, recovering Eq. 4 with
+	// p = 1/W exactly; the slot is always mitigated before displacement, so
+	// L = 0, and tardiness is a single window.
+	SchemeMINT
+	// SchemeMOAT is the per-row-counter PRAC tracker (arXiv:2407.09995):
+	// the ALERT threshold ATO is a deterministic cap on unmitigated
+	// activations, so TRH* = ATO with no probabilistic terms at all.
+	SchemeMOAT
 )
 
 // String returns the scheme name as used in the paper's tables.
@@ -54,6 +66,10 @@ func (s Scheme) String() string {
 		return "PARA-DRFM+"
 	case SchemePARFM:
 		return "PARFM"
+	case SchemeMINT:
+		return "MINT"
+	case SchemeMOAT:
+		return "MOAT"
 	default:
 		return "unknown"
 	}
@@ -63,7 +79,7 @@ func (s Scheme) String() string {
 func AllSchemes() []Scheme {
 	return []Scheme{
 		SchemePrIDE, SchemePrIDEHalfRate, SchemePrIDERFM40, SchemePrIDERFM16,
-		SchemePARADRFM, SchemePARADRFMPlus, SchemePARFM,
+		SchemePARADRFM, SchemePARADRFMPlus, SchemePARFM, SchemeMINT, SchemeMOAT,
 	}
 }
 
@@ -113,6 +129,41 @@ func EvaluateScheme(s Scheme, p dram.Params, ttfYears float64) Result {
 		r.TRHStarNoTardiness = TRHStarTIF(r.PHat, dram.DDR4().TREFI, ttfYears)
 		r.TRHStar = r.TRHStarNoTardiness + float64(r.Tardiness)
 		return r
+	case SchemeMINT:
+		// Exactly one insertion per interval: no eviction ever (L = 0),
+		// p = 1/W per activation for the interval-spreading worst-case
+		// attacker, tardiness one window.
+		r := Result{
+			Name:      s.String(),
+			Entries:   1,
+			Window:    w,
+			P:         1 / float64(w),
+			Loss:      0,
+			PHat:      1 / float64(w),
+			Tardiness: w,
+			RoundTime: round,
+		}
+		r.TRHStarNoTardiness = TRHStarTIF(r.PHat, round, ttfYears)
+		r.TRHStar = r.TRHStarNoTardiness + float64(r.Tardiness)
+		return r
+	case SchemeMOAT:
+		// Deterministic: the ALERT threshold caps disturbance at ATO with
+		// certainty, independent of round time or target TTF. The
+		// probabilistic fields are degenerate (every over-threshold
+		// activation is mitigated, p-hat = 1).
+		ato := float64(tracker.DefaultMOATATO)
+		return Result{
+			Name:               s.String(),
+			Entries:            1,
+			Window:             w,
+			P:                  1,
+			Loss:               0,
+			PHat:               1,
+			Tardiness:          0,
+			RoundTime:          round,
+			TRHStar:            ato,
+			TRHStarNoTardiness: ato,
+		}
 	default:
 		panic("analytic: unknown scheme")
 	}

@@ -31,6 +31,18 @@ func lnRoundOverTTF(roundTime time.Duration, ttfYears float64) float64 {
 	return math.Log(roundTime.Seconds() / (ttfYears * SecondsPerYear))
 }
 
+// trhBase evaluates ln(round/TTF) / ln(1 - pHat) with its two degenerate
+// limits pinned: pHat = 1 (certain mitigation, threshold 0) falls out of the
+// formula, but pHat = 0 must be handled explicitly — ln(1-0) is +0 and the
+// raw division returns -Inf, a sign artifact, where the limit pHat -> 0+ is
+// +Inf (the tracker never mitigates, so no finite threshold is secure).
+func trhBase(pHat float64, roundTime time.Duration, ttfYears float64) float64 {
+	if pHat <= 0 {
+		return math.Inf(1)
+	}
+	return lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-pHat)
+}
+
 // TRHStarTIF returns the critical Rowhammer threshold of an idealized
 // tracker limited only by insertion failures (Eq. 3/4):
 //
@@ -38,15 +50,14 @@ func lnRoundOverTTF(roundTime time.Duration, ttfYears float64) float64 {
 //
 // For p = 1/79 and the default target, this is the paper's 3.06K.
 func TRHStarTIF(p float64, roundTime time.Duration, ttfYears float64) float64 {
-	return lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-p)
+	return trhBase(p, roundTime, ttfYears)
 }
 
 // TRHStarTIFTRF returns the critical threshold of a tracker with insertion
 // and retention failures but no tardiness (Eq. 5/6): the insertion
 // probability is discounted by the loss probability, p̂ = p(1-L).
 func TRHStarTIFTRF(p, loss float64, roundTime time.Duration, ttfYears float64) float64 {
-	pHat := p * (1 - loss)
-	return lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-pHat)
+	return trhBase(p*(1-loss), roundTime, ttfYears)
 }
 
 // Result is the full analytic characterization of one tracker configuration:
@@ -100,7 +111,7 @@ func (r Result) TRHVictimSharing(aggressors int) float64 {
 func Analyze(name string, n, w int, p float64, roundTime time.Duration, ttfYears float64) Result {
 	loss := LossProbability(n, w, p)
 	pHat := p * (1 - loss)
-	base := lnRoundOverTTF(roundTime, ttfYears) / math.Log(1-pHat)
+	base := trhBase(pHat, roundTime, ttfYears)
 	tard := n * w
 	return Result{
 		Name:               name,

@@ -342,8 +342,10 @@ func (e Entry) Verify() (int, error) {
 	s := e.Sidecar
 	tol := s.tolerance()
 	if diff := math.Abs(float64(measured - s.ExpectedDisturbance)); diff > tol*float64(s.ExpectedDisturbance) {
-		return measured, fmt.Errorf("corpus: %s: replayed disturbance %d deviates from committed %d by more than %.0f%% — the simulator or the %s tracker changed behaviour; investigate before regenerating the corpus",
-			e.Name, measured, s.ExpectedDisturbance, tol*100, s.Scheme)
+		allowed := tol * float64(s.ExpectedDisturbance)
+		return measured, fmt.Errorf("corpus: %s: replayed disturbance %d deviates from committed %d by %.0f (%.1f%%), beyond the allowed ±%.0f (%.0f%%) — the simulator or the %s tracker changed behaviour; investigate before regenerating the corpus",
+			e.Name, measured, s.ExpectedDisturbance, diff,
+			100*diff/float64(s.ExpectedDisturbance), allowed, tol*100, s.Scheme)
 	}
 	bound := s.Bound()
 	switch s.Class {

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -292,7 +293,9 @@ func TestVerifyCatchesTamperedExpectation(t *testing.T) {
 		t.Fatalf("honest entry failed verification: %v (name %s)", err, name)
 	}
 
-	// Tamper: an expectation 3x the truth must fail.
+	// Tamper: an expectation 3x the truth must fail, and the message must
+	// name the entry, the actual delta, and the allowed band so a failing CI
+	// replay is diagnosable without rerunning locally.
 	s.ExpectedDisturbance = 3 * measured
 	if _, err := WriteEntry(dir, s, validPattern()); err != nil {
 		t.Fatal(err)
@@ -301,7 +304,18 @@ func TestVerifyCatchesTamperedExpectation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := entries[0].Verify(); err == nil {
+	_, err = entries[0].Verify()
+	if err == nil {
 		t.Fatal("tampered expectation passed verification")
+	}
+	delta := float64(s.ExpectedDisturbance - measured)
+	for _, want := range []string{
+		entries[0].Name,
+		fmt.Sprintf("deviates from committed %d by %.0f", s.ExpectedDisturbance, delta),
+		"allowed ±",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("verify error missing %q:\n%v", want, err)
+		}
 	}
 }

@@ -47,6 +47,12 @@ func TestSearchConformance(t *testing.T) {
 		// PRoHIT needs a longer trial for the search to climb past the
 		// analytic bound (its table takes time to thrash).
 		{Name: "PRoHIT", Scheme: mustScheme("PRoHIT"), Config: conformanceConfig(150_000), Seed: 42, Climbs: true},
+		// The zoo: MINT is pattern-oblivious by construction (the insertion
+		// position is committed before the interval begins), and MOAT's
+		// deterministic ATO cap sits far below the PrIDE bound, so a guided
+		// adversary cannot climb against either.
+		{Name: "MINT", Scheme: mustScheme("MINT"), Config: conformanceConfig(60_000), Seed: 42, Bounded: true},
+		{Name: "MOAT", Scheme: mustScheme("MOAT"), Config: conformanceConfig(60_000), Seed: 42, Bounded: true},
 	}
 	if testing.Short() {
 		specs = specs[:1]

@@ -83,9 +83,11 @@ type Controller struct {
 	trk  tracker.Tracker
 	// im and sa cache the tracker's optional capabilities, hoisting the
 	// interface assertions out of the per-ACT hot path. Either is nil when
-	// the tracker lacks the capability.
+	// the tracker lacks the capability. sa is the shared fast-forward
+	// surface; the engines refine it to SkipAdvancer (geometric gaps) or
+	// ScheduledAdvancer (interval schedules) at setup time.
 	im baseline.ImmediateMitigator
-	sa tracker.SkipAdvancer
+	sa tracker.Advancer
 
 	actsInTREFI         int
 	refsSinceMitigation int
@@ -104,7 +106,7 @@ func New(cfg Config, bank *dram.Bank, trk tracker.Tracker) *Controller {
 	}
 	c := &Controller{cfg: cfg, bank: bank, trk: trk}
 	c.im, _ = trk.(baseline.ImmediateMitigator)
-	c.sa, _ = trk.(tracker.SkipAdvancer)
+	c.sa, _ = trk.(tracker.Advancer)
 	if cfg.SelfCheck {
 		bank.SetSelfCheck(true)
 		if sc, ok := trk.(tracker.SelfChecker); ok {
@@ -133,15 +135,44 @@ func (c *Controller) Activate(row int) {
 	c.postActivate()
 }
 
-// SkipAdvancer returns the tracker's skip-ahead capability, if the tracker
-// implements it AND its current configuration supports pattern-independent
-// insertion. The event-driven engines call this once at setup to decide
-// between the skip-ahead and exact paths.
+// SkipAdvancer returns the tracker's geometric skip-ahead capability, if the
+// tracker implements it AND its current configuration supports
+// pattern-independent insertion. The event-driven engines call this once at
+// setup to decide between the skip-ahead and exact paths.
 func (c *Controller) SkipAdvancer() (tracker.SkipAdvancer, bool) {
 	if c.sa == nil || !c.sa.SupportsSkipAhead() {
 		return nil, false
 	}
-	return c.sa, true
+	sa, ok := c.sa.(tracker.SkipAdvancer)
+	return sa, ok
+}
+
+// ScheduledAdvancer returns the tracker's scheduled skip-ahead capability
+// (MINT-style interval schedules), under the same setup-time gating as
+// SkipAdvancer.
+func (c *Controller) ScheduledAdvancer() (tracker.ScheduledAdvancer, bool) {
+	if c.sa == nil || !c.sa.SupportsSkipAhead() {
+		return nil, false
+	}
+	sa, ok := c.sa.(tracker.ScheduledAdvancer)
+	return sa, ok
+}
+
+// ACTsToNextMitigation returns how many demand activations from now the next
+// mitigation opportunity fires (REF at the configured cadence, or RFM,
+// whichever comes first) — always >= 1. Scheduled skip-ahead engines use it
+// to bound idle stretches so the tracker's schedule is re-queried after
+// every opportunity.
+func (c *Controller) ACTsToNextMitigation() int {
+	w := c.cfg.Params.ACTsPerTREFI()
+	refsNeeded := c.cfg.MitigationEveryNREF - c.refsSinceMitigation
+	n := (refsNeeded-1)*w + (w - c.actsInTREFI)
+	if c.cfg.RFMThreshold > 0 {
+		if d := c.cfg.RFMThreshold - c.raa; d < n {
+			n = d
+		}
+	}
+	return n
 }
 
 // ActivateInsert issues one demand activation whose tracker insertion was

@@ -9,6 +9,7 @@ import (
 	"pride/internal/memctrl"
 	"pride/internal/patterns"
 	"pride/internal/rng"
+	"pride/internal/tracker"
 )
 
 // This file implements the event-driven attack engine. The exact engine
@@ -26,8 +27,16 @@ import (
 // and the two engines' draw sequences coincide exactly, which the tests pin
 // as bit-identity; below p = 1 equivalence is statistical.
 //
-// Trackers without skip-ahead (PRoHIT, DSAC, PARFM, insecure PrIDE
-// ablations) and the OpenPage policy (activations depend on row-buffer
+// Scheduled trackers (MINT) pre-commit each interval's insertion position
+// instead of drawing per ACT, so geometric gaps would simulate the wrong
+// process; for those the engine queries tracker.ScheduledAdvancer.NextInsert
+// and idles to either the scheduled slot or the next mitigation opportunity,
+// re-querying after every opportunity. Because the schedule draw happens
+// inside OnMitigate on both paths, the scheduled event path is bit-identical
+// to the exact path at ANY insertion probability.
+//
+// Trackers without either capability (PRoHIT, DSAC, PARFM, MOAT, insecure
+// PrIDE ablations) and the OpenPage policy (activations depend on row-buffer
 // state, so slots are not iid) fall back to the exact loop.
 
 // RunAttackEngine is RunAttack on the selected engine. The event engine
@@ -68,6 +77,10 @@ func runAttackEvent(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint
 
 	sa, ok := ctrl.SkipAdvancer()
 	if !ok || cfg.Policy == OpenPage {
+		if sched, sok := ctrl.ScheduledAdvancer(); sok && cfg.Policy != OpenPage {
+			scheduledReplay(ctrl, sched, pat, cfg)
+			return attackResult(s, pat, bank, ctrl)
+		}
 		steppedReplay(ctrl, pat, cfg)
 		return attackResult(s, pat, bank, ctrl)
 	}
@@ -89,6 +102,37 @@ func runAttackEvent(cfg AttackConfig, s Scheme, pat *patterns.Pattern, seed uint
 		left--
 	}
 	return attackResult(s, pat, bank, ctrl)
+}
+
+// scheduledReplay is the event loop for scheduled trackers: idle to the
+// tracker's next scheduled insertion when it lands before the next
+// mitigation opportunity, otherwise idle through the opportunity (inside
+// ActivateRun, which fires OnMitigate at the exact boundary, advancing the
+// schedule) and re-query.
+func scheduledReplay(ctrl *memctrl.Controller, sched tracker.ScheduledAdvancer, pat *patterns.Pattern, cfg AttackConfig) {
+	pat.Reset()
+	left := cfg.ACTs
+	for left > 0 {
+		idle, ok := sched.NextInsert()
+		if ok && idle < ctrl.ACTsToNextMitigation() {
+			if idle >= left {
+				idleACTs(ctrl, pat, left)
+				return
+			}
+			idleACTs(ctrl, pat, idle)
+			left -= idle
+			ctrl.ActivateInsert(pat.Next())
+			left--
+			continue
+		}
+		// No insertion lands before the next opportunity.
+		n := ctrl.ACTsToNextMitigation()
+		if n > left {
+			n = left
+		}
+		idleACTs(ctrl, pat, n)
+		left -= n
+	}
 }
 
 // idleACTs retires n insertion-free activations, collapsing the pattern's

@@ -66,6 +66,66 @@ func TestRunAttackEngineFallbacksAreBitIdentical(t *testing.T) {
 	}
 }
 
+func TestMINTEventBitIdenticalToExact(t *testing.T) {
+	// MINT's schedule draws happen inside OnMitigate on both paths, so the
+	// scheduled event loop is bit-identical to the exact per-ACT loop at the
+	// real insertion probability — not just at a rigged p=1 like PrIDE.
+	cfg := attackCfg(60_000)
+	cfg.TRH = 900
+	for _, pat := range []*patterns.Pattern{
+		patterns.SingleSided(2000),
+		patterns.TRRespass(1000, 40, 3),
+		blacksmithBreaker(),
+	} {
+		exact := RunAttackEngine(cfg, MINTScheme(), pat, 5, engine.Exact)
+		event := RunAttackEngine(cfg, MINTScheme(), pat.Clone(), 5, engine.Event)
+		if !reflect.DeepEqual(exact, event) {
+			t.Errorf("%s: MINT engines diverged:\nexact %+v\nevent %+v", pat.Name, exact, event)
+		}
+		if exact.Mitigations == 0 {
+			t.Errorf("%s: MINT dispatched no mitigations", pat.Name)
+		}
+	}
+}
+
+func TestMOATEventFallsBackToExact(t *testing.T) {
+	// MOAT's insertion decision is a counter compare — pattern-dependent, so
+	// no skip-ahead of either kind. The event engine must take the exact
+	// per-ACT path and produce a bit-identical trial.
+	cfg := attackCfg(60_000)
+	for _, pat := range []*patterns.Pattern{
+		patterns.SingleSided(2000),
+		patterns.TRRespass(1000, 40, 3),
+	} {
+		exact := RunAttack(cfg, MOATScheme(), pat, 7)
+		event := RunAttackEngine(cfg, MOATScheme(), pat.Clone(), 7, engine.Event)
+		if !reflect.DeepEqual(exact, event) {
+			t.Errorf("%s: MOAT event trial differs from exact fallback:\nexact %+v\nevent %+v",
+				pat.Name, exact, event)
+		}
+	}
+}
+
+func TestMOATDisturbanceCappedAtATO(t *testing.T) {
+	// MOAT's ALERT threshold is a deterministic cap: no row can accumulate
+	// more than ATO activations between mitigations, for ANY pattern.
+	cfg := attackCfg(200_000)
+	for _, pat := range []*patterns.Pattern{
+		patterns.SingleSided(2000),
+		patterns.DoubleSided(2500),
+		patterns.TRRespass(1000, 40, 3),
+	} {
+		res := RunAttackEngine(cfg, MOATScheme(), pat, 3, engine.Event)
+		if res.MaxDisturbance > tracker.DefaultMOATATO {
+			t.Errorf("%s: MOAT max disturbance %d exceeds the deterministic ATO cap %d",
+				pat.Name, res.MaxDisturbance, tracker.DefaultMOATATO)
+		}
+		if res.Mitigations == 0 {
+			t.Errorf("%s: MOAT dispatched no mitigations", pat.Name)
+		}
+	}
+}
+
 func TestRunAttackEventReproducibleAndSecure(t *testing.T) {
 	// The event engine is deterministic per seed, and its PrIDE trials must
 	// satisfy the same security bound the exact-engine tests pin: max

@@ -112,10 +112,43 @@ func TRRScheme() Scheme {
 	}
 }
 
+// MINTScheme returns the minimalist single-slot interval tracker
+// (arXiv:2407.16038): one mitigation per tREFI like PrIDE, but the inserted
+// activation is pre-selected per interval instead of drawn per ACT.
+func MINTScheme() Scheme {
+	return Scheme{
+		Name:                "MINT",
+		MitigationEveryNREF: 1,
+		New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+			return tracker.NewMINT(p.ACTsPerTREFI(), p.RowBits, r)
+		},
+	}
+}
+
+// MOATScheme returns the per-row-counter PRAC tracker (arXiv:2407.09995)
+// with the default ATI/ATO thresholds. MOAT is deterministic and
+// pattern-dependent, so the event engine falls back to the exact per-ACT
+// loop for it.
+func MOATScheme() Scheme {
+	return Scheme{
+		Name:                "MOAT",
+		MitigationEveryNREF: 1,
+		New: func(p dram.Params, r *rng.Stream) tracker.Tracker {
+			return tracker.NewMOAT(p.RowsPerBank, p.RowBits, tracker.DefaultMOATATI, tracker.DefaultMOATATO)
+		},
+	}
+}
+
+// ZooSchemes returns the cross-design tracker zoo beyond the paper's own
+// line-up: the related-work trackers the shootout compares PrIDE against.
+func ZooSchemes() []Scheme {
+	return []Scheme{MINTScheme(), MOATScheme()}
+}
+
 // SearchSchemes returns the tracker line-up the adversarial search targets:
-// the Figure 15 schemes plus the TRR baseline.
+// the Figure 15 schemes plus the TRR baseline and the tracker zoo.
 func SearchSchemes() []Scheme {
-	return append(Fig15Schemes(), TRRScheme())
+	return append(append(Fig15Schemes(), TRRScheme()), ZooSchemes()...)
 }
 
 // SchemeByName resolves a scheme from SearchSchemes by its exact name.

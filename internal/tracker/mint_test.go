@@ -1,0 +1,132 @@
+package tracker_test
+
+import (
+	"testing"
+
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+// constSource is a rigged rng.Source returning a fixed value, so tests can
+// force MINT's target draw: target = 1 + v mod W.
+type constSource struct{ v uint64 }
+
+func (c *constSource) Uint64() uint64 { return c.v }
+
+func TestMINTCapturesScheduledPosition(t *testing.T) {
+	const w = 8
+	// v = 2 forces target position 3 for every interval.
+	m := tracker.NewMINT(w, 17, rng.NewStream(&constSource{v: 2}))
+
+	rows := []int{10, 20, 30, 40, 50, 60, 70, 80}
+	for _, r := range rows {
+		m.OnActivate(r)
+	}
+	if got := m.Snapshot(); len(got) != 1 || got[0].Row != 30 || got[0].Level != 1 {
+		t.Fatalf("Snapshot() = %v, want the 3rd activation (row 30) at level 1", got)
+	}
+	mit, ok := m.OnMitigate()
+	if !ok || mit.Row != 30 || mit.Level != 1 {
+		t.Fatalf("OnMitigate() = (%v, %v), want row 30 level 1", mit, ok)
+	}
+	if got := m.Occupancy(); got != 0 {
+		t.Fatalf("Occupancy() after mitigation = %d, want 0", got)
+	}
+
+	st := m.Stats()
+	if st.Activations != uint64(len(rows)) || st.Captures != 1 || st.Mitigations != 1 || st.EmptyIntervals != 0 {
+		t.Fatalf("Stats() = %+v, want 8 activations, 1 capture, 1 mitigation, 0 empty intervals", st)
+	}
+}
+
+func TestMINTEmptyInterval(t *testing.T) {
+	const w = 8
+	// v = 7 forces target position 8: an interval with fewer than 8
+	// activations captures nothing.
+	m := tracker.NewMINT(w, 17, rng.NewStream(&constSource{v: 7}))
+
+	for i := 0; i < 5; i++ {
+		m.OnActivate(i)
+	}
+	if mit, ok := m.OnMitigate(); ok {
+		t.Fatalf("OnMitigate() after a 5-ACT interval with target 8 = (%v, true), want nothing captured", mit)
+	}
+	if st := m.Stats(); st.EmptyIntervals != 1 {
+		t.Fatalf("Stats().EmptyIntervals = %d, want 1", st.EmptyIntervals)
+	}
+
+	// The next interval's target is again position 8; this time reach it.
+	for i := 0; i < 8; i++ {
+		m.OnActivate(100 + i)
+	}
+	if mit, ok := m.OnMitigate(); !ok || mit.Row != 107 {
+		t.Fatalf("OnMitigate() = (%v, %v), want the 8th activation (row 107)", mit, ok)
+	}
+}
+
+func TestMINTOverrunKeepsCapture(t *testing.T) {
+	const w = 4
+	// Target position 1: the interval's first activation is captured and an
+	// over-long interval (more ACTs than W) must not displace it.
+	m := tracker.NewMINT(w, 17, rng.NewStream(&constSource{v: 0}))
+
+	m.OnActivate(42)
+	for i := 0; i < 3*w; i++ {
+		m.OnActivate(1000 + i)
+	}
+	if mit, ok := m.OnMitigate(); !ok || mit.Row != 42 {
+		t.Fatalf("OnMitigate() after an overrun interval = (%v, %v), want the captured row 42", mit, ok)
+	}
+}
+
+func TestMINTNextInsertTracksSchedule(t *testing.T) {
+	const w = 8
+	m := tracker.NewMINT(w, 17, rng.NewStream(&constSource{v: 2})) // target 3
+
+	if idle, ok := m.NextInsert(); !ok || idle != 2 {
+		t.Fatalf("fresh NextInsert() = (%d, %v), want (2, true)", idle, ok)
+	}
+	m.AdvanceIdle(2)
+	if idle, ok := m.NextInsert(); !ok || idle != 0 {
+		t.Fatalf("NextInsert() at the slot = (%d, %v), want (0, true)", idle, ok)
+	}
+	m.ActivateInsert(7)
+	if _, ok := m.NextInsert(); ok {
+		t.Fatal("NextInsert() after the capture reports another pending insertion")
+	}
+	if mit, ok := m.OnMitigate(); !ok || mit.Row != 7 {
+		t.Fatalf("OnMitigate() = (%v, %v), want row 7", mit, ok)
+	}
+	// A fresh interval re-arms the schedule.
+	if idle, ok := m.NextInsert(); !ok || idle != 2 {
+		t.Fatalf("NextInsert() after mitigation = (%d, %v), want (2, true)", idle, ok)
+	}
+}
+
+func TestMINTStorageBits(t *testing.T) {
+	// rowBits 17, W = 79: 17 + 1 valid + 7-bit position (0..79) + 7-bit
+	// target (1..79) = 32 bits, versus PrIDE's 85.
+	if got := tracker.NewMINT(79, 17, rng.New(1)).StorageBits(); got != 32 {
+		t.Fatalf("StorageBits() = %d, want 32", got)
+	}
+}
+
+func TestMINTInvalidConfigPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero window", func() { tracker.NewMINT(0, 17, rng.New(1)) }},
+		{"zero rowBits", func() { tracker.NewMINT(79, 0, rng.New(1)) }},
+		{"nil rng", func() { tracker.NewMINT(79, 17, nil) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package tracker_test
+
+import (
+	"testing"
+
+	"pride/internal/tracker"
+)
+
+func TestMOATATOCapsUnmitigatedActivations(t *testing.T) {
+	const (
+		ati = 4
+		ato = 10
+	)
+	m := tracker.NewMOAT(64, 6, ati, ato)
+
+	// Hammer one row with no mitigation opportunities at all: the ALERT at
+	// ATO must fire on exactly every ATO-th activation, so no window of ATO
+	// consecutive ACTs ever passes unmitigated.
+	alerts := 0
+	for i := 1; i <= 3*ato; i++ {
+		m.OnActivate(7)
+		drained := m.DrainImmediate()
+		if i%ato == 0 {
+			if len(drained) != 1 || drained[0].Row != 7 {
+				t.Fatalf("ACT %d: DrainImmediate() = %v, want the ALERT mitigation of row 7", i, drained)
+			}
+			alerts++
+		} else if len(drained) != 0 {
+			t.Fatalf("ACT %d: spurious ALERT %v before reaching ATO", i, drained)
+		}
+	}
+	if st := m.Stats(); st.Alerts != uint64(alerts) || alerts != 3 {
+		t.Fatalf("Stats().Alerts = %d after %d observed ALERTs, want 3", st.Alerts, alerts)
+	}
+}
+
+func TestMOATMitigatesHottestPendingRow(t *testing.T) {
+	const (
+		ati = 3
+		ato = 100
+	)
+	m := tracker.NewMOAT(64, 6, ati, ato)
+
+	// Row 5 crosses ATI first, then row 9 overtakes it.
+	for i := 0; i < 3; i++ {
+		m.OnActivate(5)
+	}
+	for i := 0; i < 5; i++ {
+		m.OnActivate(9)
+	}
+	if got := m.Occupancy(); got != 2 {
+		t.Fatalf("Occupancy() = %d, want 2 rows at/above ATI", got)
+	}
+	mit, ok := m.OnMitigate()
+	if !ok || mit.Row != 9 {
+		t.Fatalf("OnMitigate() = (%v, %v), want the hotter row 9", mit, ok)
+	}
+	if got := m.Occupancy(); got != 1 {
+		t.Fatalf("Occupancy() after mitigating row 9 = %d, want 1 (row 5 still hot)", got)
+	}
+
+	// Row 5 is still above ATI but is no longer registered as pending (the
+	// register re-arms on the next activation, like the hardware update
+	// path).
+	if mit, ok := m.OnMitigate(); ok {
+		t.Fatalf("OnMitigate() with an empty pending register = (%v, true)", mit)
+	}
+	m.OnActivate(5)
+	if mit, ok := m.OnMitigate(); !ok || mit.Row != 5 {
+		t.Fatalf("OnMitigate() = (%v, %v), want row 5 after it re-arms", mit, ok)
+	}
+	if got := m.Occupancy(); got != 0 {
+		t.Fatalf("Occupancy() = %d, want 0 after both rows are mitigated", got)
+	}
+}
+
+func TestMOATAlertClearsPending(t *testing.T) {
+	const (
+		ati = 2
+		ato = 4
+	)
+	m := tracker.NewMOAT(16, 4, ati, ato)
+
+	// Drive one row through ATI to pending, then on to ATO: the ALERT resets
+	// the counter, so the stale pending register must not produce a second
+	// mitigation of the now-cold row.
+	for i := 0; i < 4; i++ {
+		m.OnActivate(3)
+	}
+	if drained := m.DrainImmediate(); len(drained) != 1 || drained[0].Row != 3 {
+		t.Fatalf("DrainImmediate() = %v, want the ALERT for row 3", drained)
+	}
+	if mit, ok := m.OnMitigate(); ok {
+		t.Fatalf("OnMitigate() after the ALERT already reset row 3 = (%v, true), want no pending row", mit)
+	}
+}
+
+func TestMOATInvalidConfigPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero rows", func() { tracker.NewMOAT(0, 4, 2, 4) }},
+		{"rowBits too narrow", func() { tracker.NewMOAT(32, 4, 2, 4) }},
+		{"zero ATI", func() { tracker.NewMOAT(16, 4, 0, 4) }},
+		{"ATO not above ATI", func() { tracker.NewMOAT(16, 4, 4, 4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

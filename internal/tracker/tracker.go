@@ -50,23 +50,19 @@ type Tracker interface {
 	Reset()
 }
 
-// SkipAdvancer is implemented by trackers whose insertion decision is an
-// i.i.d. Bernoulli(p) draw independent of tracker state — PrIDE's defining
-// property (requirements R1/R2 of Section IV-B) and PARA's by construction.
-// For such trackers the event-driven engines replace the per-ACT
-// draw-and-probe loop with geometric inter-arrival sampling: draw the gap to
-// the next insertion once, account for the gap with AdvanceIdle, and apply
-// the insertion with ActivateInsert.
+// Advancer is the fast-forward surface shared by every tracker the
+// event-driven engines can skip ahead: the pattern-independent insertion
+// decision has been pre-resolved by the caller (a geometric gap draw for
+// Bernoulli trackers, a schedule query for interval trackers), so idle
+// stretches retire in bulk and the chosen activation applies without a draw.
 //
 // The pair (AdvanceIdle(n); ActivateInsert(row)) must leave the tracker in
-// exactly the state n failed-draw OnActivate calls followed by one
-// successful-draw OnActivate(row) would, while consuming ZERO draws from the
-// tracker's randomness stream — the caller has already consumed the one
-// geometric draw that stands in for the n+1 Bernoulli draws. Draws made
-// outside OnActivate (e.g. PrIDE's transitive re-insertion inside
-// OnMitigate, Random-policy victim selection) are unaffected and still come
-// from the tracker's stream.
-type SkipAdvancer interface {
+// exactly the state n non-inserting OnActivate calls followed by one
+// inserting OnActivate(row) would, while consuming ZERO draws from the
+// tracker's randomness stream. Draws made outside OnActivate (e.g. PrIDE's
+// transitive re-insertion inside OnMitigate, MINT's next-interval selection)
+// are unaffected and still come from the tracker's stream.
+type Advancer interface {
 	Tracker
 
 	// SupportsSkipAhead reports whether the CURRENT configuration keeps the
@@ -76,19 +72,55 @@ type SkipAdvancer interface {
 	// the exact per-ACT path.
 	SupportsSkipAhead() bool
 
+	// AdvanceIdle accounts for n consecutive activations that do not
+	// insert. Equivalent to n OnActivate calls that do not insert;
+	// consumes no draws. n may be zero; negative n panics.
+	AdvanceIdle(n int)
+
+	// ActivateInsert observes one activation whose insertion was
+	// pre-decided by the caller. Equivalent to an OnActivate(row) that
+	// inserts; consumes no draws.
+	ActivateInsert(row int)
+}
+
+// SkipAdvancer is implemented by trackers whose insertion decision is an
+// i.i.d. Bernoulli(p) draw independent of tracker state — PrIDE's defining
+// property (requirements R1/R2 of Section IV-B) and PARA's by construction.
+// For such trackers the event-driven engines replace the per-ACT
+// draw-and-probe loop with geometric inter-arrival sampling: draw the gap to
+// the next insertion once (consuming the one draw that stands in for the
+// n+1 Bernoulli draws), account for the gap with AdvanceIdle, and apply the
+// insertion with ActivateInsert.
+type SkipAdvancer interface {
+	Advancer
+
 	// InsertionProb returns the per-ACT insertion probability p the
 	// skip-ahead gap must be sampled with.
 	InsertionProb() float64
+}
 
-	// AdvanceIdle accounts for n consecutive activations whose insertion
-	// draws all failed. Equivalent to n OnActivate calls that do not
-	// insert; consumes no draws. n may be zero; negative n panics.
-	AdvanceIdle(n int)
+// ScheduledAdvancer is implemented by trackers whose insertion decision is a
+// pattern-independent SCHEDULE rather than an i.i.d. per-ACT draw: MINT
+// picks one activation slot per mitigation interval ahead of time, so the
+// position of the next insertion is already known and geometric gap sampling
+// would simulate the wrong process. The event engines instead query the
+// schedule, idle up to either the scheduled slot or the next mitigation
+// opportunity (whichever comes first), and re-query after every mitigation —
+// OnMitigate is where scheduled trackers advance their schedule.
+//
+// Because the schedule is drawn outside OnActivate, the event path consumes
+// draws in exactly the exact path's order, making the two engines
+// bit-identical for any insertion probability, not just p = 1.
+type ScheduledAdvancer interface {
+	Advancer
 
-	// ActivateInsert observes one activation whose insertion draw
-	// succeeded. Equivalent to an OnActivate(row) whose draw fires;
-	// consumes no draws.
-	ActivateInsert(row int)
+	// NextInsert returns the number of idle activations before the next
+	// scheduled insertion, and ok=true if one is still pending in the
+	// current mitigation interval. ok=false means no activation inserts
+	// until after the next OnMitigate (the slot was already captured, or
+	// the schedule points past the interval). It is a pure query: no draws,
+	// no state change, stable across repeated calls.
+	NextInsert() (idle int, ok bool)
 }
 
 // SelfChecker is implemented by trackers that can enable runtime invariant

@@ -113,6 +113,30 @@ func TestConformance(t *testing.T) {
 			MaxOccupancy:      32,
 			ZeroAllocActivate: true,
 		},
+		{
+			Name: "MINT",
+			New: func(seed uint64) tracker.Tracker {
+				return tracker.NewMINT(w, 17, rng.New(seed))
+			},
+			MaxOccupancy: 1,
+			// A single slot is trivially FIFO: the snapshot is empty or one
+			// entry, and mitigation always takes it.
+			Snapshot: func(tr tracker.Tracker) []tracker.Mitigation {
+				return tr.(*tracker.MINT).Snapshot()
+			},
+			ZeroAllocActivate: true,
+		},
+		{
+			Name: "MOAT",
+			New: func(uint64) tracker.Tracker {
+				return tracker.NewMOAT(trackertest.Rows, 10,
+					tracker.DefaultMOATATI, tracker.DefaultMOATATO)
+			},
+			// Occupancy counts rows at or above ATI; in the worst case every
+			// row in the driven space is hot at once.
+			MaxOccupancy:      trackertest.Rows,
+			ZeroAllocActivate: true,
+		},
 	}
 
 	for _, s := range specs {
@@ -171,6 +195,105 @@ func TestSkipAhead(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			trackertest.RunSkipAhead(t, s)
 		})
+	}
+}
+
+// TestScheduled runs the scheduled skip-ahead equivalence suite against
+// MINT, the one tracker that pre-commits its insertion positions: following
+// NextInsert must be bit-identical to stepping every activation.
+func TestScheduled(t *testing.T) {
+	const w = 79
+
+	trackertest.RunScheduled(t, trackertest.ScheduledSpec{
+		Name: "MINT",
+		New: func(r *rng.Stream) tracker.ScheduledAdvancer {
+			return tracker.NewMINT(w, 17, r)
+		},
+		Snapshot: func(tr tracker.Tracker) []tracker.Mitigation {
+			return tr.(*tracker.MINT).Snapshot()
+		},
+		Window: w,
+	})
+}
+
+// TestStorageAudit recomputes each tracker's claimed StorageBits from its
+// declared hardware fields, pinning the bit budgets the shootout table and
+// the paper comparisons cite. A drift here means either the implementation
+// silently grew its hardware cost or the documented budget went stale.
+func TestStorageAudit(t *testing.T) {
+	const w = 79
+
+	trackertest.RunStorageAudit(t, []trackertest.StorageSpec{
+		{
+			// The paper's 85-bit budget: four 20-bit entries (17-bit row +
+			// 3-bit level) plus the FIFO's PTR and Occ registers.
+			Name: "PrIDE",
+			New: func() tracker.Tracker {
+				return core.New(core.DefaultConfig(w), rng.New(1))
+			},
+			Fields: []trackertest.StorageField{
+				{Name: "entry row register", Bits: 17, Count: 4},
+				{Name: "entry level field", Bits: 3, Count: 4},
+				{Name: "PTR register", Bits: 2},
+				{Name: "Occ register", Bits: 3},
+			},
+		},
+		{
+			// MINT's minimalist budget: one slot plus two window counters.
+			Name: "MINT",
+			New: func() tracker.Tracker {
+				return tracker.NewMINT(w, 17, rng.New(1))
+			},
+			Fields: []trackertest.StorageField{
+				{Name: "slot row register", Bits: 17},
+				{Name: "slot valid bit", Bits: 1},
+				{Name: "interval position counter", Bits: 7}, // 0..79
+				{Name: "target position register", Bits: 7},  // 1..79
+			},
+		},
+		{
+			// MOAT's SRAM side is just the pending-row register; the per-row
+			// activation counters live in the DRAM mats (PRAC) and are
+			// accounted separately by DRAMCounterBits.
+			Name: "MOAT",
+			New: func() tracker.Tracker {
+				return tracker.NewMOAT(trackertest.Rows, 10,
+					tracker.DefaultMOATATI, tracker.DefaultMOATATO)
+			},
+			Fields: []trackertest.StorageField{
+				{Name: "pending row register", Bits: 10},
+				{Name: "pending valid bit", Bits: 1},
+			},
+		},
+		{
+			Name: "PARA-DRFM",
+			New: func() tracker.Tracker {
+				return baseline.NewPARADRFM(1.0/float64(w), 2, 17, rng.New(1))
+			},
+			Fields: []trackertest.StorageField{
+				{Name: "selection row register", Bits: 17},
+				{Name: "selection valid bit", Bits: 1},
+				{Name: "DRFM pacing counter", Bits: 8},
+			},
+		},
+		{
+			Name: "PAR-FM",
+			New: func() tracker.Tracker {
+				return baseline.NewPARFM(w, 17, rng.New(1))
+			},
+			Fields: []trackertest.StorageField{
+				{Name: "address buffer", Bits: 17, Count: w},
+			},
+		},
+	})
+}
+
+// TestMOATDRAMCounterBits pins the in-mat counter budget MOAT's shootout row
+// footnotes: one 7-bit counter (0..127) per row.
+func TestMOATDRAMCounterBits(t *testing.T) {
+	m := tracker.NewMOAT(8192, 13, tracker.DefaultMOATATI, tracker.DefaultMOATATO)
+	if got, want := m.DRAMCounterBits(), 8192*7; got != want {
+		t.Fatalf("DRAMCounterBits() = %d, want %d (8192 rows x 7-bit PRAC counters)", got, want)
 	}
 }
 

@@ -1,0 +1,231 @@
+package trackertest
+
+import (
+	"reflect"
+	"testing"
+
+	"pride/internal/rng"
+	"pride/internal/tracker"
+)
+
+// ScheduledSpec describes one tracker.ScheduledAdvancer implementation under
+// the scheduled skip-ahead equivalence suite.
+//
+// Scheduled trackers (MINT) pre-commit each interval's insertion position
+// instead of flipping a per-ACT coin, so the suite differs from RunSkipAhead
+// in two ways: the reference instance is driven with a REAL seeded stream
+// (the schedule draws happen inside OnMitigate on both paths, so identical
+// seeds give identical schedules), and the harness follows the tracker's own
+// NextInsert answers rather than rigging draw outcomes.
+type ScheduledSpec struct {
+	// Name labels the subtests.
+	Name string
+	// New builds a fresh instance drawing all randomness from r.
+	New func(r *rng.Stream) tracker.ScheduledAdvancer
+	// Snapshot, when non-nil, exposes the tracked entries oldest-first and
+	// tightens the equivalence check from occupancy-only to full queue state.
+	Snapshot func(tr tracker.Tracker) []tracker.Mitigation
+	// Window, when positive, bounds the idle distance NextInsert may report:
+	// a fresh interval's scheduled slot must lie within the next Window ACTs.
+	Window int
+}
+
+// countingSource wraps a real source and counts raw draws, so the suite can
+// assert the zero-draw contract on NextInsert/AdvanceIdle/ActivateInsert
+// while still feeding genuine randomness to the schedule draws.
+type countingSource struct {
+	inner interface{ Uint64() uint64 }
+	draws int
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.inner.Uint64()
+}
+
+// schedPair holds a stepped reference instance and a scheduled instance
+// built from identically-seeded streams and driven through identical ACT
+// sequences.
+type schedPair struct {
+	t *testing.T
+	s ScheduledSpec
+
+	stepped tracker.ScheduledAdvancer
+	sched   tracker.ScheduledAdvancer
+	src     *countingSource
+	acts    int // global ACT counter; the i-th ACT touches row i % Rows
+}
+
+func newSchedPair(t *testing.T, s ScheduledSpec, seed uint64) *schedPair {
+	t.Helper()
+	p := &schedPair{t: t, s: s}
+	p.src = &countingSource{inner: rng.New(seed)}
+	p.stepped = s.New(rng.New(seed))
+	p.sched = s.New(rng.NewStream(p.src))
+	return p
+}
+
+func (p *schedPair) row() int { return p.acts % Rows }
+
+// interval drives both instances in lockstep through one mitigation interval
+// of n activations followed by OnMitigate. The stepped instance pays one
+// OnActivate per ACT; the scheduled instance follows its own NextInsert
+// schedule with AdvanceIdle/ActivateInsert, which must consume zero draws.
+func (p *schedPair) interval(n int) {
+	p.t.Helper()
+	left := n
+	for left > 0 {
+		before := p.src.draws
+		idle, ok := p.sched.NextInsert()
+		if p.src.draws != before {
+			p.t.Fatalf("NextInsert consumed %d draws, contract says 0", p.src.draws-before)
+		}
+		if ok && idle < 0 {
+			p.t.Fatalf("NextInsert() = (%d, true), idle distance must be non-negative", idle)
+		}
+		if ok && p.s.Window > 0 && idle >= p.s.Window {
+			p.t.Fatalf("NextInsert() = (%d, true), scheduled slot outside the window %d", idle, p.s.Window)
+		}
+		if !ok || idle >= left {
+			// No insertion lands in the rest of this interval.
+			p.advanceIdle(left)
+			left = 0
+			break
+		}
+		p.advanceIdle(idle)
+		left -= idle
+		row := p.row()
+		p.stepped.OnActivate(row)
+		before = p.src.draws
+		p.sched.ActivateInsert(row)
+		if p.src.draws != before {
+			p.t.Fatalf("ActivateInsert consumed %d draws, contract says 0", p.src.draws-before)
+		}
+		p.acts++
+		left--
+		p.compare("insert")
+	}
+
+	am, aok := p.stepped.OnMitigate()
+	bm, bok := p.sched.OnMitigate()
+	if am != bm || aok != bok {
+		p.t.Fatalf("OnMitigate diverged after a %d-ACT interval: stepped (%v,%v), scheduled (%v,%v)",
+			n, am, aok, bm, bok)
+	}
+	p.compare("mitigate")
+}
+
+// advanceIdle moves both instances over n insertion-free activations: the
+// stepped instance one OnActivate at a time, the scheduled instance in one
+// AdvanceIdle call.
+func (p *schedPair) advanceIdle(n int) {
+	p.t.Helper()
+	for i := 0; i < n; i++ {
+		p.stepped.OnActivate(p.row())
+		p.acts++
+	}
+	before := p.src.draws
+	p.sched.AdvanceIdle(n)
+	if p.src.draws != before {
+		p.t.Fatalf("AdvanceIdle(%d) consumed %d draws, contract says 0", n, p.src.draws-before)
+	}
+	p.compare("idle")
+}
+
+func (p *schedPair) compare(event string) {
+	p.t.Helper()
+	if a, b := p.stepped.Occupancy(), p.sched.Occupancy(); a != b {
+		p.t.Fatalf("after %s: occupancy diverged, stepped %d, scheduled %d", event, a, b)
+	}
+	if p.s.Snapshot != nil {
+		a, b := p.s.Snapshot(p.stepped), p.s.Snapshot(p.sched)
+		if !reflect.DeepEqual(a, b) {
+			p.t.Fatalf("after %s: queue state diverged:\nstepped   %v\nscheduled %v", event, a, b)
+		}
+	}
+}
+
+// RunScheduled runs the scheduled skip-ahead equivalence suite against s as
+// subtests of t: following NextInsert with AdvanceIdle/ActivateInsert must be
+// state- and mitigation-identical to stepping every activation through
+// OnActivate, with zero stream draws outside OnMitigate, across intervals
+// that undershoot, hit exactly, and overrun the scheduled slot.
+func RunScheduled(t *testing.T, s ScheduledSpec) {
+	t.Helper()
+	if s.New == nil {
+		t.Fatalf("%s: ScheduledSpec.New is nil", s.Name)
+	}
+
+	t.Run("Supports", func(t *testing.T) {
+		tr := s.New(rng.New(1))
+		if !tr.SupportsSkipAhead() {
+			t.Fatal("SupportsSkipAhead() = false for a registered scheduled spec")
+		}
+		if idle, ok := tr.NextInsert(); !ok || idle < 0 {
+			t.Fatalf("fresh NextInsert() = (%d, %v), a new interval must have a pending slot", idle, ok)
+		}
+	})
+
+	t.Run("ScheduleEquivalence", func(t *testing.T) {
+		for _, seed := range []uint64{21, 22, 23} {
+			p := newSchedPair(t, s, seed)
+			lens := rng.New(seed + 100)
+			w := s.Window
+			if w <= 0 {
+				w = 64
+			}
+			for ev := 0; ev < 200; ev++ {
+				// Interval lengths from 0 (back-to-back mitigations, empty
+				// interval) through w (exact window) to 2w (overrun past the
+				// saturation point).
+				p.interval(lens.Intn(2*w + 1))
+			}
+		}
+	})
+
+	t.Run("SameSeedScheduleDeterminism", func(t *testing.T) {
+		a, b := s.New(rng.New(31)), s.New(rng.New(31))
+		for i := 0; i < 200; i++ {
+			ai, aok := a.NextInsert()
+			bi, bok := b.NextInsert()
+			if ai != bi || aok != bok {
+				t.Fatalf("interval %d: schedules diverged under equal seeds: (%d,%v) vs (%d,%v)",
+					i, ai, aok, bi, bok)
+			}
+			a.OnMitigate()
+			b.OnMitigate()
+		}
+	})
+
+	if s.Window > 0 {
+		t.Run("ScheduleCoversWindow", func(t *testing.T) {
+			// The first query of each interval must range over the whole
+			// window: both endpoints (idle 0 and idle Window-1) must occur
+			// across many intervals, or the selection is not uniform on
+			// [1, W] and the analytic p = 1/W claim is wrong.
+			tr := s.New(rng.New(41))
+			sawMin, sawMax := false, false
+			for i := 0; i < 20000 && !(sawMin && sawMax); i++ {
+				idle, ok := tr.NextInsert()
+				if !ok {
+					t.Fatalf("interval %d: fresh interval has no scheduled slot", i)
+				}
+				sawMin = sawMin || idle == 0
+				sawMax = sawMax || idle == s.Window-1
+				tr.OnMitigate()
+			}
+			if !sawMin || !sawMax {
+				t.Fatalf("20000 intervals never scheduled both window endpoints (first=%v, last=%v)", sawMin, sawMax)
+			}
+		})
+	}
+
+	t.Run("AdvanceIdleNegativePanics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AdvanceIdle(-1) did not panic")
+			}
+		}()
+		s.New(rng.New(2)).AdvanceIdle(-1)
+	})
+}

@@ -1,0 +1,72 @@
+package trackertest
+
+import (
+	"testing"
+
+	"pride/internal/tracker"
+)
+
+// StorageField is one hardware register or register file in a tracker's
+// storage budget, declared by the test so the audit can recompute the total
+// independently of the implementation's own arithmetic.
+type StorageField struct {
+	// Name labels the field in failure messages ("row register", "PCB").
+	Name string
+	// Bits is the width of one instance of the field.
+	Bits int
+	// Count is the number of instances (entries in a register file). Zero
+	// means 1.
+	Count int
+}
+
+// StorageSpec declares a tracker's expected bit budget field by field.
+type StorageSpec struct {
+	// Name labels the subtest.
+	Name string
+	// New builds a fresh instance.
+	New func() tracker.Tracker
+	// Fields itemizes every SRAM bit the tracker is expected to claim. The
+	// audit fails if StorageBits() drifts from the sum — catching both an
+	// implementation change that silently grows the hardware budget and a
+	// stale paper-comparison table.
+	Fields []StorageField
+}
+
+// RunStorageAudit recomputes each spec's claimed StorageBits from its
+// declared field widths and fails on any drift, as subtests of t.
+func RunStorageAudit(t *testing.T, specs []StorageSpec) {
+	t.Helper()
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if s.New == nil {
+				t.Fatal("StorageSpec.New is nil")
+			}
+			want := 0
+			for _, f := range s.Fields {
+				if f.Bits <= 0 {
+					t.Fatalf("field %q: non-positive width %d bits", f.Name, f.Bits)
+				}
+				if f.Count < 0 {
+					t.Fatalf("field %q: negative count %d", f.Name, f.Count)
+				}
+				n := f.Count
+				if n == 0 {
+					n = 1
+				}
+				want += f.Bits * n
+			}
+			got := s.New().StorageBits()
+			if got != want {
+				t.Errorf("StorageBits() = %d, declared fields sum to %d", got, want)
+				for _, f := range s.Fields {
+					n := f.Count
+					if n == 0 {
+						n = 1
+					}
+					t.Logf("  %-24s %3d bits x %d = %d", f.Name, f.Bits, n, f.Bits*n)
+				}
+			}
+		})
+	}
+}
