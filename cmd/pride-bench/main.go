@@ -37,10 +37,12 @@ import (
 	"pride/internal/core"
 	"pride/internal/dram"
 	eng "pride/internal/engine"
+	"pride/internal/memctrl"
 	"pride/internal/montecarlo"
 	"pride/internal/patterns"
 	"pride/internal/rng"
 	"pride/internal/sim"
+	"pride/internal/system"
 )
 
 const schemaVersion = 1
@@ -112,6 +114,9 @@ func engines(scale int) []engine {
 	attackCfg := sim.AttackConfig{Params: ap, ACTs: attackACTs}
 
 	lossActs := scaled(400_000, scale, 1_000)
+
+	sysTREFIs := scaled(20_000, scale, 50)
+	sysCfg := system.Config{Params: ap, Banks: 4, TRH: 4000, MaxTREFI: sysTREFIs}
 
 	return []engine{
 		{
@@ -222,6 +227,31 @@ func engines(scale int) []engine {
 			},
 		},
 		{
+			name: "group-run-path", unit: "ACT", unitsPerOp: 790, guardAllocs: true,
+			bench: func(b *testing.B) {
+				// The batched multi-row inner loop of the event engines: one
+				// forced insertion, then a 789-ACT insertion-free walk of the
+				// double-sided pair through ActivateRunGroup (boundary walk
+				// until the REF cadence drains the FIFO, quiet-cadence
+				// collapse for the rest). Must stay allocation-free once the
+				// cycle plan is compiled.
+				pat := patterns.DoubleSided(4000)
+				rows, _ := pat.Group()
+				ctrl := memctrl.New(memctrl.DefaultConfig(ap), dram.MustNewBank(ap, 0), core.New(core.DefaultConfig(w), rng.New(1)))
+				ctrl.ActivateRunGroup(rows, 0, 790) // compile the plan outside the timer
+				b.ReportAllocs()
+				b.ResetTimer()
+				phase := 0
+				for i := 0; i < b.N; i++ {
+					ctrl.ActivateInsert(rows[phase])
+					phase = (phase + 1) % 2
+					ctrl.ActivateRunGroup(rows, phase, 789)
+					phase = (phase + 789) % 2
+				}
+				sink += ctrl.Stats().ACTs
+			},
+		},
+		{
 			name: "attack-engine", unit: "ACT", unitsPerOp: attackACTs,
 			bench: func(b *testing.B) {
 				pat := patterns.DoubleSided(4000)
@@ -242,6 +272,29 @@ func engines(scale int) []engine {
 				for i := 0; i < b.N; i++ {
 					res := sim.RunAttackEngine(attackCfg, sim.PrIDEScheme(), pat, uint64(i), eng.Event)
 					sink += uint64(res.MaxDisturbance)
+				}
+			},
+		},
+		{
+			name: "system-ttf-engine", unit: "tREFI", unitsPerOp: sysCfg.Banks * sysTREFIs,
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := system.RunEngine(sysCfg, sim.PrIDEScheme(), uint64(i), eng.Exact)
+					sink += uint64(res.TREFIsSimulated)
+				}
+			},
+		},
+		{
+			name: "system-ttf-event", unit: "tREFI", unitsPerOp: sysCfg.Banks * sysTREFIs,
+			bench: func(b *testing.B) {
+				// The multi-tREFI bulk advance: at a surviving threshold the
+				// per-bank pass retires thousands of refresh windows per gap
+				// draw, so ns/tREFI collapses vs the stepped engine.
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := system.RunEngine(sysCfg, sim.PrIDEScheme(), uint64(i), eng.Event)
+					sink += uint64(res.TREFIsSimulated)
 				}
 			},
 		},

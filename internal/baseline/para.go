@@ -43,9 +43,10 @@ type PARA struct {
 }
 
 var (
-	_ tracker.Tracker      = (*PARA)(nil)
-	_ tracker.SkipAdvancer = (*PARA)(nil)
-	_ ImmediateMitigator   = (*PARA)(nil)
+	_ tracker.Tracker       = (*PARA)(nil)
+	_ tracker.SkipAdvancer  = (*PARA)(nil)
+	_ tracker.IdleMitigator = (*PARA)(nil)
+	_ ImmediateMitigator    = (*PARA)(nil)
 )
 
 // NewPARA returns a PARA instance with refresh probability p.
@@ -107,6 +108,15 @@ func (p *PARA) DrainImmediate() []tracker.Mitigation {
 // OnMitigate implements tracker.Tracker; PARA performs nothing at refresh.
 func (p *PARA) OnMitigate() (tracker.Mitigation, bool) {
 	return tracker.Mitigation{}, false
+}
+
+// AdvanceIdleMitigations implements tracker.IdleMitigator: PARA does
+// nothing at refresh opportunities, so retiring n of them in bulk is a
+// no-op (n is validated for contract symmetry).
+func (p *PARA) AdvanceIdleMitigations(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("baseline: AdvanceIdleMitigations(%d)", n))
+	}
 }
 
 // Occupancy implements tracker.Tracker; PARA tracks nothing.

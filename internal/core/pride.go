@@ -201,8 +201,9 @@ type Statistics struct {
 }
 
 var (
-	_ tracker.Tracker      = (*PrIDE)(nil)
-	_ tracker.SkipAdvancer = (*PrIDE)(nil)
+	_ tracker.Tracker       = (*PrIDE)(nil)
+	_ tracker.SkipAdvancer  = (*PrIDE)(nil)
+	_ tracker.IdleMitigator = (*PrIDE)(nil)
 )
 
 // New returns a PrIDE tracker with the given configuration, drawing
@@ -318,6 +319,17 @@ func (p *PrIDE) AdvanceIdle(n int) {
 func (p *PrIDE) ActivateInsert(row int) {
 	p.stats.Activations++
 	p.insert(entry{row: row, level: 1})
+}
+
+// AdvanceIdleMitigations implements tracker.IdleMitigator: n mitigation
+// opportunities that each found the buffer empty. An empty pop returns
+// before any draw, policy decision, or observer event (see OnMitigate), so
+// the fast-forward is a single counter add. Consumes no draws.
+func (p *PrIDE) AdvanceIdleMitigations(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("pride: AdvanceIdleMitigations(%d)", n))
+	}
+	p.stats.IdleMitigations += uint64(n)
 }
 
 // insert places e at the FIFO tail, evicting per the eviction policy when

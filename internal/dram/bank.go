@@ -67,6 +67,10 @@ type Bank struct {
 	// flipScratch is HammerN's reusable candidate buffer (≤ 2·BlastRadius
 	// entries), kept on the bank so bursts stay allocation-free.
 	flipScratch []Flip
+	// cplan caches HammerCycle's compiled group schedule, keyed on the
+	// group slice's identity. Depends only on params and the group, never
+	// on disturbance state, so it survives Reset.
+	cplan *cyclePlan
 
 	// onFlip, when non-nil, is invoked for every failure as it happens.
 	onFlip func(Flip)

@@ -1,0 +1,306 @@
+package dram
+
+import (
+	"fmt"
+
+	"pride/internal/guard"
+)
+
+// This file implements HammerCycle, the multi-row generalization of HammerN:
+// a closed-form replay of n consecutive activations that walk a repeating
+// row group cyclically (the event engines' alternating-pattern case, e.g.
+// the double-sided pair). The burst is compiled once per group into a
+// cyclePlan: for every row the group touches — members and their
+// blast-radius neighbours — the plan records the cycle positions that RESET
+// the row (its own activations) and the positions that DISTURB it, with
+// prefix counts so the number of events in any slot range, and the slot of
+// the k-th event, resolve in O(1). Per-row state then follows from the
+// segment structure of the burst: a prefix climb up to the row's first
+// reset, cyclically repeating inter-reset climbs, and a final partial climb
+// after its last reset.
+
+// cycleRow is one affected row's compiled event schedule within a group
+// cycle of length q.
+type cycleRow struct {
+	row int
+	// resPos are the cycle positions (sorted) whose activation IS this row:
+	// the row's own disturbance state resets and its activation run grows.
+	resPos []int32
+	// incPos are the cycle positions (sorted) whose activation disturbs
+	// this row; incRank is the stepped disturbNeighbors visit order within
+	// that one ACT (2d for the lower victim at distance d, 2d+1 for the
+	// upper), the tie-break for same-ACT flip ordering.
+	incPos  []int32
+	incRank []int32
+	// preRes[t] / preInc[t] count reset/disturb positions < t, t in [0,q].
+	preRes []int32
+	preInc []int32
+	// maxGap is the largest disturbance climb of any FULL inter-reset
+	// segment (reset to next reset, circularly); 0 when the row is never
+	// reset. Valid as a peak-disturbance candidate whenever every segment
+	// occurs fully in the burst, which n >= 2q guarantees.
+	maxGap int
+}
+
+// incsBefore returns the number of disturbances to the row in the unrolled
+// stream positions [0, x), where position t of cycle c is x = c*q + t.
+func (rw *cycleRow) incsBefore(x, q int) int {
+	return (x/q)*len(rw.incPos) + int(rw.preInc[x%q])
+}
+
+// resBefore is incsBefore for the row's resets.
+func (rw *cycleRow) resBefore(x, q int) int {
+	return (x/q)*len(rw.resPos) + int(rw.preRes[x%q])
+}
+
+// incAt returns the unrolled stream position and rank of the row's j-th
+// disturbance (0-based, counted from stream position 0).
+func (rw *cycleRow) incAt(j, q int) (x int, rank int32) {
+	c := len(rw.incPos)
+	return (j/c)*q + int(rw.incPos[j%c]), rw.incRank[j%c]
+}
+
+// resAt returns the unrolled stream position of the row's j-th reset.
+func (rw *cycleRow) resAt(j, q int) int {
+	c := len(rw.resPos)
+	return (j/c)*q + int(rw.resPos[j%c])
+}
+
+// cycleFlip is a flip candidate plus its within-ACT ordering rank.
+type cycleFlip struct {
+	Flip
+	rank int32
+}
+
+// cyclePlan is the compiled schedule of one repeating activation group.
+type cyclePlan struct {
+	// group is the exact slice the plan was compiled for; plans are keyed
+	// on slice identity (pattern sequences are read-only after
+	// construction, so identical identity implies identical contents).
+	group []int
+	rows  []cycleRow
+	// flips is the reusable flip-collection scratch, so steady-state bursts
+	// stay allocation-free.
+	flips []cycleFlip
+}
+
+// plan returns the cached plan for group, compiling it on first sight (or
+// when the bank last ran a different group).
+func (b *Bank) plan(group []int) *cyclePlan {
+	if p := b.cplan; p != nil && len(p.group) == len(group) && &p.group[0] == &group[0] {
+		return p
+	}
+	q := len(group)
+	p := &cyclePlan{group: group}
+	index := make(map[int]int, q)
+	at := func(row int) int {
+		idx, ok := index[row]
+		if !ok {
+			idx = len(p.rows)
+			p.rows = append(p.rows, cycleRow{row: row})
+			index[row] = idx
+		}
+		return idx
+	}
+	for t, u := range group {
+		b.mustValidRow(u)
+		rw := &p.rows[at(u)]
+		rw.resPos = append(rw.resPos, int32(t))
+		for d := 1; d <= b.params.BlastRadius; d++ {
+			for side, v := range [2]int{u - d, u + d} {
+				if v < 0 || v >= b.params.RowsPerBank {
+					continue
+				}
+				rw := &p.rows[at(v)]
+				rw.incPos = append(rw.incPos, int32(t))
+				rw.incRank = append(rw.incRank, int32(2*d+side))
+			}
+		}
+	}
+	for i := range p.rows {
+		rw := &p.rows[i]
+		rw.preRes = prefixCounts(rw.resPos, q)
+		rw.preInc = prefixCounts(rw.incPos, q)
+		for a := range rw.resPos {
+			next := int(rw.resPos[(a+1)%len(rw.resPos)])
+			if a+1 == len(rw.resPos) {
+				next += q
+			}
+			if gap := rw.incsBefore(next, q) - rw.incsBefore(int(rw.resPos[a])+1, q); gap > rw.maxGap {
+				rw.maxGap = gap
+			}
+		}
+	}
+	b.cplan = p
+	return p
+}
+
+// prefixCounts builds the length-(q+1) table counting sorted positions < t.
+func prefixCounts(pos []int32, q int) []int32 {
+	pre := make([]int32, q+1)
+	j := 0
+	for t := 1; t <= q; t++ {
+		for j < len(pos) && int(pos[j]) < t {
+			j++
+		}
+		pre[t] = int32(j)
+	}
+	return pre
+}
+
+// HammerCycle issues n consecutive demand activations that walk the
+// repeating row group cyclically starting at phase: activation i goes to
+// group[(phase+i) mod len(group)]. It is ACT-for-ACT equivalent to the
+// stepped Activate sequence — counters, disturbance state, maxima, and the
+// Flip records (victim, hammer count, global ACT index, and the stepped
+// path's within-ACT ordering) all match exactly — but costs O(rows touched
+// + flips) instead of O(n·BlastRadius). Bursts shorter than two full cycles
+// step through Activate (not every inter-reset segment completes, so the
+// closed form's peak accounting does not apply); the event engines' cadence
+// segments are almost always longer.
+func (b *Bank) HammerCycle(group []int, phase, n int) {
+	q := len(group)
+	if q == 0 {
+		panic("dram: HammerCycle with empty group")
+	}
+	if phase < 0 || phase >= q || n < 0 {
+		panic(fmt.Sprintf("dram: HammerCycle(|%d|, %d, %d)", q, phase, n))
+	}
+	if n == 0 {
+		return
+	}
+	if q == 1 {
+		b.HammerN(group[0], n)
+		return
+	}
+	if n < 2*q {
+		for i := 0; i < n; i++ {
+			b.Activate(group[(phase+i)%q])
+		}
+		return
+	}
+	p := b.plan(group)
+	startIndex := b.actIndex
+	b.actIndex += uint64(n)
+	b.stats.DemandACTs += uint64(n)
+	p.flips = p.flips[:0]
+	// The unrolled stream runs positions [phase, phase+n); slot s of the
+	// burst is position phase+s, so counts over slot ranges come from the
+	// prefix helpers and every event position converts to a slot by
+	// subtracting phase.
+	for i := range p.rows {
+		rw := &p.rows[i]
+		v := rw.row
+		totalIncs := rw.incsBefore(phase+n, q) - rw.incsBefore(phase, q)
+		if len(rw.resPos) == 0 {
+			// Pure victim: disturbance climbs monotonically, at most one flip.
+			start := b.hammers[v]
+			b.hammers[v] = start + totalIncs
+			if b.hammers[v] > b.maxHammers {
+				b.maxHammers = b.hammers[v]
+			}
+			if b.trh > 0 && b.hammers[v] >= b.trh && !b.flipped[v] {
+				k := b.trh - start
+				if k < 1 {
+					k = 1 // already over threshold: flips on its first disturbance
+				}
+				if b.selfCheck && k > totalIncs {
+					guard.Failf("dram.bank", "flip-accounting", "cycle flip of row %d at disturbance %d > total %d", v, k, totalIncs)
+				}
+				b.flipped[v] = true
+				x, rank := rw.incAt(rw.incsBefore(phase, q)+k-1, q)
+				p.flips = append(p.flips, cycleFlip{
+					Flip: Flip{Row: v, Hammers: start + k, ACTIndex: startIndex + uint64(x-phase) + 1},
+					rank: rank,
+				})
+			}
+			continue
+		}
+
+		// Member row: the burst divides into a prefix climb up to the first
+		// reset, full inter-reset segments (each a fixed climb from zero,
+		// repeating cyclically), and a final partial climb after the last
+		// reset. n >= 2q guarantees every distinct segment occurs fully at
+		// least once, so the plan's maxGap is a realized peak.
+		resets := rw.resBefore(phase+n, q) - rw.resBefore(phase, q)
+		firstRes := rw.resBefore(phase, q)
+		firstSlot := rw.resAt(firstRes, q) - phase
+		prefixIncs := rw.incsBefore(phase+firstSlot, q) - rw.incsBefore(phase, q)
+		h0 := b.hammers[v]
+
+		if b.trh > 0 && !b.flipped[v] && prefixIncs > 0 && h0+prefixIncs >= b.trh {
+			k := b.trh - h0
+			if k < 1 {
+				k = 1
+			}
+			if k <= prefixIncs {
+				x, rank := rw.incAt(rw.incsBefore(phase, q)+k-1, q)
+				p.flips = append(p.flips, cycleFlip{
+					Flip: Flip{Row: v, Hammers: h0 + k, ACTIndex: startIndex + uint64(x-phase) + 1},
+					rank: rank,
+				})
+			}
+		}
+		if b.trh > 0 && rw.maxGap >= b.trh {
+			// Segments that cross the threshold flip at their trh-th
+			// disturbance on EVERY occurrence (the reset clears the flipped
+			// latch); enumerate occurrences — O(flips), same as stepped.
+			for a := range rw.resPos {
+				next := int(rw.resPos[(a+1)%len(rw.resPos)])
+				if a+1 == len(rw.resPos) {
+					next += q
+				}
+				if rw.incsBefore(next, q)-rw.incsBefore(int(rw.resPos[a])+1, q) < b.trh {
+					continue
+				}
+				for s := (int(rw.resPos[a]) - phase + q) % q; s < n; s += q {
+					j := rw.incsBefore(phase+s+1, q) + b.trh - 1
+					x, rank := rw.incAt(j, q)
+					f := x - phase
+					if f >= n {
+						break
+					}
+					p.flips = append(p.flips, cycleFlip{
+						Flip: Flip{Row: v, Hammers: b.trh, ACTIndex: startIndex + uint64(f) + 1},
+						rank: rank,
+					})
+				}
+			}
+		}
+
+		lastSlot := rw.resAt(firstRes+resets-1, q) - phase
+		finalIncs := rw.incsBefore(phase+n, q) - rw.incsBefore(phase+lastSlot+1, q)
+		b.hammers[v] = finalIncs
+		b.flipped[v] = b.trh > 0 && finalIncs >= b.trh
+		b.actRun[v] += resets
+		if b.actRun[v] > b.maxDisturbance {
+			b.maxDisturbance = b.actRun[v]
+		}
+		if b.selfCheck && uint64(b.actRun[v]) > b.actIndex {
+			guard.Failf("dram.bank", "actrun-bound", "row %d run %d exceeds global ACT index %d", v, b.actRun[v], b.actIndex)
+		}
+		if prefixIncs > 0 && h0+prefixIncs > b.maxHammers {
+			b.maxHammers = h0 + prefixIncs
+		}
+		if rw.maxGap > b.maxHammers {
+			b.maxHammers = rw.maxGap
+		}
+	}
+	// Stable ordering: by ACT index, ties broken by the stepped path's
+	// within-ACT visit rank (distinct victims of one ACT have distinct
+	// ranks, so the order is total).
+	for i := 1; i < len(p.flips); i++ {
+		for j := i; j > 0 && (p.flips[j].ACTIndex < p.flips[j-1].ACTIndex ||
+			(p.flips[j].ACTIndex == p.flips[j-1].ACTIndex && p.flips[j].rank < p.flips[j-1].rank)); j-- {
+			p.flips[j], p.flips[j-1] = p.flips[j-1], p.flips[j]
+		}
+	}
+	for i := range p.flips {
+		f := p.flips[i].Flip
+		b.flips = append(b.flips, f)
+		b.stats.Flips++
+		if b.onFlip != nil {
+			b.onFlip(f)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package dram
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// cycleBanksEqual extends banksEqual (bank_test.go) with the cycle path's
+// extra internal obligations: the flipped latch per row and the global ACT
+// index, which the closed form must also reproduce exactly.
+func cycleBanksEqual(t *testing.T, label string, stepped, cycled *Bank) {
+	t.Helper()
+	banksEqual(t, label, stepped, cycled)
+	for r := 0; r < stepped.Rows(); r++ {
+		if stepped.flipped[r] != cycled.flipped[r] {
+			t.Fatalf("%s: row %d flipped: stepped %v, cycled %v", label, r, stepped.flipped[r], cycled.flipped[r])
+		}
+	}
+	if stepped.actIndex != cycled.actIndex {
+		t.Fatalf("%s: actIndex: stepped %d, cycled %d", label, stepped.actIndex, cycled.actIndex)
+	}
+	if !reflect.DeepEqual(stepped.flips, cycled.flips) {
+		t.Fatalf("%s: flips diverge:\nstepped %v\ncycled  %v", label, stepped.flips, cycled.flips)
+	}
+}
+
+// cycleCase is one group/burst schedule driven against a stepped and a
+// cycled twin bank.
+type cycleCase struct {
+	name   string
+	params Params
+	trh    int
+	group  []int
+	// bursts are (phase, n) pairs applied back to back, with an interleaved
+	// Mitigate/Activate disruption between bursts when disrupt is set.
+	bursts  [][2]int
+	disrupt bool
+}
+
+func cycleCases() []cycleCase {
+	p := testParams()
+	wide := testParams()
+	wide.BlastRadius = 2
+	return []cycleCase{
+		{
+			name: "double-sided", params: p, trh: 50,
+			group:  []int{99, 101},
+			bursts: [][2]int{{0, 500}, {1, 37}, {0, 4}, {1, 500}},
+		},
+		{
+			name: "double-sided-no-trh", params: p, trh: 0,
+			group:  []int{99, 101},
+			bursts: [][2]int{{0, 300}, {1, 300}},
+		},
+		{
+			name: "adjacent-members-disturb-each-other", params: p, trh: 40,
+			group:  []int{200, 201, 203},
+			bursts: [][2]int{{0, 400}, {2, 91}, {1, 260}},
+		},
+		{
+			name: "half-double-repeats-member", params: p, trh: 60,
+			group:  []int{300, 304, 300, 304, 301, 303},
+			bursts: [][2]int{{0, 700}, {3, 650}, {5, 13}},
+		},
+		{
+			name: "many-sided-spacing-1", params: p, trh: 35,
+			group:  []int{400, 401, 402, 403, 404, 405, 406, 407},
+			bursts: [][2]int{{0, 900}, {5, 123}, {7, 16}, {2, 333}},
+		},
+		{
+			name: "edge-rows", params: p, trh: 30,
+			group:  []int{0, 1023, 1},
+			bursts: [][2]int{{0, 450}, {1, 5}, {2, 200}},
+		},
+		{
+			name: "blast-radius-2", params: wide, trh: 45,
+			group:  []int{500, 503, 501},
+			bursts: [][2]int{{0, 600}, {1, 77}, {2, 600}},
+		},
+		{
+			name: "low-trh-flips-every-cycle", params: p, trh: 3,
+			group:  []int{700, 710},
+			bursts: [][2]int{{0, 64}, {1, 31}},
+		},
+		{
+			name: "interleaved-mitigations", params: p, trh: 25,
+			group:   []int{800, 802},
+			bursts:  [][2]int{{0, 180}, {1, 180}, {0, 180}},
+			disrupt: true,
+		},
+	}
+}
+
+// TestHammerCycleEquivalentToStepped drives the same burst schedule through
+// Activate steps and HammerCycle and requires bit-identical bank state,
+// including flip order.
+func TestHammerCycleEquivalentToStepped(t *testing.T) {
+	for _, tc := range cycleCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			stepped := MustNewBank(tc.params, tc.trh)
+			cycled := MustNewBank(tc.params, tc.trh)
+			cycled.SetSelfCheck(true)
+			q := len(tc.group)
+			for bi, burst := range tc.bursts {
+				phase, n := burst[0], burst[1]
+				for i := 0; i < n; i++ {
+					stepped.Activate(tc.group[(phase+i)%q])
+				}
+				cycled.HammerCycle(tc.group, phase, n)
+				cycleBanksEqual(t, fmt.Sprintf("%s burst %d", tc.name, bi), stepped, cycled)
+				if tc.disrupt {
+					// A mitigation and a stray activation between bursts
+					// perturb hammer/run state so the next burst starts from
+					// a non-trivial baseline.
+					stepped.Mitigate(tc.group[0], 1)
+					cycled.Mitigate(tc.group[0], 1)
+					stepped.Activate(tc.group[0] + 1)
+					cycled.Activate(tc.group[0] + 1)
+				}
+			}
+		})
+	}
+}
+
+// TestHammerCycleRandomizedSchedules fuzzes group shapes and burst lengths
+// with a deterministic LCG, covering the stepped fallback (n < 2q), the
+// q==1 delegation, and bursts that start at every phase.
+func TestHammerCycleRandomizedSchedules(t *testing.T) {
+	p := testParams()
+	lcg := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int((lcg >> 33) % uint64(mod))
+	}
+	for trial := 0; trial < 40; trial++ {
+		trh := 1 + next(60)
+		q := 1 + next(6)
+		group := make([]int, q)
+		base := 10 + next(900)
+		for i := range group {
+			group[i] = base + next(8)
+		}
+		stepped := MustNewBank(p, trh)
+		cycled := MustNewBank(p, trh)
+		cycled.SetSelfCheck(true)
+		for burst := 0; burst < 6; burst++ {
+			phase := next(q)
+			n := next(200) // exercises n < 2q and long bursts alike
+			for i := 0; i < n; i++ {
+				stepped.Activate(group[(phase+i)%q])
+			}
+			cycled.HammerCycle(group, phase, n)
+			cycleBanksEqual(t, fmt.Sprintf("trial %d burst %d group %v phase %d n %d", trial, burst, group, phase, n), stepped, cycled)
+		}
+	}
+}
+
+// TestHammerCyclePlanCache pins the pointer-identity cache contract: the
+// same group slice reuses the compiled plan, a different slice recompiles.
+func TestHammerCyclePlanCache(t *testing.T) {
+	b := MustNewBank(testParams(), 100)
+	g1 := []int{10, 12}
+	b.HammerCycle(g1, 0, 50)
+	p1 := b.cplan
+	if p1 == nil {
+		t.Fatal("no plan compiled")
+	}
+	b.HammerCycle(g1, 1, 50)
+	if b.cplan != p1 {
+		t.Fatal("same group slice should reuse the cached plan")
+	}
+	g2 := []int{20, 22}
+	b.HammerCycle(g2, 0, 50)
+	if b.cplan == p1 {
+		t.Fatal("different group slice must recompile the plan")
+	}
+	b.Reset()
+	if b.cplan == nil {
+		t.Fatal("plan cache should survive Reset (depends only on params and group)")
+	}
+}
+
+func TestHammerCyclePanics(t *testing.T) {
+	b := MustNewBank(testParams(), 0)
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"empty-group", func() { b.HammerCycle(nil, 0, 10) }},
+		{"negative-n", func() { b.HammerCycle([]int{1, 2}, 0, -1) }},
+		{"phase-out-of-range", func() { b.HammerCycle([]int{1, 2}, 2, 10) }},
+		{"invalid-row", func() { b.HammerCycle([]int{1, 5000}, 0, 10) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.call()
+		})
+	}
+}

@@ -1,0 +1,215 @@
+package memctrl
+
+import (
+	"fmt"
+	"testing"
+
+	"pride/internal/baseline"
+	"pride/internal/core"
+	"pride/internal/dram"
+	"pride/internal/guard"
+	"pride/internal/rng"
+)
+
+// groupTestGroups are the repeating row groups the multi-row tests walk:
+// the double-sided pair, a many-sided group whose members disturb each
+// other, and a Half-Double-shaped group that repeats a member per cycle.
+func groupTestGroups() [][]int {
+	return [][]int{
+		{500, 502},
+		{700, 701, 703},
+		{900, 904, 900, 904, 901, 903},
+	}
+}
+
+// TestActivateRunGroupEquivalentToStepped drives a stepped controller (one
+// Activate per ACT, draws scripted) and a bulk controller (ActivateRunGroup
+// for idle stretches, ActivateInsert at insertion points) through identical
+// schedules walking a repeating row group, and requires every observable to
+// match exactly. PeriodicRefresh keeps the quiet-cadence collapse out of
+// play so the boundary-splitting loop itself is what's exercised; RFM on
+// and off covers both cadence shapes.
+func TestActivateRunGroupEquivalentToStepped(t *testing.T) {
+	for _, rfm := range []int{0, 16} {
+		for gi, group := range groupTestGroups() {
+			t.Run(fmt.Sprintf("rfm=%d/group=%d", rfm, gi), func(t *testing.T) {
+				p := smallParams()
+				cfg := DefaultConfig(p)
+				cfg.RFMThreshold = rfm
+				cfg.PeriodicRefresh = true
+				cfg.SelfCheck = true
+
+				tcfg := core.DefaultConfig(79)
+				tcfg.TransitiveProtection = false // boundary mitigations must not draw
+				steppedSrc := &modeSource{v: idleDraw}
+				stepped := New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(steppedSrc)))
+				bulk := New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(&modeSource{v: idleDraw})))
+
+				q := len(group)
+				phase := 0
+				s := uint64(rfm*13 + gi + 5)
+				for ev := 0; ev < 250; ev++ {
+					s = s*6364136223846793005 + 1442695040888963407
+					switch s % 8 {
+					case 0:
+						stepped.Idle()
+						bulk.Idle()
+					case 1:
+						row := int(s>>33) % p.RowsPerBank
+						steppedSrc.v = fireDraw
+						stepped.Activate(row)
+						bulk.ActivateInsert(row)
+					default:
+						n := int(s>>17) % 250 // spans multiple tREFI windows
+						steppedSrc.v = idleDraw
+						for i := 0; i < n; i++ {
+							stepped.Activate(group[(phase+i)%q])
+						}
+						bulk.ActivateRunGroup(group, phase, n)
+						phase = (phase + n) % q
+					}
+				}
+				controllersEqual(t, fmt.Sprintf("rfm=%d group=%v", rfm, group), stepped, bulk)
+			})
+		}
+	}
+}
+
+// TestQuietCadenceCollapseBitIdentical pins the multi-tREFI closed-form
+// advance: with periodic refresh off and an empty IdleMitigator tracker,
+// ActivateRun/ActivateRunGroup retire the whole cadence in modular
+// arithmetic. A twin controller with the capability stripped (idm = nil)
+// walks the same schedule through the boundary loop; both must land on
+// bit-identical controller, bank, and tracker state — including PrIDE's
+// IdleMitigations counter.
+func TestQuietCadenceCollapseBitIdentical(t *testing.T) {
+	for _, rfm := range []int{0, 16} {
+		for gi, group := range groupTestGroups() {
+			t.Run(fmt.Sprintf("rfm=%d/group=%d", rfm, gi), func(t *testing.T) {
+				p := smallParams()
+				cfg := DefaultConfig(p)
+				cfg.RFMThreshold = rfm
+				cfg.SelfCheck = true
+				// PeriodicRefresh off: collapse eligible whenever the tracker
+				// is empty.
+
+				tcfg := core.DefaultConfig(79)
+				tcfg.TransitiveProtection = false
+				collapsed := New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(&modeSource{v: idleDraw})))
+				walked := New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(&modeSource{v: idleDraw})))
+				walked.idm = nil // force the boundary-splitting loop
+
+				q := len(group)
+				phase := 0
+				s := uint64(rfm*7 + gi + 3)
+				for ev := 0; ev < 120; ev++ {
+					s = s*6364136223846793005 + 1442695040888963407
+					if s%5 == 0 {
+						// Occupy the tracker so some stretches run with the
+						// collapse ineligible, mixing both paths.
+						row := int(s>>33) % p.RowsPerBank
+						collapsed.ActivateInsert(row)
+						walked.ActivateInsert(row)
+					}
+					// Long stretches: hundreds of tREFI windows in one call.
+					n := int(s>>17) % 40000
+					collapsed.ActivateRunGroup(group, phase, n)
+					walked.ActivateRunGroup(group, phase, n)
+					phase = (phase + n) % q
+				}
+				controllersEqual(t, fmt.Sprintf("rfm=%d group=%v", rfm, group), walked, collapsed)
+				if got := collapsed.Tracker().(*core.PrIDE).Stats().IdleMitigations; got == 0 {
+					t.Fatal("collapse never saw an idle mitigation — test lost its bite")
+				}
+			})
+		}
+	}
+}
+
+// TestQuietCadenceCollapseWithPARA covers the IdleMitigator no-op
+// implementation: PARA performs nothing at refresh, so the collapsed and
+// walked cadences must agree there too.
+func TestQuietCadenceCollapseWithPARA(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	collapsed := New(cfg, dram.MustNewBank(p, 25), baseline.NewPARA(1.0/80, rng.New(1)))
+	walked := New(cfg, dram.MustNewBank(p, 25), baseline.NewPARA(1.0/80, rng.New(1)))
+	walked.idm = nil
+
+	group := []int{300, 302}
+	phase := 0
+	s := uint64(17)
+	for ev := 0; ev < 100; ev++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		if s%6 == 0 {
+			row := int(s>>33) % p.RowsPerBank
+			collapsed.ActivateInsert(row)
+			walked.ActivateInsert(row)
+		}
+		n := int(s>>17) % 10000
+		collapsed.ActivateRunGroup(group, phase, n)
+		walked.ActivateRunGroup(group, phase, n)
+		phase = (phase + n) % 2
+	}
+	controllersEqual(t, "PARA collapse", walked, collapsed)
+}
+
+// TestActivateRunGroupGuardTrip pins the -selfcheck contract on the
+// multi-row segment splitter: corrupted cadence state must surface as a
+// named guard.Violation, not as silently wrong segmentation.
+func TestActivateRunGroupGuardTrip(t *testing.T) {
+	p := smallParams()
+	group := []int{100, 102}
+	for _, tc := range []struct {
+		name      string
+		corrupt   func(c *Controller)
+		invariant string
+	}{
+		{
+			name:      "trefi-position",
+			corrupt:   func(c *Controller) { c.actsInTREFI = p.ACTsPerTREFI() },
+			invariant: "trefi-position",
+		},
+		{
+			name:      "raa-bound",
+			corrupt:   func(c *Controller) { c.raa = -3 },
+			invariant: "raa-bound",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(p)
+			cfg.RFMThreshold = 16
+			cfg.PeriodicRefresh = true // keep the collapse out; hit the splitter
+			cfg.SelfCheck = true
+			tcfg := core.DefaultConfig(79)
+			tcfg.TransitiveProtection = false
+			c := New(cfg, dram.MustNewBank(p, 0), core.New(tcfg, rng.NewStream(&modeSource{v: idleDraw})))
+			tc.corrupt(c)
+			defer func() {
+				v, ok := guard.AsViolation(recover())
+				if !ok {
+					t.Fatal("corrupted cadence state did not trip a guard.Violation")
+				}
+				if v.Component != "memctrl" || v.Invariant != tc.invariant {
+					t.Fatalf("tripped %s/%s, want memctrl/%s", v.Component, v.Invariant, tc.invariant)
+				}
+			}()
+			c.ActivateRunGroup(group, 0, 500)
+		})
+	}
+}
+
+// TestActivateRunGroupDelegatesSingleRow pins the q==1 path: a length-1
+// group is exactly ActivateRun.
+func TestActivateRunGroupDelegatesSingleRow(t *testing.T) {
+	p := smallParams()
+	cfg := DefaultConfig(p)
+	cfg.PeriodicRefresh = true
+	tcfg := core.DefaultConfig(79)
+	tcfg.TransitiveProtection = false
+	a := New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(&modeSource{v: idleDraw})))
+	b := New(cfg, dram.MustNewBank(p, 30), core.New(tcfg, rng.NewStream(&modeSource{v: idleDraw})))
+	a.ActivateRun(100, 500)
+	b.ActivateRunGroup([]int{100}, 0, 500)
+	controllersEqual(t, "single-row delegation", a, b)
+}

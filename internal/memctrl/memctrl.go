@@ -88,6 +88,10 @@ type Controller struct {
 	// ScheduledAdvancer (interval schedules) at setup time.
 	im baseline.ImmediateMitigator
 	sa tracker.Advancer
+	// idm caches the tracker's IdleMitigator capability: when non-nil and
+	// the tracker is empty, whole insertion-free cadence stretches collapse
+	// to modular arithmetic (see quietCadence).
+	idm tracker.IdleMitigator
 
 	actsInTREFI         int
 	refsSinceMitigation int
@@ -107,6 +111,7 @@ func New(cfg Config, bank *dram.Bank, trk tracker.Tracker) *Controller {
 	c := &Controller{cfg: cfg, bank: bank, trk: trk}
 	c.im, _ = trk.(baseline.ImmediateMitigator)
 	c.sa, _ = trk.(tracker.Advancer)
+	c.idm, _ = trk.(tracker.IdleMitigator)
 	if cfg.SelfCheck {
 		bank.SetSelfCheck(true)
 		if sc, ok := trk.(tracker.SelfChecker); ok {
@@ -200,6 +205,13 @@ func (c *Controller) ActivateRun(row, n int) {
 	}
 	w := c.cfg.Params.ACTsPerTREFI()
 	for n > 0 {
+		// Re-checked every segment, not just at entry: a run that starts with
+		// an occupied tracker walks boundaries only until the REFs drain it,
+		// then the remaining stretch collapses to modular arithmetic.
+		if c.quietCadence(n) {
+			c.bank.HammerN(row, n)
+			return
+		}
 		if c.cfg.SelfCheck {
 			// Cadence monotonicity: the loop must sit strictly inside the
 			// current tREFI (and RFM window), or a boundary was missed and
@@ -245,6 +257,117 @@ func (c *Controller) ActivateRun(row, n int) {
 		}
 		n -= k
 	}
+}
+
+// ActivateRunGroup issues n consecutive demand activations that walk the
+// repeating row group cyclically starting at phase — activation i goes to
+// rows[(phase+i) mod len(rows)] — all of whose tracker insertion draws
+// failed. It is the multi-row generalization of ActivateRun: segments are
+// split at EXACTLY the stepped path's cadence boundaries (RFM before REF on
+// coincident ACTs) and the bank's per-row hammer accounting is retired in
+// closed form by dram.Bank.HammerCycle, so an alternating pattern like the
+// double-sided pair no longer degenerates to per-ACT calls.
+func (c *Controller) ActivateRunGroup(rows []int, phase, n int) {
+	q := len(rows)
+	if q == 0 || phase < 0 || phase >= q || n < 0 {
+		panic(fmt.Sprintf("memctrl: ActivateRunGroup(|%d|, %d, %d)", q, phase, n))
+	}
+	if q == 1 {
+		c.ActivateRun(rows[0], n)
+		return
+	}
+	w := c.cfg.Params.ACTsPerTREFI()
+	for n > 0 {
+		// Same mid-run collapse as ActivateRun: once the REF cadence empties
+		// the tracker, the rest of the stretch is one HammerCycle burst.
+		if c.quietCadence(n) {
+			c.bank.HammerCycle(rows, phase, n)
+			return
+		}
+		if c.cfg.SelfCheck {
+			if c.actsInTREFI < 0 || c.actsInTREFI >= w {
+				guard.Failf("memctrl", "trefi-position", "ActivateRunGroup: actsInTREFI %d outside [0,%d)", c.actsInTREFI, w)
+			}
+			if c.cfg.RFMThreshold > 0 && (c.raa < 0 || c.raa >= c.cfg.RFMThreshold) {
+				guard.Failf("memctrl", "raa-bound", "ActivateRunGroup: raa %d outside [0,%d)", c.raa, c.cfg.RFMThreshold)
+			}
+			if phase < 0 || phase >= q {
+				guard.Failf("memctrl", "group-phase", "ActivateRunGroup: phase %d outside [0,%d)", phase, q)
+			}
+		}
+		k := w - c.actsInTREFI
+		if c.cfg.RFMThreshold > 0 {
+			if d := c.cfg.RFMThreshold - c.raa; d < k {
+				k = d
+			}
+		}
+		if n < k {
+			k = n
+		}
+		if c.cfg.SelfCheck && k < 1 {
+			guard.Failf("memctrl", "skip-progress", "ActivateRunGroup: segment length %d with %d ACTs left", k, n)
+		}
+		c.stats.ACTs += uint64(k)
+		c.bank.HammerCycle(rows, phase, k)
+		c.sa.AdvanceIdle(k)
+		phase = (phase + k) % q
+
+		if c.cfg.RFMThreshold > 0 {
+			c.raa += k
+			if c.raa >= c.cfg.RFMThreshold {
+				c.raa = 0
+				c.stats.RFMs++
+				c.mitigationOpportunity()
+			}
+		}
+		c.actsInTREFI += k
+		if c.actsInTREFI >= w {
+			c.actsInTREFI = 0
+			c.ref()
+		}
+		n -= k
+	}
+}
+
+// quietCadence attempts to retire the controller-side cadence of n
+// insertion-free demand ACTs in closed form. When the tracker is an
+// IdleMitigator and currently EMPTY, and the periodic refresh sweep is off,
+// every cadence event inside the run is pure bookkeeping: no insertion can
+// land mid-run (the caller's gap draw guarantees it), so each REF and RFM
+// finds the tracker empty, pops nothing, draws nothing, and touches no bank
+// state. The counters then advance in modular arithmetic — O(1) instead of
+// O(n/W) boundary events — with a result bit-identical to the boundary
+// walk. Returns false, doing nothing, when the collapse does not apply; the
+// caller falls back to the boundary-splitting loop. The bank's hammer burst
+// is the caller's responsibility either way.
+func (c *Controller) quietCadence(n int) bool {
+	if c.idm == nil || c.cfg.PeriodicRefresh || c.trk.Occupancy() != 0 || n == 0 {
+		return false
+	}
+	w := c.cfg.Params.ACTsPerTREFI()
+	if c.cfg.SelfCheck {
+		if c.actsInTREFI < 0 || c.actsInTREFI >= w {
+			guard.Failf("memctrl", "trefi-position", "quietCadence: actsInTREFI %d outside [0,%d)", c.actsInTREFI, w)
+		}
+		if c.cfg.RFMThreshold > 0 && (c.raa < 0 || c.raa >= c.cfg.RFMThreshold) {
+			guard.Failf("memctrl", "raa-bound", "quietCadence: raa %d outside [0,%d)", c.raa, c.cfg.RFMThreshold)
+		}
+	}
+	c.stats.ACTs += uint64(n)
+	c.sa.AdvanceIdle(n)
+	rfms := 0
+	if t := c.cfg.RFMThreshold; t > 0 {
+		rfms = (c.raa + n) / t
+		c.raa = (c.raa + n) % t
+		c.stats.RFMs += uint64(rfms)
+	}
+	refs := (c.actsInTREFI + n) / w
+	c.actsInTREFI = (c.actsInTREFI + n) % w
+	c.stats.REFs += uint64(refs)
+	mits := (c.refsSinceMitigation + refs) / c.cfg.MitigationEveryNREF
+	c.refsSinceMitigation = (c.refsSinceMitigation + refs) % c.cfg.MitigationEveryNREF
+	c.idm.AdvanceIdleMitigations(rfms + mits)
+	return true
 }
 
 // postActivate performs the per-ACT controller bookkeeping shared by

@@ -1,0 +1,92 @@
+package patterns
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCycleLen(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pat  *Pattern
+		want int
+	}{
+		{"single-sided", SingleSided(100), 1},
+		{"double-sided", DoubleSided(100), 2},
+		{"victim-sharing-br2", VictimSharing(100, 2), 4},
+		{"trrespass", TRRespass(100, 5, 2), 5},
+		{"explicit-repeat", &Pattern{Name: "rep", Sequence: []int{7, 9, 7, 9}}, 2},
+		{"repeat-of-three", &Pattern{Name: "rep3", Sequence: []int{1, 2, 2, 1, 2, 2}}, 3},
+		{"aperiodic", &Pattern{Name: "ap", Sequence: []int{1, 2, 1, 3}}, 4},
+		{"constant", &Pattern{Name: "const", Sequence: []int{5, 5, 5}}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.pat.CycleLen(); got != tc.want {
+				t.Fatalf("CycleLen() = %d, want %d", got, tc.want)
+			}
+			// The defining property: the infinite stream is CycleLen-periodic
+			// from every position.
+			seq, q := tc.pat.Sequence, tc.pat.CycleLen()
+			for i := range seq {
+				if seq[i] != seq[(i+q)%len(seq)] {
+					t.Fatalf("sequence not %d-periodic at %d", q, i)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupTracksCursor pins the Group contract: at any cursor position the
+// next CycleLen activations are rows[phase], rows[phase+1 mod q], ...
+func TestGroupTracksCursor(t *testing.T) {
+	pats := []*Pattern{
+		DoubleSided(50),
+		TRRespass(100, 3, 3),
+		&Pattern{Name: "rep", Sequence: []int{7, 9, 7, 9}},
+		HalfDouble(200, 2),
+	}
+	for _, p := range pats {
+		for step := 0; step < 2*p.Len()+3; step++ {
+			rows, phase := p.Group()
+			q := p.CycleLen()
+			if len(rows) != q {
+				t.Fatalf("%s: group size %d != CycleLen %d", p.Name, len(rows), q)
+			}
+			probe := p.Clone()
+			probe.Advance(step) // replay cursor position on a fresh clone
+			for i := 0; i < 2*q; i++ {
+				if got, want := probe.Next(), rows[(phase+i)%q]; got != want {
+					t.Fatalf("%s step %d: activation %d = %d, want group[%d] = %d",
+						p.Name, step, i, got, (phase+i)%q, want)
+				}
+			}
+			p.Next()
+		}
+	}
+}
+
+func TestGroupSharesSequencePrefix(t *testing.T) {
+	p := DoubleSided(50)
+	rows, _ := p.Group()
+	if &rows[0] != &p.Sequence[0] {
+		t.Fatal("Group must return a shared subslice of Sequence (plan caching keys on slice identity)")
+	}
+	rows2, _ := p.Group()
+	if &rows2[0] != &rows[0] {
+		t.Fatal("repeated Group calls must return the identical subslice")
+	}
+}
+
+func TestClonePropagatesCycleCache(t *testing.T) {
+	p := DoubleSided(50)
+	if p.CycleLen() != 2 {
+		t.Fatal("setup")
+	}
+	c := p.Clone()
+	if c.cycle != 2 {
+		t.Fatal("Clone must carry the cached cycle length")
+	}
+	if !reflect.DeepEqual(c.Sequence, p.Sequence) {
+		t.Fatal("Clone must share the sequence")
+	}
+}

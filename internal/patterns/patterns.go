@@ -16,6 +16,13 @@ import (
 	"pride/internal/rng"
 )
 
+// MaxBatchGroup bounds the repeating-group size the batched multi-row
+// engines retire in closed form (dram.Bank.HammerCycle compiles a per-row
+// plan of the group, so the useful group size is limited by the plan's
+// footprint, not correctness). Patterns with a longer fundamental cycle fall
+// back to same-row run batching.
+const MaxBatchGroup = 64
+
 // Pattern is a repeating row-activation sequence.
 type Pattern struct {
 	// Name describes the pattern family and parameters.
@@ -27,6 +34,10 @@ type Pattern struct {
 	Aggressors []int
 
 	pos int
+	// cycle caches CycleLen's fundamental circular period (0 = not yet
+	// computed; Sequence is read-only after construction, so the cache
+	// never invalidates).
+	cycle int
 }
 
 // Next returns the next row to activate, cycling over the period.
@@ -96,11 +107,62 @@ func (p *Pattern) Run(max int) (row, n int) {
 // cursor is private. Parallel trial runners clone per trial so concurrent
 // replays of one pattern do not race on the cursor.
 func (p *Pattern) Clone() *Pattern {
-	return &Pattern{Name: p.Name, Sequence: p.Sequence, Aggressors: p.Aggressors}
+	return &Pattern{Name: p.Name, Sequence: p.Sequence, Aggressors: p.Aggressors, cycle: p.cycle}
 }
 
 // Len returns the period length.
 func (p *Pattern) Len() int { return len(p.Sequence) }
+
+// CycleLen returns the fundamental circular period of the pattern: the
+// smallest q >= 1 such that Sequence[i] == Sequence[(i+q) mod Len()] for
+// every i. Such a q always divides Len(), and the infinitely repeated
+// activation stream is then q-periodic from ANY cursor position — which is
+// what lets the event engines retire an insertion-free stretch as whole
+// cycles of a length-q row group (Group) no matter where the cursor sits.
+// Computed once per pattern and cached; clones share the cached value.
+func (p *Pattern) CycleLen() int {
+	if p.cycle == 0 {
+		if len(p.Sequence) == 0 {
+			panic(fmt.Sprintf("patterns: pattern %q has an empty sequence", p.Name))
+		}
+		p.cycle = fundamentalPeriod(p.Sequence)
+	}
+	return p.cycle
+}
+
+// fundamentalPeriod finds the smallest circular period of seq. The set of
+// valid rotation periods of a circular sequence forms a subgroup of Z_L, so
+// the minimum is a divisor of L and only divisors need checking.
+func fundamentalPeriod(seq []int) int {
+	l := len(seq)
+	for q := 1; q < l; q++ {
+		if l%q != 0 {
+			continue
+		}
+		periodic := true
+		for i := 0; i < l-q; i++ {
+			if seq[i] != seq[i+q] {
+				periodic = false
+				break
+			}
+		}
+		if periodic {
+			return q
+		}
+	}
+	return l
+}
+
+// Group returns the pattern's repeating row group — one fundamental cycle of
+// upcoming rows, as a shared read-only subslice of Sequence — and the
+// cursor's phase within it: the next CycleLen() activations are
+// rows[phase], rows[phase+1 mod q], ... and the stream repeats with period q
+// from there. Group does not move the cursor; pair it with Advance, exactly
+// like Run.
+func (p *Pattern) Group() (rows []int, phase int) {
+	q := p.CycleLen()
+	return p.Sequence[:q], p.pos % q
+}
 
 // SingleSided returns the classic single-aggressor pattern: row is hammered
 // continuously.

@@ -135,9 +135,22 @@ func scheduledReplay(ctrl *memctrl.Controller, sched tracker.ScheduledAdvancer, 
 	}
 }
 
-// idleACTs retires n insertion-free activations, collapsing the pattern's
-// same-row runs into bulk ActivateRun calls.
+// idleACTs retires n insertion-free activations. Patterns with a small
+// fundamental cycle (single-sided, double-sided, TRRespass, Blacksmith
+// without decoy drift) retire the whole stretch through one
+// ActivateRunGroup call — the alternating-pattern fix: a length-2 cycle no
+// longer degenerates to per-ACT work. Longer cycles fall back to same-row
+// run batching.
 func idleACTs(ctrl *memctrl.Controller, pat *patterns.Pattern, n int) {
+	if n <= 0 {
+		return
+	}
+	if pat.CycleLen() <= patterns.MaxBatchGroup {
+		rows, phase := pat.Group()
+		ctrl.ActivateRunGroup(rows, phase, n)
+		pat.Advance(n)
+		return
+	}
 	for n > 0 {
 		row, k := pat.Run(n)
 		ctrl.ActivateRun(row, k)
@@ -165,15 +178,8 @@ func measurePatternLossEvent(entries, w int, pat *patterns.Pattern, acts int, se
 	if acts <= 0 {
 		panic(fmt.Sprintf("sim: acts must be positive, got %d", acts))
 	}
-	cfg := core.Config{
-		Entries:       entries,
-		InsertionProb: 1 / float64(w),
-		MaxLevel:      7,
-		RowBits:       32,
-		SelfCheck:     selfCheck,
-	}
 	r := rng.New(seed)
-	trk := core.New(cfg, r)
+	trk := core.New(lossTrackerConfig(entries, w, selfCheck), r)
 
 	sc.reset()
 	sc.observe(trk)
@@ -182,6 +188,17 @@ func measurePatternLossEvent(entries, w int, pat *patterns.Pattern, acts int, se
 	pat.Reset()
 	pos := 0 // ACTs into the current mitigation window
 	idle := func(n int) {
+		if trk.Occupancy() == 0 && n > 0 {
+			// Empty FIFO and no insertion lands inside the stretch, so every
+			// window boundary is an idle pop: no draws, no observer events
+			// (see core.PrIDE.OnMitigate). The whole stretch collapses to
+			// counter arithmetic.
+			trk.AdvanceIdle(n)
+			trk.AdvanceIdleMitigations((pos + n) / w)
+			pos = (pos + n) % w
+			pat.Advance(n)
+			return
+		}
 		for n > 0 {
 			k := w - pos
 			if n < k {

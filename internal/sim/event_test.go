@@ -47,6 +47,72 @@ func TestRunAttackEngineBitIdenticalAtPOne(t *testing.T) {
 	}
 }
 
+// blacksmithTight is a Blacksmith schedule with every pair firing in every
+// slot: the generated sequence has a small fundamental cycle (6 rows), so
+// unlike blacksmithBreaker its idle stretches retire through the batched
+// multi-row path.
+func blacksmithTight() *patterns.Pattern {
+	return patterns.Blacksmith(patterns.BlacksmithConfig{
+		Base:        1500,
+		Pairs:       3,
+		Period:      3,
+		Frequencies: []int{1, 1, 1},
+		Phases:      []int{0, 0, 0},
+		Amplitudes:  []int{1, 1, 1},
+	})
+}
+
+// TestRunAttackEngineBitIdenticalAtPOneBatchedGroups is the p=1 identity for
+// patterns whose idle stretches retire through ActivateRunGroup/HammerCycle
+// (cycle <= MaxBatchGroup): the alternating double-sided pair the tentpole
+// fix targets, a victim-sharing group, round-robin many-sided, and a
+// tight Blacksmith schedule.
+func TestRunAttackEngineBitIdenticalAtPOneBatchedGroups(t *testing.T) {
+	cfg := attackCfg(60_000)
+	cfg.TRH = 900
+	for _, pat := range []*patterns.Pattern{
+		patterns.DoubleSided(2000),
+		patterns.VictimSharing(2000, 2),
+		patterns.TRRespass(1000, 40, 3),
+		blacksmithTight(),
+	} {
+		if pat.CycleLen() > patterns.MaxBatchGroup {
+			t.Fatalf("%s: cycle %d exceeds MaxBatchGroup — test no longer hits the batched path", pat.Name, pat.CycleLen())
+		}
+		exact := RunAttackEngine(cfg, pOneScheme(), pat, 5, engine.Exact)
+		event := RunAttackEngine(cfg, pOneScheme(), pat.Clone(), 5, engine.Event)
+		if !reflect.DeepEqual(exact, event) {
+			t.Errorf("%s: p=1 engines diverged:\nexact %+v\nevent %+v", pat.Name, exact, event)
+		}
+	}
+}
+
+// TestRunAttackEventStatisticallyCloseOnBatchedPatterns cross-validates the
+// batched multi-row path at the real insertion probability: independent draw
+// sequences, same process, so REF-cadence-driven mitigation counts must
+// agree tightly and disturbance must stay the same order of magnitude.
+func TestRunAttackEventStatisticallyCloseOnBatchedPatterns(t *testing.T) {
+	cfg := attackCfg(400_000)
+	for _, pat := range []*patterns.Pattern{
+		patterns.DoubleSided(2000),
+		patterns.TRRespass(1000, 40, 3),
+		blacksmithTight(),
+	} {
+		event := RunAttackEngine(cfg, PrIDEScheme(), pat, 1, engine.Event)
+		exact := RunAttack(cfg, PrIDEScheme(), pat.Clone(), 1)
+		if event.Mitigations == 0 || exact.Mitigations == 0 {
+			t.Fatalf("%s: no mitigations (event %d, exact %d)", pat.Name, event.Mitigations, exact.Mitigations)
+		}
+		ratio := float64(event.Mitigations) / float64(exact.Mitigations)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: mitigations event %d vs exact %d (ratio %.3f)", pat.Name, event.Mitigations, exact.Mitigations, ratio)
+		}
+		if event.MaxDisturbance < cfg.Params.ACTsPerTREFI() || event.MaxDisturbance > 4*exact.MaxDisturbance {
+			t.Errorf("%s: max disturbance event %d vs exact %d", pat.Name, event.MaxDisturbance, exact.MaxDisturbance)
+		}
+	}
+}
+
 func TestRunAttackEngineFallbacksAreBitIdentical(t *testing.T) {
 	cfg := attackCfg(40_000)
 	pat := patterns.TRRespass(1000, 40, 3)

@@ -60,6 +60,49 @@ func TestRunEngineFallsBackWithoutSkipAhead(t *testing.T) {
 	}
 }
 
+// TestMeasureMTTFEngineAgreesWithCampaign pins the serial sampler's engine
+// plumbing: MeasureMTTFEngine derives trial seeds exactly like
+// MeasureMTTFCampaign, so for EITHER engine the serial measurement and a
+// multi-worker campaign are bit-identical. (Before MeasureMTTFEngine the
+// serial path drew seeds sequentially and hardwired the exact engine, so the
+// two samplers could never be compared trial for trial.)
+func TestMeasureMTTFEngineAgreesWithCampaign(t *testing.T) {
+	cfg := Config{Params: sysParams(), Banks: 2, TRH: 150, MaxTREFI: 30_000}
+	const trials, seed = 8, 11
+	for _, eng := range []engine.Kind{engine.Exact, engine.Event} {
+		serialMean, serialFailed := MeasureMTTFEngine(cfg, sim.PrIDEScheme(), trials, seed, eng)
+		campMean, campFailed, err := MeasureMTTFCampaign(context.Background(), cfg, sim.PrIDEScheme(), trials, seed,
+			CampaignOptions{Workers: 4, Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serialFailed == 0 {
+			t.Fatalf("engine %v: no failures at TRH=150", eng)
+		}
+		if serialMean != campMean || serialFailed != campFailed {
+			t.Fatalf("engine %v: serial (%.17g, %d) != campaign (%.17g, %d)",
+				eng, serialMean, serialFailed, campMean, campFailed)
+		}
+	}
+}
+
+// TestRunEventMultiTREFIAdvance exercises the bulk advance at a surviving
+// threshold: a 100k-refresh-interval horizon retires through multi-window
+// gap chunks (each spanning thousands of tREFIs, collapsed by memctrl's
+// quiet cadence) and must still report the horizon exactly. The boundary
+// bookkeeping's bit-exactness is pinned separately, by memctrl's collapse
+// twins and the p=1 engine identity above.
+func TestRunEventMultiTREFIAdvance(t *testing.T) {
+	cfg := Config{Params: sysParams(), Banks: 1, TRH: 100_000, MaxTREFI: 100_000}
+	res := RunEngine(cfg, sim.PrIDEScheme(), 5, engine.Event)
+	if res.Failed {
+		t.Fatalf("unexpected failure at TRH=100000: %+v", res)
+	}
+	if res.TREFIsSimulated != cfg.MaxTREFI {
+		t.Fatalf("TREFIsSimulated = %d, want %d", res.TREFIsSimulated, cfg.MaxTREFI)
+	}
+}
+
 func TestMTTFCampaignEventEngine(t *testing.T) {
 	cfg := Config{Params: sysParams(), Banks: 2, TRH: 150, MaxTREFI: 30_000}
 	const trials, seed = 8, 11

@@ -8,11 +8,11 @@ import (
 )
 
 // MeasureMTTFParallel is the worker-pool counterpart of MeasureMTTF: the
-// same independent system-level trials, with trial t's seed derived by index
-// (rng.DeriveSeed(seed, t)) instead of drawn sequentially, executed on
-// `workers` goroutines. Trial results fold in trial order, so the measured
-// mean and failure count are a pure function of (cfg, s, trials, seed) —
-// the worker count only changes wall-clock time. workers == 1 runs every
+// same independent system-level trials with the same index-derived seeds
+// (rng.DeriveSeed(seed, t)), executed on `workers` goroutines. Trial results
+// fold in trial order, so the measured mean and failure count are a pure
+// function of (cfg, s, trials, seed) — bit-identical to the serial sampler —
+// and the worker count only changes wall-clock time. workers == 1 runs every
 // trial inline on the calling goroutine. Fail-loud convenience form of
 // MeasureMTTFCampaign: no cancellation, no checkpoint, and a panicking trial
 // takes the process down with a stack naming the trial.

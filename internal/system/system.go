@@ -79,7 +79,6 @@ const gapUnset = -1
 type bankState struct {
 	ctrl *memctrl.Controller
 	pat  *patterns.Pattern
-	dead bool
 
 	// Event-engine state: the bank's private stream (shared with its
 	// tracker), its gap sampler, and the idle ACTs remaining before the next
@@ -182,15 +181,45 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch, eng engine.Kind)
 	}
 
 	w := cfg.Params.ACTsPerTREFI()
+	if eng == engine.Event {
+		// Banks never interact and each owns a private stream, so the
+		// interleaved per-tREFI sweep is equivalent to running each bank to
+		// completion on its own — and the per-bank pass is where the
+		// multi-tREFI bulk advance lives: a long insertion gap is no longer
+		// chopped into w-ACT windows but retired in one ActivateRunGroup
+		// call, whose quiet-cadence collapse turns hundreds of refresh
+		// windows into modular arithmetic.
+		//
+		// The lockstep loop returns the lexicographically first failure
+		// (tREFI, then bank index). Banks run in index order against a
+		// shrinking horizon: a later bank only wins by failing STRICTLY
+		// earlier than the incumbent, so it needs at most incumbent-1
+		// windows of simulation.
+		best := Result{TREFIsSimulated: cfg.MaxTREFI}
+		horizon := cfg.MaxTREFI
+		for bi := range banks {
+			if horizon == 0 {
+				break
+			}
+			ft, failed := banks[bi].runEvent(w, horizon)
+			if !failed {
+				continue
+			}
+			best = Result{
+				Failed:          true,
+				TimeToFail:      time.Duration(ft) * cfg.Params.TREFI,
+				FailedBank:      bi,
+				TREFIsSimulated: ft,
+			}
+			horizon = ft - 1
+		}
+		return best
+	}
 	for trefi := 1; trefi <= cfg.MaxTREFI; trefi++ {
 		for bi := range banks {
 			b := &banks[bi]
-			if eng == engine.Event {
-				b.hammerTREFIEvent(w)
-			} else {
-				for a := 0; a < w; a++ {
-					b.ctrl.Activate(b.pat.Next())
-				}
+			for a := 0; a < w; a++ {
+				b.ctrl.Activate(b.pat.Next())
 			}
 			if len(b.ctrl.Bank().Flips()) > 0 {
 				return Result{
@@ -205,12 +234,17 @@ func run(cfg Config, s sim.Scheme, seed uint64, sc *runScratch, eng engine.Kind)
 	return Result{TREFIsSimulated: cfg.MaxTREFI}
 }
 
-// hammerTREFIEvent retires one tREFI's worth (w ACTs) of the bank's hammer
-// pattern on the event engine: idle stretches collapse into ActivateRun
-// segments, insertion ACTs go through ActivateInsert, and a gap outlasting
-// the tREFI is carried into the next one.
-func (b *bankState) hammerTREFIEvent(w int) {
-	left := w
+// runEvent retires up to maxTREFI refresh intervals (maxTREFI*w demand ACTs)
+// of the bank's hammer pattern on the event engine and reports the refresh
+// interval of the bank's first bit flip, if any. Idle stretches are NOT
+// split at tREFI boundaries — memctrl does its own exact boundary
+// accounting — so a gap spanning many windows is one call. Chunks never
+// exceed the remaining budget, so a detected flip always lands within the
+// horizon; its window is recovered from the flip's global ACT index (window
+// t covers ACTs (t-1)*w+1 .. t*w, with boundary REF flips attributed to the
+// window they close — exactly the lockstep loop's attribution).
+func (b *bankState) runEvent(w, maxTREFI int) (failTREFI int, failed bool) {
+	left := maxTREFI * w
 	for left > 0 {
 		if b.gap == gapUnset {
 			b.gap = b.r.SkipT(b.sk)
@@ -218,18 +252,35 @@ func (b *bankState) hammerTREFIEvent(w int) {
 		if b.gap >= left {
 			b.idleACTs(left)
 			b.gap -= left
-			return
+			left = 0
+		} else {
+			b.idleACTs(b.gap)
+			left -= b.gap
+			b.ctrl.ActivateInsert(b.pat.Next())
+			left--
+			b.gap = gapUnset
 		}
-		b.idleACTs(b.gap)
-		left -= b.gap
-		b.ctrl.ActivateInsert(b.pat.Next())
-		left--
-		b.gap = gapUnset
+		if flips := b.ctrl.Bank().Flips(); len(flips) > 0 {
+			return int((flips[0].ACTIndex + uint64(w) - 1) / uint64(w)), true
+		}
 	}
+	return 0, false
 }
 
-// idleACTs retires n insertion-free activations of the bank's pattern.
+// idleACTs retires n insertion-free activations of the bank's pattern. The
+// double-sided pattern's 2-cycle goes through the batched multi-row path;
+// exotic caller-supplied patterns with long cycles fall back to same-row
+// run batching.
 func (b *bankState) idleACTs(n int) {
+	if n <= 0 {
+		return
+	}
+	if b.pat.CycleLen() <= patterns.MaxBatchGroup {
+		rows, phase := b.pat.Group()
+		b.ctrl.ActivateRunGroup(rows, phase, n)
+		b.pat.Advance(n)
+		return
+	}
 	for n > 0 {
 		row, k := b.pat.Run(n)
 		b.ctrl.ActivateRun(row, k)
@@ -244,13 +295,21 @@ func (b *bankState) idleACTs(n int) {
 // analytic.SystemTTFYears validates the Eq. 1 / Section VII-C chain
 // empirically.
 func MeasureMTTF(cfg Config, s sim.Scheme, trials int, seed uint64) (meanSeconds float64, failed int) {
+	return MeasureMTTFEngine(cfg, s, trials, seed, engine.Exact)
+}
+
+// MeasureMTTFEngine is MeasureMTTF on the selected engine. Trial seeds are
+// index-derived exactly like MeasureMTTFCampaign's, so a serial measurement
+// agrees trial-for-trial with a campaign at any worker count — on the same
+// engine, bit for bit.
+func MeasureMTTFEngine(cfg Config, s sim.Scheme, trials int, seed uint64, eng engine.Kind) (meanSeconds float64, failed int) {
 	if trials < 1 {
 		panic(fmt.Sprintf("system: trials must be >= 1, got %d", trials))
 	}
-	seeds := rng.New(seed)
+	var sc runScratch
 	total := 0.0
 	for t := 0; t < trials; t++ {
-		res := Run(cfg, s, seeds.Uint64())
+		res := run(cfg, s, rng.DeriveSeed(seed, uint64(t)), &sc, eng)
 		if res.Failed {
 			failed++
 			total += res.TimeToFail.Seconds()

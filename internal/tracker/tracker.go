@@ -123,6 +123,23 @@ type ScheduledAdvancer interface {
 	NextInsert() (idle int, ok bool)
 }
 
+// IdleMitigator is implemented by trackers for which a mitigation
+// opportunity arriving at an EMPTY tracker is a pure counter event: no
+// draws, no state change, nothing observable beyond bookkeeping. The
+// event engines use it to retire whole stretches of mitigation cadence in
+// closed form while the tracker is empty — PrIDE qualifies (an empty pop
+// returns before any draw or observer event), MINT does not (its
+// OnMitigate advances the interval schedule and draws regardless of
+// occupancy) and so deliberately omits the method.
+type IdleMitigator interface {
+	Tracker
+
+	// AdvanceIdleMitigations accounts for n mitigation opportunities that
+	// each found the tracker empty. Equivalent to n OnMitigate calls with
+	// Occupancy()==0; consumes no draws. n may be zero; negative n panics.
+	AdvanceIdleMitigations(n int)
+}
+
 // SelfChecker is implemented by trackers that can enable runtime invariant
 // guards (-selfcheck): cheap assertions on internal state (FIFO occupancy
 // and pointer bounds, entry-level ranges) that panic with a guard.Violation
