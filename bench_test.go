@@ -13,10 +13,13 @@
 package pride_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"pride/internal/addrmap"
 	"pride/internal/analytic"
 	"pride/internal/core"
 	"pride/internal/dram"
@@ -28,6 +31,7 @@ import (
 	"pride/internal/rng"
 	"pride/internal/sim"
 	"pride/internal/system"
+	"pride/internal/trace"
 	"pride/internal/tracker"
 	"pride/internal/workload"
 )
@@ -301,6 +305,101 @@ func BenchmarkAttackSuiteEngine(b *testing.B) {
 			}
 			b.ReportMetric(float64(reference.MaxDisturbance), "maxDist")
 		})
+	}
+}
+
+// serverReplayWorkload builds the fixed server-scale replay input: a
+// 64-shard topology (4 channels x 2 ranks x 8 banks) and 400K lbm-calibrated
+// trace records.
+func serverReplayWorkload(b *testing.B) (*system.Topology, addrmap.Mapping, []uint64) {
+	b.Helper()
+	m := addrmap.Mapping{ColumnBits: 4, BankBits: 3, RowBits: 12, RankBits: 1, ChannelBits: 2, XORBankHash: true}
+	addrs, err := trace.Drain(workload.NewAddrSource(workload.SPEC2017()[1], m, 400_000, 7), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := system.NewTopology(system.TopologyConfig{
+		Params:  dram.DDR5(),
+		Mapping: m,
+		Scheme:  sim.PrIDEScheme(),
+		TRH:     1000,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo, m, addrs
+}
+
+// BenchmarkServerReplay compares the sharded trace-replay campaign across
+// worker counts on a fixed 400K-record server-scale input. Every variant
+// asserts its merged result is bit-identical to the serial (workers=1)
+// reference, so the speedup numbers are for provably the same computation. On
+// an idle machine with >= 8 cores the workers=8 case should run >= 3x faster
+// than workers=1:
+//
+//	go test -bench=ServerReplay -benchtime=1x
+func BenchmarkServerReplay(b *testing.B) {
+	topo, m, addrs := serverReplayWorkload(b)
+	reference, err := topo.Replay(trace.NewSliceSource(m, addrs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := topo.ReplayCampaign(context.Background(), trace.NewSliceSource(m, addrs),
+					system.ReplayOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, reference) {
+					b.Fatalf("workers=%d merged output differs from serial", workers)
+				}
+			}
+			b.ReportMetric(float64(reference.TotalFlips()), "flips")
+		})
+	}
+}
+
+// BenchmarkTraceDecode measures the streaming binary-trace decoder in MB/s
+// (the b.SetBytes rate): one op decodes the whole encoded stream through a
+// reused Reader (Reset) and record batch, so the steady-state decode path
+// allocates nothing at all.
+func BenchmarkTraceDecode(b *testing.B) {
+	_, m, addrs := serverReplayWorkload(b)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, m, addrs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	br := bytes.NewReader(data)
+	r, err := trace.NewReader(br)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]uint64, 4096)
+	var sink uint64
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(data)
+		if err := r.Reset(br); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			n, err := r.ReadBatch(batch)
+			for _, a := range batch[:n] {
+				sink += a
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	if sink == 0 {
+		b.Fatal("decoded stream summed to zero")
 	}
 }
 

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"os"
 	"testing"
 
+	"pride/internal/addrmap"
 	"pride/internal/baseline"
 	"pride/internal/core"
 	"pride/internal/dram"
@@ -43,6 +45,8 @@ import (
 	"pride/internal/rng"
 	"pride/internal/sim"
 	"pride/internal/system"
+	"pride/internal/trace"
+	"pride/internal/workload"
 )
 
 const schemaVersion = 1
@@ -117,6 +121,12 @@ func engines(scale int) []engine {
 
 	sysTREFIs := scaled(20_000, scale, 50)
 	sysCfg := system.Config{Params: ap, Banks: 4, TRH: 4000, MaxTREFI: sysTREFIs}
+
+	// Server-scale replay workload: a 64-shard topology (4 channels x 2 ranks
+	// x 8 banks) driven by the lbm-calibrated generator.
+	replayMapping := addrmap.Mapping{ColumnBits: 4, BankBits: 3, RowBits: 12, RankBits: 1, ChannelBits: 2, XORBankHash: true}
+	replayRecords := scaled(400_000, scale, 4_000)
+	traceRecords := scaled(1<<21, scale, 8_192)
 
 	return []engine{
 		{
@@ -319,6 +329,81 @@ func engines(scale int) []engine {
 				for i := 0; i < b.N; i++ {
 					m := sim.MeasurePatternLossEngine(4, w, pat, lossActs, uint64(i), eng.Event)
 					sink += uint64(len(m.Rows))
+				}
+			},
+		},
+		{
+			name: "trace-decode", unit: "record", unitsPerOp: traceRecords, guardAllocs: true,
+			bench: func(b *testing.B) {
+				// The streaming binary-trace decoder: one op decodes the whole
+				// encoded stream through a reused Reader (Reset) and record
+				// batch, so the alloc gate pins decoding at zero allocations
+				// per op, not just per record.
+				spec := workload.SPEC2017()[1] // lbm
+				addrs, err := trace.Drain(workload.NewAddrSource(spec, replayMapping, traceRecords, 7), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := trace.WriteAll(&buf, replayMapping, addrs); err != nil {
+					b.Fatal(err)
+				}
+				data := buf.Bytes()
+				br := bytes.NewReader(data)
+				r, err := trace.NewReader(br)
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch := make([]uint64, 4096)
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					br.Reset(data)
+					if err := r.Reset(br); err != nil {
+						b.Fatal(err)
+					}
+					for {
+						n, err := r.ReadBatch(batch)
+						for _, a := range batch[:n] {
+							sink += a
+						}
+						if err != nil {
+							break
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "server-replay-path", unit: "ACT", unitsPerOp: replayRecords,
+			bench: func(b *testing.B) {
+				// The full serial replay path: demux the record stream into
+				// per-shard queues, then drive every bank's controller,
+				// tracker and disturbance accounting through it.
+				spec := workload.SPEC2017()[1] // lbm
+				addrs, err := trace.Drain(workload.NewAddrSource(spec, replayMapping, replayRecords, 7), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				topo, err := system.NewTopology(system.TopologyConfig{
+					Params:  dram.DDR5(),
+					Mapping: replayMapping,
+					Scheme:  sim.PrIDEScheme(),
+					TRH:     1000,
+					Seed:    1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := topo.Replay(trace.NewSliceSource(replayMapping, addrs))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += uint64(res.CRC32)
 				}
 			},
 		},

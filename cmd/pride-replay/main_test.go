@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pride/internal/cli"
+	"pride/internal/trace"
+)
+
+// smokeMapping and smokeArgs mirror how testdata/smoke.trace was generated:
+//
+//	pride-replay -workload lbm -acts 8192 -mapping "col=4 bank=2 row=10 rank=1 chan=1 xor=1" \
+//	    -trh 300 -emit cmd/pride-replay/testdata/smoke.trace
+const (
+	smokeTrace   = "testdata/smoke.trace"
+	smokeMapping = "col=4 bank=2 row=10 rank=1 chan=1 xor=1"
+)
+
+func smokeGenArgs(extra ...string) []string {
+	base := []string{"-workload", "lbm", "-acts", "8192", "-workload-seed", "7",
+		"-mapping", smokeMapping, "-trh", "300"}
+	return append(base, extra...)
+}
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errOut strings.Builder
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	return out.String()
+}
+
+func TestRunTraceWorkerInvariance(t *testing.T) {
+	// The whole stdout report must be byte-identical across -workers values.
+	want := runOK(t, "-trace", smokeTrace, "-trh", "300", "-workers", "1")
+	if !strings.Contains(want, "replayed 8192 records") {
+		t.Fatalf("report missing the record count:\n%s", want)
+	}
+	for _, workers := range []string{"2", "4", "8"} {
+		if got := runOK(t, "-trace", smokeTrace, "-trh", "300", "-workers", workers); got != want {
+			t.Fatalf("-workers %s output differs from -workers 1:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestRunGeneratorMatchesCommittedTrace(t *testing.T) {
+	// A generator-driven replay and a replay of the committed trace that
+	// generator emitted produce byte-identical reports (same records, same
+	// CRC, same flips), and re-emitting regenerates the committed file
+	// byte-for-byte — the guard that testdata/smoke.trace stays reproducible.
+	emitted := filepath.Join(t.TempDir(), "smoke.trace")
+	fromGen := runOK(t, smokeGenArgs("-workers", "2", "-emit", emitted)...)
+	fromFile := runOK(t, "-trace", smokeTrace, "-trh", "300", "-workers", "2")
+	if fromGen != fromFile {
+		t.Fatalf("generator-driven report differs from trace replay:\n%s\nvs\n%s", fromGen, fromFile)
+	}
+	got, err := os.ReadFile(emitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(smokeTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("emitted trace (%d bytes) differs from committed %s (%d bytes); regenerate it with the command in the comment above", len(got), smokeTrace, len(want))
+	}
+}
+
+func TestRunTextTraceConversion(t *testing.T) {
+	// The text form of the smoke trace replays identically, and -emit
+	// converts it back to the identical binary file.
+	f, err := os.Open(smokeTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, addrs, err := trace.ReadAll(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "smoke.txt")
+	tf, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(tf, m, addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	binPath := filepath.Join(dir, "converted.trace")
+	fromText := runOK(t, "-trace", textPath, "-trh", "300", "-emit", binPath)
+	fromBin := runOK(t, "-trace", smokeTrace, "-trh", "300")
+	if fromText != fromBin {
+		t.Fatalf("text replay differs from binary replay:\n%s\nvs\n%s", fromText, fromBin)
+	}
+	got, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(smokeTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("text-to-binary conversion is not byte-identical to the original")
+	}
+}
+
+func TestRunPerChannelRFMBudgets(t *testing.T) {
+	out := runOK(t, "-trace", smokeTrace, "-trh", "300", "-rfm", "0,48", "-csv")
+	var rfms []string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		cells := strings.Split(line, ",")
+		if len(cells) < 4 || (cells[0] != "0" && cells[0] != "1") {
+			continue
+		}
+		rfms = append(rfms, cells[3])
+	}
+	if len(rfms) != 2 {
+		t.Fatalf("expected 2 channel rows, got %d:\n%s", len(rfms), out)
+	}
+	if rfms[0] != "0" {
+		t.Fatalf("channel 0 has budget 0 but issued %s RFMs:\n%s", rfms[0], out)
+	}
+	if rfms[1] == "0" {
+		t.Fatalf("channel 1 has budget 48 but issued no RFMs:\n%s", out)
+	}
+}
+
+func TestRunSchemeMINT(t *testing.T) {
+	out := runOK(t, "-trace", smokeTrace, "-trh", "300", "-scheme", "MINT")
+	if !strings.Contains(out, "MINT") {
+		t.Fatalf("report missing the MINT scheme name:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"no source":              {"-trh", "300"},
+		"both sources":           {"-trace", smokeTrace, "-workload", "lbm"},
+		"mapping with trace":     {"-trace", smokeTrace, "-mapping", smokeMapping},
+		"acts with trace":        {"-trace", smokeTrace, "-acts", "100"},
+		"seed with trace":        {"-trace", smokeTrace, "-workload-seed", "3"},
+		"unknown workload":       smokeGenArgs("-workload", "nosuchthing"),
+		"zero acts":              smokeGenArgs("-acts", "0"),
+		"bad mapping":            {"-workload", "lbm", "-mapping", "col=4"},
+		"unknown scheme":         {"-trace", smokeTrace, "-scheme", "bogus"},
+		"bad rfm value":          {"-trace", smokeTrace, "-rfm", "x"},
+		"negative rfm":           {"-trace", smokeTrace, "-rfm", "-1"},
+		"rfm count mismatch":     {"-trace", smokeTrace, "-rfm", "1,2,3"},
+		"bad trh":                {"-trace", smokeTrace, "-trh", "1"},
+		"zero workers":           {"-trace", smokeTrace, "-workers", "0"},
+		"unknown flag":           {"-definitely-not-a-flag"},
+		"engine flag is removed": {"-trace", smokeTrace, "-engine", "exact"},
+		"missing trace file":     {"-trace", "testdata/nope.trace"},
+		"bad chaos spec":         {"-trace", smokeTrace, "-chaos", "nonsense"},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Errorf("%s: exit code %d, want 2 (stderr: %s)", name, code, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsCorruptTrace(t *testing.T) {
+	// A file that starts with the magic but lies about its record count is
+	// rejected with the decoder's torn-tail diagnostic, not replayed short.
+	data, err := os.ReadFile(smokeTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.trace")
+	if err := os.WriteFile(torn, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-trace", torn, "-trh", "300"}, &out, &errOut); code == 0 {
+		t.Fatalf("torn trace replayed successfully:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "torn tail") {
+		t.Fatalf("no torn-tail diagnostic on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunThroughputOnStderr(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-trace", smokeTrace, "-trh", "300"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"throughput", "records=8192", "records_per_sec=", "acts_per_sec=", "mb_per_sec="} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("stderr missing %q: %q", want, errOut.String())
+		}
+	}
+	if strings.Contains(out.String(), "throughput") {
+		t.Fatal("wall-clock throughput leaked onto the deterministic stdout report")
+	}
+}
+
+func TestRunInterruptedExitsWithResumeHint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGINT before any shard completes
+	base := filepath.Join(t.TempDir(), "replay.ckpt")
+	var out, errOut strings.Builder
+	code := run(ctx, []string{"-trace", smokeTrace, "-trh", "300", "-checkpoint", base}, &out, &errOut)
+	if code != cli.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d; stderr: %s", code, cli.ExitInterrupted, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "resume") {
+		t.Fatalf("no resume hint on stderr: %q", errOut.String())
+	}
+}
+
+func TestRunCheckpointedMatchesPlain(t *testing.T) {
+	plain := runOK(t, "-trace", smokeTrace, "-trh", "300", "-workers", "2")
+	base := filepath.Join(t.TempDir(), "replay.ckpt")
+	ckpt := runOK(t, "-trace", smokeTrace, "-trh", "300", "-workers", "3", "-checkpoint", base)
+	if ckpt != plain {
+		t.Fatal("checkpointed stdout differs from plain run")
+	}
+	// Resuming the finished checkpoint restores every shard and reproduces
+	// the identical report.
+	resumed := runOK(t, "-trace", smokeTrace, "-trh", "300", "-workers", "1", "-checkpoint", base)
+	if resumed != plain {
+		t.Fatal("resumed stdout differs from plain run")
+	}
+}

@@ -15,7 +15,11 @@
 //     an MC-side defense refreshing r±1 protects the wrong cells.
 package addrmap
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Mapping describes how a physical address splits into DRAM coordinates,
 // lowest bits first: column, then bank (XOR-hashed with row bits), then row,
@@ -53,6 +57,74 @@ func (m Mapping) Validate() error {
 	return nil
 }
 
+// String renders the mapping in the canonical parseable form used by the
+// trace text format and the CLI -mapping flag:
+// "col=13 bank=5 row=17 rank=0 chan=0 xor=1".
+func (m Mapping) String() string {
+	xor := 0
+	if m.XORBankHash {
+		xor = 1
+	}
+	return fmt.Sprintf("col=%d bank=%d row=%d rank=%d chan=%d xor=%d",
+		m.ColumnBits, m.BankBits, m.RowBits, m.RankBits, m.ChannelBits, xor)
+}
+
+// ParseMapping parses the canonical mapping syntax produced by String:
+// space- or comma-separated key=value fields with keys col, bank, row, rank,
+// chan, xor. Every key must appear exactly once, and the result must
+// Validate — a typo in a hand-edited trace header should fail loudly, not
+// silently change the geometry.
+func ParseMapping(s string) (Mapping, error) {
+	var m Mapping
+	seen := map[string]bool{}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+	for _, f := range fields {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return Mapping{}, fmt.Errorf("addrmap: mapping field %q is not key=value", f)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return Mapping{}, fmt.Errorf("addrmap: mapping field %q: bad value %q", key, val)
+		}
+		if seen[key] {
+			return Mapping{}, fmt.Errorf("addrmap: duplicate mapping field %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "col":
+			m.ColumnBits = v
+		case "bank":
+			m.BankBits = v
+		case "row":
+			m.RowBits = v
+		case "rank":
+			m.RankBits = v
+		case "chan":
+			m.ChannelBits = v
+		case "xor":
+			switch v {
+			case 0:
+			case 1:
+				m.XORBankHash = true
+			default:
+				return Mapping{}, fmt.Errorf("addrmap: mapping field xor must be 0 or 1, got %d", v)
+			}
+		default:
+			return Mapping{}, fmt.Errorf("addrmap: unknown mapping field %q", key)
+		}
+	}
+	for _, key := range []string{"col", "bank", "row", "rank", "chan", "xor"} {
+		if !seen[key] {
+			return Mapping{}, fmt.Errorf("addrmap: mapping is missing field %q", key)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	return m, nil
+}
+
 // Coord is a decoded DRAM coordinate.
 type Coord struct {
 	Channel int
@@ -62,56 +134,136 @@ type Coord struct {
 	Column  int
 }
 
-// Decode splits addr into coordinates. It panics on an invalid mapping
-// (construction-time misuse).
-func (m Mapping) Decode(addr uint64) Coord {
+// Compiled is a mapping validated once, with the per-field shifts and masks
+// precomputed, so the per-record Decode/Encode on the trace-replay hot path
+// costs a handful of shift/mask operations and no validation branches. It is
+// a plain value (no pointer, no allocation); build one with Compile or
+// MustCompile and reuse it.
+type Compiled struct {
+	m Mapping
+
+	colMask, bankMask, rowMask, rankMask, chanMask uint64
+	bankShift, rowShift, rankShift, chanShift      uint
+	// addrMask covers every mapped bit; addresses with bits outside it do
+	// not correspond to any coordinate.
+	addrMask uint64
+	// xorMask is bankMask when the XOR bank hash is active, else 0, so the
+	// hash costs one unconditional AND/XOR instead of a branch.
+	xorMask uint64
+}
+
+// Compile validates the mapping once and returns its compiled form.
+func (m Mapping) Compile() (Compiled, error) {
 	if err := m.Validate(); err != nil {
+		return Compiled{}, err
+	}
+	c := Compiled{m: m}
+	mask := func(bits int) uint64 { return (uint64(1) << bits) - 1 }
+	c.colMask = mask(m.ColumnBits)
+	c.bankMask = mask(m.BankBits)
+	c.rowMask = mask(m.RowBits)
+	c.rankMask = mask(m.RankBits)
+	c.chanMask = mask(m.ChannelBits)
+	c.bankShift = uint(m.ColumnBits)
+	c.rowShift = c.bankShift + uint(m.BankBits)
+	c.rankShift = c.rowShift + uint(m.RowBits)
+	c.chanShift = c.rankShift + uint(m.RankBits)
+	c.addrMask = mask(m.ColumnBits + m.BankBits + m.RowBits + m.RankBits + m.ChannelBits)
+	if m.XORBankHash {
+		c.xorMask = c.bankMask
+	}
+	return c, nil
+}
+
+// MustCompile is Compile, panicking on an invalid mapping (construction-time
+// misuse).
+func (m Mapping) MustCompile() Compiled {
+	c, err := m.Compile()
+	if err != nil {
 		panic(err)
-	}
-	take := func(bits int) int {
-		v := addr & ((1 << bits) - 1)
-		addr >>= bits
-		return int(v)
-	}
-	c := Coord{}
-	c.Column = take(m.ColumnBits)
-	c.Bank = take(m.BankBits)
-	c.Row = take(m.RowBits)
-	c.Rank = take(m.RankBits)
-	c.Channel = take(m.ChannelBits)
-	if m.XORBankHash && m.BankBits > 0 {
-		c.Bank ^= c.Row & ((1 << m.BankBits) - 1)
 	}
 	return c
 }
 
-// Encode is the inverse of Decode.
+// Mapping returns the mapping the compiled form was built from.
+func (c Compiled) Mapping() Mapping { return c.m }
+
+// Channels returns the number of channels the mapping addresses.
+func (c Compiled) Channels() int { return 1 << c.m.ChannelBits }
+
+// Ranks returns the number of ranks per channel.
+func (c Compiled) Ranks() int { return 1 << c.m.RankBits }
+
+// Banks returns the number of banks per rank.
+func (c Compiled) Banks() int { return 1 << c.m.BankBits }
+
+// Rows returns the number of rows per bank.
+func (c Compiled) Rows() int { return 1 << c.m.RowBits }
+
+// AddrBits returns the total number of mapped address bits.
+func (c Compiled) AddrBits() int {
+	return c.m.ColumnBits + c.m.BankBits + c.m.RowBits + c.m.RankBits + c.m.ChannelBits
+}
+
+// InRange reports whether addr is representable under the mapping (no bits
+// above the mapped width). Decode masks such bits off; strict consumers (the
+// trace decoder) reject the address instead.
+func (c Compiled) InRange(addr uint64) bool { return addr&^c.addrMask == 0 }
+
+// Decode splits addr into coordinates: the allocation-free hot path.
+func (c Compiled) Decode(addr uint64) Coord {
+	row := (addr >> c.rowShift) & c.rowMask
+	return Coord{
+		Column:  int(addr & c.colMask),
+		Bank:    int(((addr >> c.bankShift) & c.bankMask) ^ (row & c.xorMask)),
+		Row:     int(row),
+		Rank:    int((addr >> c.rankShift) & c.rankMask),
+		Channel: int((addr >> c.chanShift) & c.chanMask),
+	}
+}
+
+// Route decodes only the shard-routing fields — channel, rank, hashed bank,
+// row — returning them in registers. The replay demux calls this once per
+// trace record; skipping the column and the Coord struct keeps the per-record
+// cost to the four shift/mask extractions it actually needs.
+func (c Compiled) Route(addr uint64) (channel, rank, bank, row int) {
+	r := (addr >> c.rowShift) & c.rowMask
+	return int((addr >> c.chanShift) & c.chanMask),
+		int((addr >> c.rankShift) & c.rankMask),
+		int(((addr >> c.bankShift) & c.bankMask) ^ (r & c.xorMask)),
+		int(r)
+}
+
+// Encode is the inverse of Decode. It panics when a coordinate exceeds its
+// field width (the same construction-time misuse the uncompiled path
+// rejected).
+func (c Compiled) Encode(co Coord) uint64 {
+	check := func(v int, mask uint64, name string) uint64 {
+		if v < 0 || uint64(v) > mask {
+			panic(fmt.Sprintf("addrmap: %s value %d exceeds mask %#x", name, v, mask))
+		}
+		return uint64(v)
+	}
+	bank := check(co.Bank, c.bankMask, "bank") ^ (check(co.Row, c.rowMask, "row") & c.xorMask)
+	return check(co.Column, c.colMask, "column") |
+		bank<<c.bankShift |
+		uint64(co.Row)<<c.rowShift |
+		check(co.Rank, c.rankMask, "rank")<<c.rankShift |
+		check(co.Channel, c.chanMask, "channel")<<c.chanShift
+}
+
+// Decode splits addr into coordinates. It panics on an invalid mapping
+// (construction-time misuse). Convenience form: it validates and compiles on
+// every call, so hot paths (the trace decoder, the replay demux) should
+// Compile once and call Compiled.Decode instead.
+func (m Mapping) Decode(addr uint64) Coord {
+	return m.MustCompile().Decode(addr)
+}
+
+// Encode is the inverse of Decode, with the same convenience-form caveat:
+// hot paths should hold a Compiled.
 func (m Mapping) Encode(c Coord) uint64 {
-	if err := m.Validate(); err != nil {
-		panic(err)
-	}
-	bank := c.Bank
-	if m.XORBankHash && m.BankBits > 0 {
-		bank ^= c.Row & ((1 << m.BankBits) - 1)
-	}
-	addr := uint64(0)
-	shift := 0
-	put := func(v, bits int) {
-		if bits == 0 {
-			return
-		}
-		if v < 0 || v >= 1<<bits {
-			panic(fmt.Sprintf("addrmap: field value %d exceeds %d bits", v, bits))
-		}
-		addr |= uint64(v) << shift
-		shift += bits
-	}
-	put(c.Column, m.ColumnBits)
-	put(bank, m.BankBits)
-	put(c.Row, m.RowBits)
-	put(c.Rank, m.RankBits)
-	put(c.Channel, m.ChannelBits)
-	return addr
+	return m.MustCompile().Encode(c)
 }
 
 // RowScrambler is a keyed bijection over [0, Rows) standing in for the

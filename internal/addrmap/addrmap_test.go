@@ -179,6 +179,152 @@ func TestMCSideAdjacencyFailure(t *testing.T) {
 	}
 }
 
+func TestCompiledMatchesMapping(t *testing.T) {
+	mappings := []Mapping{
+		DefaultDDR5(),
+		{ColumnBits: 13, BankBits: 5, RowBits: 17, RankBits: 1, ChannelBits: 2, XORBankHash: true},
+		{ColumnBits: 10, BankBits: 3, RowBits: 12, RankBits: 2, ChannelBits: 3},
+		{ColumnBits: 0, BankBits: 2, RowBits: 8, RankBits: 0, ChannelBits: 1, XORBankHash: true},
+	}
+	for _, m := range mappings {
+		c, err := m.Compile()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		bits := uint(c.AddrBits())
+		for i := 0; i < 2000; i++ {
+			addr := (uint64(i) * 0x9E3779B97F4A7C15) & ((1 << bits) - 1)
+			got, want := c.Decode(addr), m.Decode(addr)
+			if got != want {
+				t.Fatalf("%v: Decode(%#x) = %+v, mapping path %+v", m, addr, got, want)
+			}
+			if enc := c.Encode(got); enc != addr {
+				t.Fatalf("%v: Encode(Decode(%#x)) = %#x", m, addr, enc)
+			}
+			if enc := m.Encode(got); enc != addr {
+				t.Fatalf("%v: mapping Encode disagrees at %#x", m, addr)
+			}
+			ch, rk, bk, row := c.Route(addr)
+			if ch != want.Channel || rk != want.Rank || bk != want.Bank || row != want.Row {
+				t.Fatalf("%v: Route(%#x) = (%d,%d,%d,%d), Decode gives %+v", m, addr, ch, rk, bk, row, want)
+			}
+		}
+		if !c.InRange((1<<bits)-1) || (bits < 64 && c.InRange(1<<bits)) {
+			t.Fatalf("%v: InRange boundary wrong at %d bits", m, bits)
+		}
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	if _, err := (Mapping{RowBits: 2, BankBits: 5, XORBankHash: true}).Compile(); err == nil {
+		t.Fatal("Compile accepted an invalid mapping")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic on an invalid mapping")
+		}
+	}()
+	Mapping{RowBits: 0}.MustCompile()
+}
+
+func TestCompiledGeometry(t *testing.T) {
+	m := Mapping{ColumnBits: 6, BankBits: 3, RowBits: 10, RankBits: 1, ChannelBits: 2}
+	c := m.MustCompile()
+	if c.Channels() != 4 || c.Ranks() != 2 || c.Banks() != 8 || c.Rows() != 1024 {
+		t.Fatalf("geometry: ch=%d rk=%d bk=%d rows=%d", c.Channels(), c.Ranks(), c.Banks(), c.Rows())
+	}
+	if c.Mapping() != m {
+		t.Fatalf("Mapping() = %+v", c.Mapping())
+	}
+	if c.AddrBits() != 22 {
+		t.Fatalf("AddrBits() = %d", c.AddrBits())
+	}
+}
+
+func TestCompiledEncodePanicsOutOfRange(t *testing.T) {
+	c := Mapping{ColumnBits: 2, BankBits: 2, RowBits: 4}.MustCompile()
+	for name, co := range map[string]Coord{
+		"row":      {Row: 16},
+		"bank":     {Bank: 4},
+		"column":   {Column: 4},
+		"rank":     {Rank: 1},
+		"channel":  {Channel: 1},
+		"negative": {Row: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			c.Encode(co)
+		}()
+	}
+}
+
+func TestCompiledDecodeZeroAlloc(t *testing.T) {
+	c := DefaultDDR5().MustCompile()
+	var sink Coord
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = c.Decode(0x12345678)
+	})
+	if allocs != 0 {
+		t.Fatalf("Compiled.Decode allocates %v per call", allocs)
+	}
+	_ = sink
+}
+
+func TestMappingStringParseRoundTrip(t *testing.T) {
+	mappings := []Mapping{
+		DefaultDDR5(),
+		{ColumnBits: 13, BankBits: 5, RowBits: 17, RankBits: 1, ChannelBits: 2, XORBankHash: true},
+		{ColumnBits: 10, BankBits: 3, RowBits: 12},
+	}
+	for _, m := range mappings {
+		got, err := ParseMapping(m.String())
+		if err != nil {
+			t.Fatalf("ParseMapping(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("round trip %q: got %+v, want %+v", m.String(), got, m)
+		}
+	}
+	if s := DefaultDDR5().String(); s != "col=13 bank=5 row=17 rank=0 chan=0 xor=1" {
+		t.Fatalf("canonical form changed: %q", s)
+	}
+	// Comma-separated form (CLI-friendly) parses too.
+	if _, err := ParseMapping("col=13,bank=5,row=17,rank=0,chan=0,xor=0"); err != nil {
+		t.Fatalf("comma form: %v", err)
+	}
+}
+
+func TestParseMappingRejects(t *testing.T) {
+	bad := map[string]string{
+		"missing field": "col=13 bank=5 row=17 rank=0 chan=0",
+		"duplicate":     "col=13 col=13 bank=5 row=17 rank=0 chan=0 xor=1",
+		"unknown key":   "col=13 bank=5 row=17 rank=0 chan=0 xor=1 frob=2",
+		"bad value":     "col=x bank=5 row=17 rank=0 chan=0 xor=1",
+		"bad xor":       "col=13 bank=5 row=17 rank=0 chan=0 xor=2",
+		"not key=value": "col bank=5 row=17 rank=0 chan=0 xor=1",
+		"invalid":       "col=13 bank=5 row=0 rank=0 chan=0 xor=0",
+	}
+	for name, s := range bad {
+		if _, err := ParseMapping(s); err == nil {
+			t.Errorf("%s: ParseMapping(%q) accepted", name, s)
+		}
+	}
+}
+
+func BenchmarkCompiledDecode(b *testing.B) {
+	c := DefaultDDR5().MustCompile()
+	b.ReportAllocs()
+	var sink Coord
+	for i := 0; i < b.N; i++ {
+		sink = c.Decode(uint64(i) * 0x9E3779B97F4A7C15 & ((1 << 35) - 1))
+	}
+	_ = sink
+}
+
 func TestScramblerPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"rows":         func() { NewRowScrambler(1, 1) },

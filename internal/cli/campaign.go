@@ -69,15 +69,33 @@ type CampaignFlags struct {
 
 // Register installs the -checkpoint, -progress-every and -engine flags on fs.
 func (c *CampaignFlags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&c.Checkpoint, "checkpoint", "",
-		"checkpoint base path: completed trials are persisted there and an interrupted run resumes from it (\"\" disables)")
-	fs.DurationVar(&c.ProgressEvery, "progress-every", 0,
-		"emit a structured progress line to stderr at this interval, e.g. 10s (0 disables)")
 	c.Engine.Kind = engine.Event
 	fs.Var(&c.Engine, "engine",
 		`simulation engine: "event" (geometric skip-ahead) or "exact" (per-ACT reference; bit-compatible with pre-engine checkpoints)`)
 	fs.BoolVar(&c.SelfCheck, "selfcheck", false,
 		"enable runtime invariant guards; an event-engine trial whose guard trips re-runs on the exact engine")
+	c.registerDurability(fs)
+}
+
+// RegisterNoEngine installs the campaign flags for commands whose
+// computation is inherently exact — trace replay consumes one record per
+// demand ACT, so there is no stochastic engine to select and no -engine
+// flag to mis-set. -selfcheck keeps its guard-only meaning (there is no
+// event engine to fall back from).
+func (c *CampaignFlags) RegisterNoEngine(fs *flag.FlagSet) {
+	c.Engine.Kind = engine.Exact
+	fs.BoolVar(&c.SelfCheck, "selfcheck", false,
+		"enable runtime invariant guards in the controllers, banks and trackers")
+	c.registerDurability(fs)
+}
+
+// registerDurability installs the engine-independent durability and
+// observability flags shared by Register and RegisterNoEngine.
+func (c *CampaignFlags) registerDurability(fs *flag.FlagSet) {
+	fs.StringVar(&c.Checkpoint, "checkpoint", "",
+		"checkpoint base path: completed trials are persisted there and an interrupted run resumes from it (\"\" disables)")
+	fs.DurationVar(&c.ProgressEvery, "progress-every", 0,
+		"emit a structured progress line to stderr at this interval, e.g. 10s (0 disables)")
 	fs.BoolVar(&c.CheckpointForce, "checkpoint-force", false,
 		"archive a stale checkpoint (key mismatch) to <path>.stale and start fresh instead of failing")
 	fs.IntVar(&c.TrialRetries, "trial-retries", 0,

@@ -36,6 +36,8 @@ type Campaign struct {
 	periods       atomic.Int64
 	mitigations   atomic.Int64
 	activations   atomic.Int64
+	records       atomic.Int64
+	bytes         atomic.Int64
 
 	trialRetries      atomic.Int64
 	checkpointRetries atomic.Int64
@@ -83,6 +85,14 @@ func (c *Campaign) AddMitigations(n int64) { c.mitigations.Add(n) }
 // AddActivations records n simulated demand activations (sim.ProgressSink).
 func (c *Campaign) AddActivations(n int64) { c.activations.Add(n) }
 
+// AddRecords records n trace records demuxed by a replay frontend
+// (system.ReplaySink).
+func (c *Campaign) AddRecords(n int64) { c.records.Add(n) }
+
+// AddBytes records n trace bytes consumed by a replay frontend
+// (system.ReplaySink).
+func (c *Campaign) AddBytes(n int64) { c.bytes.Add(n) }
+
 // AddTrialRetries records n retried trial attempts (trialrunner's retry
 // policy re-executing a panicked/errored trial).
 func (c *Campaign) AddTrialRetries(n int64) { c.trialRetries.Add(n) }
@@ -109,6 +119,10 @@ type Snapshot struct {
 	Periods        int64   `json:"periods"`
 	Mitigations    int64   `json:"mitigations"`
 	Activations    int64   `json:"activations"`
+	// Throughput counters of trace-driven replays: demuxed records and
+	// their byte volume. Both zero outside a replay campaign.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
 	// Resilience counters: retries absorbed, fallbacks taken, trials given
 	// up on. All zero in a healthy undisturbed run.
 	TrialRetries      int64   `json:"trial_retries"`
@@ -117,6 +131,8 @@ type Snapshot struct {
 	Quarantined       int64   `json:"quarantined"`
 	TrialsPerSec      float64 `json:"trials_per_sec"`
 	PeriodsPerSec     float64 `json:"periods_per_sec"`
+	RecordsPerSec     float64 `json:"records_per_sec"`
+	MBPerSec          float64 `json:"mb_per_sec"`
 	// Utilization is busy-worker time over elapsed wall-clock time times the
 	// pool width: 1.0 means every worker computed the whole time.
 	Utilization float64 `json:"utilization"`
@@ -135,6 +151,8 @@ func (c *Campaign) Snapshot() Snapshot {
 		Periods:        c.periods.Load(),
 		Mitigations:    c.mitigations.Load(),
 		Activations:    c.activations.Load(),
+		Records:        c.records.Load(),
+		Bytes:          c.bytes.Load(),
 
 		TrialRetries:      c.trialRetries.Load(),
 		CheckpointRetries: c.checkpointRetries.Load(),
@@ -144,6 +162,8 @@ func (c *Campaign) Snapshot() Snapshot {
 	if sec := elapsed.Seconds(); sec > 0 {
 		s.TrialsPerSec = float64(s.TrialsDone) / sec
 		s.PeriodsPerSec = float64(s.Periods) / sec
+		s.RecordsPerSec = float64(s.Records) / sec
+		s.MBPerSec = float64(s.Bytes) / (1e6 * sec)
 		s.Utilization = float64(c.busyNanos.Load()) / (float64(elapsed) * float64(c.workers))
 	}
 	return s
@@ -157,6 +177,13 @@ func (s Snapshot) Line() string {
 		s.Name, s.ElapsedSeconds, s.TrialsDone+s.TrialsSkipped, s.TrialsTotal, s.TrialsSkipped,
 		s.TrialsPerSec, s.Periods, s.PeriodsPerSec, s.Mitigations, s.Activations,
 		s.ActiveWorkers, s.Utilization)
+	// Replay throughput keys appear only when a trace frontend is feeding
+	// the campaign, so non-replay campaign lines stay byte-identical to
+	// what they were before the replay pipeline existed.
+	if s.Records != 0 {
+		line += fmt.Sprintf(" records=%d records_per_sec=%.3g mb_per_sec=%.2f",
+			s.Records, s.RecordsPerSec, s.MBPerSec)
+	}
 	// Resilience keys appear only once something went wrong, so the healthy
 	// line stays compact and a non-clean run is visible at a glance.
 	if s.TrialRetries != 0 || s.CheckpointRetries != 0 || s.EngineFallbacks != 0 || s.Quarantined != 0 {

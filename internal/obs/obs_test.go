@@ -71,6 +71,30 @@ func TestLineFormat(t *testing.T) {
 			t.Fatalf("progress line missing %q:\n%s", want, line)
 		}
 	}
+	// No replay frontend feeding the campaign: no throughput keys, so the
+	// non-replay line format is unchanged.
+	if strings.Contains(line, "records=") || strings.Contains(line, "mb_per_sec=") {
+		t.Fatalf("non-replay line carries replay keys:\n%s", line)
+	}
+}
+
+func TestReplayThroughputCounters(t *testing.T) {
+	c := NewCampaign("replay", 8, 4)
+	c.AddRecords(1 << 20)
+	c.AddBytes(8 << 20)
+	s := c.Snapshot()
+	if s.Records != 1<<20 || s.Bytes != 8<<20 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.RecordsPerSec <= 0 || s.MBPerSec <= 0 {
+		t.Fatalf("throughput rates not derived: %+v", s)
+	}
+	line := s.Line()
+	for _, want := range []string{"records=1048576", "records_per_sec=", "mb_per_sec="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("replay line missing %q:\n%s", want, line)
+		}
+	}
 }
 
 func TestExpvarPublication(t *testing.T) {

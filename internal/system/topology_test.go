@@ -1,0 +1,375 @@
+package system
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pride/internal/addrmap"
+	"pride/internal/dram"
+	"pride/internal/rng"
+	"pride/internal/sim"
+	"pride/internal/trace"
+	"pride/internal/tracker"
+	"pride/internal/trialrunner"
+	"pride/internal/workload"
+)
+
+// serverMapping is a 2-channel × 1-rank × 4-bank × 1K-row test topology:
+// small enough that replays run in milliseconds, wide enough that every
+// addrmap field is exercised end-to-end.
+func serverMapping() addrmap.Mapping {
+	return addrmap.Mapping{ColumnBits: 4, BankBits: 2, RowBits: 10, RankBits: 0, ChannelBits: 1, XORBankHash: true}
+}
+
+func serverConfig(t *testing.T) TopologyConfig {
+	t.Helper()
+	return TopologyConfig{
+		Params:  dram.DDR5(),
+		Mapping: serverMapping(),
+		Scheme:  sim.PrIDEScheme(),
+		TRH:     500,
+		Seed:    42,
+	}
+}
+
+func serverSource(n int) *workload.AddrSource {
+	spec := workload.Spec{Name: "lbm", MPKI: 45, RowHitRate: 0.75, MLP: 5}
+	return workload.NewAddrSource(spec, serverMapping(), n, 7)
+}
+
+func TestTopologyGeometry(t *testing.T) {
+	top, err := NewTopology(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Channels() != 2 || top.Ranks() != 1 || top.Banks() != 4 || top.Shards() != 8 {
+		t.Fatalf("geometry: ch=%d rk=%d bk=%d shards=%d", top.Channels(), top.Ranks(), top.Banks(), top.Shards())
+	}
+	p := top.Params()
+	if p.RowsPerBank != 1024 || p.RowBits != 10 || p.BanksPerRank != 4 || p.Banks != 8 {
+		t.Fatalf("derived params: %+v", p)
+	}
+	if p.TFAWLimit > p.Banks {
+		t.Fatalf("TFAWLimit %d exceeds %d banks", p.TFAWLimit, p.Banks)
+	}
+	// Round-trip shard index <-> coordinate.
+	for shard := 0; shard < top.Shards(); shard++ {
+		ch, rk, bk := top.shardCoord(shard)
+		if got := top.shardIndex(addrmap.Coord{Channel: ch, Rank: rk, Bank: bk}); got != shard {
+			t.Fatalf("shard %d -> (%d,%d,%d) -> %d", shard, ch, rk, bk, got)
+		}
+	}
+}
+
+func TestTopologyConfigRejects(t *testing.T) {
+	base := serverConfig(t)
+	cases := map[string]func(c *TopologyConfig){
+		"bad mapping":     func(c *TopologyConfig) { c.Mapping.RowBits = 0 },
+		"huge rows":       func(c *TopologyConfig) { c.Mapping.RowBits = 31; c.Mapping.XORBankHash = false },
+		"tiny rows":       func(c *TopologyConfig) { c.Mapping.RowBits = 1; c.Mapping.XORBankHash = false },
+		"low TRH":         func(c *TopologyConfig) { c.TRH = 1 },
+		"nil scheme":      func(c *TopologyConfig) { c.Scheme.New = nil },
+		"budget count":    func(c *TopologyConfig) { c.RFMBudgets = []int{1, 2, 3} },
+		"negative budget": func(c *TopologyConfig) { c.RFMBudgets = []int{-1} },
+	}
+	for name, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewTopology(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReplayWorkerInvariance(t *testing.T) {
+	top, err := NewTopology(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60000
+	var ref ReplayResult
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := top.ReplayCampaign(context.Background(), serverSource(n), ReplayOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			ref = res
+			if res.Records != n {
+				t.Fatalf("replayed %d records, want %d", res.Records, n)
+			}
+			var acts uint64
+			for _, s := range res.Shards {
+				acts += s.ACTs
+			}
+			if acts != n {
+				t.Fatalf("shards account for %d ACTs, want %d", acts, n)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("workers=%d: result differs from workers=1", workers)
+		}
+	}
+}
+
+func TestReplayGeneratorVsTraceBitIdentity(t *testing.T) {
+	top, err := NewTopology(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+
+	// Path A: the generator drives the replay directly.
+	direct, err := top.Replay(serverSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: the same generator's records are written to a binary trace,
+	// read back through the streaming decoder, and replayed.
+	records, err := trace.Drain(serverSource(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, serverMapping(), records); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := top.Replay(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(direct, replayed) {
+		t.Fatal("generator-driven replay differs from replaying the trace it emitted")
+	}
+}
+
+func TestReplayCheckpointResume(t *testing.T) {
+	top, err := NewTopology(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	fresh, err := top.Replay(serverSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "replay.ckpt")
+	cp := trialrunner.Checkpoint{Path: path}
+	first, err := top.ReplayCampaign(context.Background(), serverSource(n), ReplayOptions{Workers: 4, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := top.ReplayCampaign(context.Background(), serverSource(n), ReplayOptions{Workers: 2, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, fresh) || !reflect.DeepEqual(resumed, fresh) {
+		t.Fatal("checkpointed/resumed replay differs from a fresh serial replay")
+	}
+}
+
+func TestReplayRejectsMappingMismatch(t *testing.T) {
+	top, err := NewTopology(serverConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := serverMapping()
+	other.ChannelBits = 0
+	src := trace.NewSliceSource(other, nil)
+	if _, err := top.Replay(src); err == nil {
+		t.Fatal("replay accepted a trace recorded under a different mapping")
+	}
+}
+
+func TestReplayPerChannelRFMBudgets(t *testing.T) {
+	cfg := serverConfig(t)
+	// Channel 0 gets no RFM budget, channel 1 a tight one: RFM commands
+	// must appear only on channel 1's shards.
+	cfg.RFMBudgets = []int{0, 32}
+	top, err := NewTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := top.Replay(serverSource(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCh := res.PerChannel()
+	if len(perCh) != 2 {
+		t.Fatalf("%d channel summaries", len(perCh))
+	}
+	if perCh[0].RFMs != 0 {
+		t.Fatalf("channel 0 issued %d RFMs with a zero budget", perCh[0].RFMs)
+	}
+	if perCh[1].RFMs == 0 {
+		t.Fatal("channel 1 issued no RFMs with a 32-ACT budget")
+	}
+	// The uniform single-budget form applies everywhere.
+	cfg.RFMBudgets = []int{32}
+	top2, err := NewTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := top2.Replay(serverSource(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res2.PerChannel() {
+		if c.RFMs == 0 {
+			t.Fatalf("channel %d issued no RFMs under the uniform budget", c.Channel)
+		}
+	}
+}
+
+// nullTracker never mitigates: the undefended bank the scrambler tests need
+// deterministic flips from.
+type nullTracker struct{}
+
+func (nullTracker) Name() string                           { return "null" }
+func (nullTracker) OnActivate(int)                         {}
+func (nullTracker) OnMitigate() (tracker.Mitigation, bool) { return tracker.Mitigation{}, false }
+func (nullTracker) Occupancy() int                         { return 0 }
+func (nullTracker) StorageBits() int                       { return 0 }
+func (nullTracker) Reset()                                 {}
+
+func nullScheme() sim.Scheme {
+	return sim.Scheme{
+		Name:                "null",
+		MitigationEveryNREF: 1,
+		New: func(dram.Params, *rng.Stream) tracker.Tracker {
+			return nullTracker{}
+		},
+	}
+}
+
+// TestReplayScrambledVictimAccounting is the Section II-D geometry argument
+// on the replay path: with a RowScrambler standing in for the vendor remap,
+// externally adjacent aggressors land on unrelated internal rows (no flip),
+// an attacker who knows the internal geometry still flips the victim, and
+// the reported flip comes back in EXTERNAL row addresses.
+func TestReplayScrambledVictimAccounting(t *testing.T) {
+	m := addrmap.Mapping{ColumnBits: 2, BankBits: 0, RowBits: 12, RankBits: 0, ChannelBits: 0}
+	cfg := TopologyConfig{
+		Params:       dram.DDR5(),
+		Mapping:      m,
+		Scheme:       nullScheme(),
+		TRH:          200,
+		Seed:         1,
+		ScrambleSeed: 777,
+	}
+	top, err := NewTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := m.MustCompile()
+	// 3·TRH/4 hammers per side: the double-sided victim accrues 1.5·TRH
+	// disturbances (flips), while any single-sided neighbour of one
+	// aggressor stays at 0.75·TRH (no flip) — so a flip can only come from
+	// true internal adjacency, never from one hot aggressor alone.
+	hammer := func(rows ...int) []uint64 {
+		var addrs []uint64
+		for i := 0; i < 3*cfg.TRH/4; i++ {
+			for _, r := range rows {
+				addrs = append(addrs, compiled.Encode(addrmap.Coord{Row: r}))
+			}
+		}
+		return addrs
+	}
+
+	// The scrambler the shard will build (shard 0 under ScrambleSeed 777).
+	scr := addrmap.NewRowScrambler(1<<12, rng.DeriveSeed(777, 0))
+
+	// Externally adjacent aggressors around external row 2000: internally
+	// unrelated, so the double-sided hammer decays into two single-sided
+	// hammers of random rows — no flip at 3×TRH activations per side.
+	blind, err := top.Replay(trace.NewSliceSource(m, hammer(1999, 2001)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := blind.TotalFlips(); n != 0 {
+		t.Fatalf("externally adjacent aggressors flipped %d rows through the scrambler", n)
+	}
+
+	// An attacker who knows the internal geometry targets internal victim
+	// 2000 by hammering the EXTERNAL addresses of its internal neighbours.
+	victimInternal := 2000
+	informed, err := top.Replay(trace.NewSliceSource(m, hammer(
+		scr.Unscramble(victimInternal-1), scr.Unscramble(victimInternal+1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := informed.TotalFlips(); n == 0 {
+		t.Fatal("internally adjacent aggressors did not flip the victim")
+	}
+	// Victim accounting reports the external address of the internal victim.
+	want := scr.Unscramble(victimInternal)
+	found := false
+	for _, f := range informed.Shards[0].Flips {
+		if f.Row == want {
+			found = true
+		}
+		if f.Row == victimInternal && want != victimInternal {
+			t.Fatalf("flip reported in internal address space (row %d)", f.Row)
+		}
+	}
+	if !found {
+		t.Fatalf("flips %v do not include the external victim %d", informed.Shards[0].Flips, want)
+	}
+
+	// The same trace without scrambling flips the victim directly: the
+	// scrambler is the only thing separating the two runs.
+	cfg.ScrambleSeed = 0
+	plain, err := NewTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := plain.Replay(trace.NewSliceSource(m, hammer(1999, 2001)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.TotalFlips() == 0 {
+		t.Fatal("unscrambled double-sided hammer did not flip")
+	}
+}
+
+func TestReplayCampaignKeyIgnoresWorkers(t *testing.T) {
+	cfg := serverConfig(t)
+	key := ReplayCampaignKey(cfg, 1000, 0xDEADBEEF)
+	if key == "" {
+		t.Fatal("empty key")
+	}
+	// The key pins scheme, mapping, budgets, scramble, seed, and the trace
+	// fingerprint — and changes when any of them change.
+	variants := []TopologyConfig{}
+	v := cfg
+	v.TRH = 600
+	variants = append(variants, v)
+	v = cfg
+	v.Seed = 43
+	variants = append(variants, v)
+	v = cfg
+	v.ScrambleSeed = 9
+	variants = append(variants, v)
+	v = cfg
+	v.RFMBudgets = []int{0, 32}
+	variants = append(variants, v)
+	for i, vc := range variants {
+		if ReplayCampaignKey(vc, 1000, 0xDEADBEEF) == key {
+			t.Errorf("variant %d: key unchanged", i)
+		}
+	}
+	if ReplayCampaignKey(cfg, 1001, 0xDEADBEEF) == key || ReplayCampaignKey(cfg, 1000, 0xDEADBEEE) == key {
+		t.Error("key ignores the trace fingerprint")
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"pride/internal/addrmap"
+)
+
+// FuzzReadRecords throws arbitrary byte soup at the binary decoder (the
+// sibling of patterns' FuzzReadTrace). The decoder must never panic; when it
+// accepts an input, the decoded trace re-encoded through the Writer must be
+// byte-identical — the binary form is canonical, so accept-then-reencode is
+// the round-trip invariant corruption cannot satisfy.
+func FuzzReadRecords(f *testing.F) {
+	m := addrmap.Mapping{ColumnBits: 6, BankBits: 3, RowBits: 12, RankBits: 1, ChannelBits: 2, XORBankHash: true}
+	valid := func(addrs []uint64) []byte {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, m, addrs); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	empty := valid(nil)
+	small := valid([]uint64{0, 1, 0x3FFFFF, 163840, 4096})
+
+	seeds := [][]byte{
+		nil,
+		empty,
+		small,
+		[]byte("PRIDEACT"),   // header cut after the magic
+		small[:HeaderSize],   // header only, count declared but no records
+		small[:HeaderSize-1], // torn header
+		small[:len(small)-3], // torn tail mid-record
+		append(small[:len(small):len(small)], 0xAA),                          // trailing data
+		[]byte("mapping: col=6 bank=3 row=12 rank=1 chan=2 xor=1\nact: 1\n"), // text form fed to the binary decoder
+	}
+	// Corrupt header fields one at a time: magic, version, mapping widths,
+	// flags, reserved bytes, count.
+	for _, off := range []int{0, 8, 12, 14, 17, 20, 24, 31} {
+		b := append([]byte(nil), small...)
+		b[off] ^= 0xFF
+		seeds = append(seeds, b)
+	}
+	// An in-range header with an out-of-range record.
+	b := append([]byte(nil), small...)
+	binary.LittleEndian.PutUint64(b[HeaderSize:], 1<<62)
+	seeds = append(seeds, b)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine
+		}
+		addrs, err := Drain(tr, nil)
+		if err != nil {
+			return // rejected mid-stream: fine
+		}
+		if uint64(len(addrs)) != tr.Count() {
+			t.Fatalf("accepted %d records but header declares %d", len(addrs), tr.Count())
+		}
+		var re bytes.Buffer
+		if err := WriteAll(&re, tr.Mapping(), addrs); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatalf("re-encode differs from accepted input: %d vs %d bytes", re.Len(), len(data))
+		}
+		// Reading past EOF stays EOF.
+		var one [1]uint64
+		if n, err := tr.ReadBatch(one[:]); n != 0 || err != io.EOF {
+			t.Fatalf("post-drain ReadBatch = (%d, %v)", n, err)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pride/internal/addrmap"
+)
+
+// The text trace form is line-oriented and diff-friendly — the same role
+// patterns' trace files play for attack patterns — so small traces can be
+// committed, reviewed, and edited by hand, then converted to the binary
+// form for replay at scale:
+//
+//	# optional comments
+//	mapping: col=13 bank=5 row=17 rank=0 chan=0 xor=1
+//	act: 163840 163842 4325376
+//	act: 163840
+//
+// The mapping line must appear exactly once, before any act line. Multiple
+// act lines concatenate; addresses are decimal physical addresses under the
+// declared mapping. Unknown keys are rejected and errors carry line numbers
+// (a typo in a hand-edited trace should fail loudly, not silently change
+// the experiment).
+
+// WriteText serializes a trace in the text form.
+func WriteText(w io.Writer, m addrmap.Mapping, addrs []uint64) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "mapping: %s\n", m.String())
+	const perLine = 8
+	for i := 0; i < len(addrs); i += perLine {
+		end := i + perLine
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		fmt.Fprintf(bw, "act:")
+		for _, a := range addrs[i:end] {
+			fmt.Fprintf(bw, " %d", a)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a trace from the text form.
+func ReadText(r io.Reader) (addrmap.Mapping, []uint64, error) {
+	var (
+		m        addrmap.Mapping
+		compiled addrmap.Compiled
+		haveMap  bool
+		addrs    []uint64
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, found := strings.Cut(line, ":")
+		if !found {
+			return addrmap.Mapping{}, nil, fmt.Errorf("trace: line %d: missing ':' in %q", lineNo, line)
+		}
+		rest = strings.TrimSpace(rest)
+		switch strings.TrimSpace(key) {
+		case "mapping":
+			if haveMap {
+				return addrmap.Mapping{}, nil, fmt.Errorf("trace: line %d: duplicate mapping line", lineNo)
+			}
+			parsed, err := addrmap.ParseMapping(rest)
+			if err != nil {
+				return addrmap.Mapping{}, nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			m = parsed
+			compiled = m.MustCompile()
+			haveMap = true
+		case "act":
+			if !haveMap {
+				return addrmap.Mapping{}, nil, fmt.Errorf("trace: line %d: act before mapping", lineNo)
+			}
+			for _, f := range strings.Fields(rest) {
+				a, err := strconv.ParseUint(f, 10, 64)
+				if err != nil {
+					return addrmap.Mapping{}, nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, f)
+				}
+				if !compiled.InRange(a) {
+					return addrmap.Mapping{}, nil, fmt.Errorf(
+						"trace: line %d: address %d has bits outside the %d-bit mapping",
+						lineNo, a, compiled.AddrBits())
+				}
+				addrs = append(addrs, a)
+			}
+		default:
+			return addrmap.Mapping{}, nil, fmt.Errorf("trace: line %d: unknown key %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return addrmap.Mapping{}, nil, fmt.Errorf("trace: reading: %v", err)
+	}
+	if !haveMap {
+		return addrmap.Mapping{}, nil, fmt.Errorf("trace: missing mapping line")
+	}
+	return m, addrs, nil
+}
