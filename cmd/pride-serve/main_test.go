@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunFlagAndConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+		msg  string
+	}{
+		{"unknown flag", []string{"-nope"}, 2, ""},
+		{"missing data dir", []string{"-addr", "127.0.0.1:0"}, 2, "-data is required"},
+		{"bad chaos spec", []string{"-data", t.TempDir(), "-chaos", "nonsense"}, 2, "-chaos"},
+		{"unlistenable addr", []string{"-data", t.TempDir(), "-addr", "256.0.0.1:1"}, 1, ""},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(context.Background(), tc.args, &stdout, &stderr); got != tc.want {
+			t.Errorf("%s: run = %d, want %d (stderr: %s)", tc.name, got, tc.want, stderr.String())
+		}
+		if tc.msg != "" && !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
+		}
+	}
+}
+
+// TestRunServesAndDrainsCleanly drives the daemon through its real lifecycle:
+// start on a free port, serve a submission to completion, cancel the context
+// (what SIGTERM does) and assert the clean-drain exit code 0.
+func TestRunServesAndDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data", t.TempDir()}, &stdout, &stderr)
+	}()
+
+	addrRE := regexp.MustCompile(`pride-serve listening on ([^ ]+) `)
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no listening line on stderr: %q", stderr.String())
+	}
+
+	spec := `{"kind":"security","seed":5,"security":{"entries":1,"window":16,"periods":2000}}`
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct{ ID string }
+	json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit = %d id=%q", resp.StatusCode, job.ID)
+	}
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		r, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s", addr, job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct{ State string }
+		json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" {
+			t.Fatal("job failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("idle drain exit = %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+	if !strings.Contains(stdout.String(), "drained cleanly") {
+		t.Fatalf("stdout %q missing clean-drain message", stdout.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the writer goroutine + reader test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -10,7 +10,21 @@
 //   - engine self-checks (montecarlo/sim/system): forced invariant trips
 //     that exercise the event→exact fallback, via EngineTrip;
 //   - context cancellation: a bound cancel function invoked when the
-//     trial.cancel site fires, the test stand-in for a SIGINT/SIGTERM.
+//     trial.cancel site fires, the test stand-in for a SIGINT/SIGTERM;
+//   - the campaign server (internal/server): job admission (server.enqueue,
+//     a fired fault rejects the submission with a retryable error), job
+//     execution (job.run, consulted per (job, attempt) like the trial.*
+//     sites so the job-level retry/backoff machinery is exercised), and
+//     result persistence (job.result-write, a fired fault fails the cache
+//     write and triggers the store's retry loop);
+//   - trace decoding (trace.read): consulted per ReadBatch of a replay
+//     job's trace source, so a mid-stream I/O failure on a multi-GB trace
+//     is drillable (the decode error carries the byte offset and record
+//     index of the failure point).
+//
+// The full site list: checkpoint.open, checkpoint.create, checkpoint.write,
+// checkpoint.sync, checkpoint.rename, trial.panic, trial.err, trial.cancel,
+// engine.trip, server.enqueue, job.run, job.result-write, trace.read.
 //
 // Determinism: probabilistic decisions for indexed sites (trials, engine
 // trips) are a pure function of (seed, site, index) — never of scheduling —
@@ -113,6 +127,10 @@ const (
 	SiteTrialErr         = "trial.err"
 	SiteTrialCancel      = "trial.cancel"
 	SiteEngineTrip       = "engine.trip"
+	SiteServerEnqueue    = "server.enqueue"
+	SiteJobRun           = "job.run"
+	SiteJobResultWrite   = "job.result-write"
+	SiteTraceRead        = "trace.read"
 )
 
 // Trigger describes when an armed site fires. Conditions compose as OR; the
@@ -361,6 +379,36 @@ func (in *Injector) trialSite(name string, kind Kind, trial, attempt int) error 
 		return nil
 	}
 	return &Fault{Site: name, Kind: kind, Call: trial}
+}
+
+// JobFault implements the campaign server's job fault hook: consulted before
+// attempt `attempt` (0-based) of job `job`. The job.run site decides per job
+// index — scheduling-independent, exactly like the trial.* sites — failing
+// the number of leading attempts its trigger's Attempts field names, so a
+// transient job fault retries to the identical result and attempts=-1
+// exhausts the job's retry budget. The armed Kind is honoured: kind=panic
+// faults are raised through the job runner's recover machinery.
+func (in *Injector) JobFault(job, attempt int) error {
+	in.mu.Lock()
+	s := in.sites[SiteJobRun]
+	var kind Kind
+	if s != nil {
+		kind = s.trig.Kind
+	}
+	in.mu.Unlock()
+	if s == nil || !s.trig.failsAttempt(attempt) {
+		return nil
+	}
+	if !in.FireAt(SiteJobRun, uint64(job)) {
+		return nil
+	}
+	return &Fault{Site: SiteJobRun, Kind: kind, Call: job}
+}
+
+// TraceReadFault implements the trace layer's fault hook: consulted once per
+// ReadBatch of a fault-wrapped trace source (call-counted, site trace.read).
+func (in *Injector) TraceReadFault() error {
+	return in.Err(SiteTraceRead)
 }
 
 // EngineTrip reports whether the forced-invariant-trip site fires for the

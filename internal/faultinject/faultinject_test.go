@@ -350,3 +350,58 @@ func equalBools(a, b []bool) bool {
 	}
 	return true
 }
+
+func TestJobFaultAttemptsAndKind(t *testing.T) {
+	// Default Attempts=0: exactly the first attempt of the targeted job
+	// fails; the armed Kind travels with the fault so kind=panic reaches
+	// the job runner's recover machinery.
+	in := New(1)
+	in.Arm(SiteJobRun, Trigger{Nth: 2, Kind: KindPanic})
+	if err := in.JobFault(0, 0); err != nil {
+		t.Fatalf("job 0 faulted: %v", err)
+	}
+	err := in.JobFault(1, 0)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != KindPanic || f.Site != SiteJobRun {
+		t.Fatalf("job 1 attempt 0: %v", err)
+	}
+	if err := in.JobFault(1, 1); err != nil {
+		t.Fatalf("job 1 attempt 1 should succeed: %v", err)
+	}
+
+	// Attempts=-1 fails every attempt, exhausting the job retry budget.
+	in2 := New(1)
+	in2.Arm(SiteJobRun, Trigger{Nth: 1, Attempts: -1})
+	for a := 0; a < 4; a++ {
+		if err := in2.JobFault(0, a); err == nil {
+			t.Fatalf("attempts=-1 let attempt %d through", a)
+		}
+	}
+}
+
+func TestTraceReadFaultIsCallCounted(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteTraceRead, Trigger{Nth: 3})
+	for call := 1; call <= 5; call++ {
+		err := in.TraceReadFault()
+		if (call == 3) != (err != nil) {
+			t.Fatalf("call %d: err=%v", call, err)
+		}
+	}
+}
+
+func TestServerSitesRoundTripSpec(t *testing.T) {
+	in := New(9)
+	in.Arm(SiteServerEnqueue, Trigger{Nth: 1})
+	in.Arm(SiteJobRun, Trigger{Nth: 1, Attempts: 2})
+	in.Arm(SiteJobResultWrite, Trigger{Every: 2})
+	in.Arm(SiteTraceRead, Trigger{Prob: 0.25})
+	spec := in.String()
+	in2, err := Parse(9, spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	if got := in2.String(); got != spec {
+		t.Fatalf("spec did not round-trip:\n  first:  %q\n  second: %q", spec, got)
+	}
+}

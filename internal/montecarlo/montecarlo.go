@@ -34,6 +34,12 @@ type LossConfig struct {
 	SelfCheck bool
 }
 
+// Validate reports whether the config describes a runnable simulation.
+// Campaign entry points panic on an invalid config (a programming error in
+// the calling binary); services validating externally-supplied specs call
+// this first and turn the error into a client-facing rejection instead.
+func (c LossConfig) Validate() error { return c.validate() }
+
 func (c LossConfig) validate() error {
 	switch {
 	case c.Entries <= 0:

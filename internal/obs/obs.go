@@ -43,6 +43,13 @@ type Campaign struct {
 	checkpointRetries atomic.Int64
 	engineFallbacks   atomic.Int64
 	quarantined       atomic.Int64
+
+	jobsSubmitted atomic.Int64
+	jobsQueued    atomic.Int64
+	jobsRunning   atomic.Int64
+	jobRetries    atomic.Int64
+	jobsDrained   atomic.Int64
+	cacheHits     atomic.Int64
 }
 
 // NewCampaign returns a Campaign named name, expecting totalTrials trials on
@@ -108,6 +115,39 @@ func (c *Campaign) AddEngineFallbacks(n int64) { c.engineFallbacks.Add(n) }
 // AddQuarantined records n trials whose retry budget was exhausted.
 func (c *Campaign) AddQuarantined(n int64) { c.quarantined.Add(n) }
 
+// Job-lifecycle counters, bumped by the campaign server daemon. A campaign
+// tracking a server's job queue uses JobQueued/JobStarted/JobFinished to keep
+// the queued and running gauges consistent; the remaining counters are
+// monotone tallies.
+
+// JobQueued records a job accepted onto the queue.
+func (c *Campaign) JobQueued() {
+	c.jobsSubmitted.Add(1)
+	c.jobsQueued.Add(1)
+}
+
+// JobStarted records a job moving from the queue to a worker.
+func (c *Campaign) JobStarted() {
+	c.jobsQueued.Add(-1)
+	c.jobsRunning.Add(1)
+}
+
+// JobFinished records a running job reaching a terminal state (done, failed,
+// or resumable).
+func (c *Campaign) JobFinished() { c.jobsRunning.Add(-1) }
+
+// AddJobRetries records n retried job attempts (the server's per-job backoff
+// loop re-running a failed job).
+func (c *Campaign) AddJobRetries(n int64) { c.jobRetries.Add(n) }
+
+// AddJobsDrained records n in-flight jobs checkpointed and marked resumable
+// by a graceful shutdown.
+func (c *Campaign) AddJobsDrained(n int64) { c.jobsDrained.Add(n) }
+
+// AddCacheHits records n submissions served from the result cache without
+// recompute.
+func (c *Campaign) AddCacheHits(n int64) { c.cacheHits.Add(n) }
+
 // Snapshot is a point-in-time view of a campaign with derived rates.
 type Snapshot struct {
 	Name           string  `json:"name"`
@@ -125,14 +165,22 @@ type Snapshot struct {
 	Bytes   int64 `json:"bytes"`
 	// Resilience counters: retries absorbed, fallbacks taken, trials given
 	// up on. All zero in a healthy undisturbed run.
-	TrialRetries      int64   `json:"trial_retries"`
-	CheckpointRetries int64   `json:"checkpoint_retries"`
-	EngineFallbacks   int64   `json:"engine_fallbacks"`
-	Quarantined       int64   `json:"quarantined"`
-	TrialsPerSec      float64 `json:"trials_per_sec"`
-	PeriodsPerSec     float64 `json:"periods_per_sec"`
-	RecordsPerSec     float64 `json:"records_per_sec"`
-	MBPerSec          float64 `json:"mb_per_sec"`
+	TrialRetries      int64 `json:"trial_retries"`
+	CheckpointRetries int64 `json:"checkpoint_retries"`
+	EngineFallbacks   int64 `json:"engine_fallbacks"`
+	Quarantined       int64 `json:"quarantined"`
+	// Job-lifecycle counters of a campaign server daemon. All zero outside
+	// pride-serve.
+	JobsSubmitted int64   `json:"jobs_submitted"`
+	JobsQueued    int64   `json:"jobs_queued"`
+	JobsRunning   int64   `json:"jobs_running"`
+	JobRetries    int64   `json:"job_retries"`
+	JobsDrained   int64   `json:"jobs_drained"`
+	CacheHits     int64   `json:"cache_hits"`
+	TrialsPerSec  float64 `json:"trials_per_sec"`
+	PeriodsPerSec float64 `json:"periods_per_sec"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
 	// Utilization is busy-worker time over elapsed wall-clock time times the
 	// pool width: 1.0 means every worker computed the whole time.
 	Utilization float64 `json:"utilization"`
@@ -158,6 +206,13 @@ func (c *Campaign) Snapshot() Snapshot {
 		CheckpointRetries: c.checkpointRetries.Load(),
 		EngineFallbacks:   c.engineFallbacks.Load(),
 		Quarantined:       c.quarantined.Load(),
+
+		JobsSubmitted: c.jobsSubmitted.Load(),
+		JobsQueued:    c.jobsQueued.Load(),
+		JobsRunning:   c.jobsRunning.Load(),
+		JobRetries:    c.jobRetries.Load(),
+		JobsDrained:   c.jobsDrained.Load(),
+		CacheHits:     c.cacheHits.Load(),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		s.TrialsPerSec = float64(s.TrialsDone) / sec
@@ -189,6 +244,12 @@ func (s Snapshot) Line() string {
 	if s.TrialRetries != 0 || s.CheckpointRetries != 0 || s.EngineFallbacks != 0 || s.Quarantined != 0 {
 		line += fmt.Sprintf(" trial_retries=%d checkpoint_retries=%d engine_fallbacks=%d quarantined=%d",
 			s.TrialRetries, s.CheckpointRetries, s.EngineFallbacks, s.Quarantined)
+	}
+	// Job-lifecycle keys appear only on a campaign that has accepted jobs
+	// (the pride-serve daemon), so CLI campaign lines are untouched.
+	if s.JobsSubmitted != 0 {
+		line += fmt.Sprintf(" jobs=%d queued=%d running=%d job_retries=%d drained=%d cache_hits=%d",
+			s.JobsSubmitted, s.JobsQueued, s.JobsRunning, s.JobRetries, s.JobsDrained, s.CacheHits)
 	}
 	return line
 }

@@ -168,3 +168,26 @@ func TestStartReporterZeroIntervalIsNoop(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestJobCountersAndLineGating(t *testing.T) {
+	c := NewCampaign("serve", 0, 1)
+	if line := c.Line(); strings.Contains(line, "jobs=") {
+		t.Fatalf("job keys on a campaign with no jobs: %q", line)
+	}
+	c.JobQueued()
+	c.JobQueued()
+	c.JobStarted()
+	c.AddJobRetries(3)
+	c.AddCacheHits(1)
+	c.AddJobsDrained(1)
+	c.JobFinished()
+	s := c.Snapshot()
+	if s.JobsSubmitted != 2 || s.JobsQueued != 1 || s.JobsRunning != 0 ||
+		s.JobRetries != 3 || s.JobsDrained != 1 || s.CacheHits != 1 {
+		t.Fatalf("snapshot job counters wrong: %+v", s)
+	}
+	want := " jobs=2 queued=1 running=0 job_retries=3 drained=1 cache_hits=1"
+	if line := s.Line(); !strings.HasSuffix(line, want) {
+		t.Fatalf("line %q does not end with %q", line, want)
+	}
+}

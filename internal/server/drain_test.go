@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// replaySpec is sized so the campaign runs long enough (hundreds of ms on a
+// single worker) for a drain to land mid-flight deterministically.
+const replaySpec = `{"kind":"replay","seed":7,"workers":1,"replay":{"workload":"lbm","mapping":"col=6 bank=2 row=10 rank=0 chan=1 xor=0","acts":8000000,"scheme":"PrIDE","trh":500}}`
+
+// TestDrainMidReplayResumesBitIdentical is the daemon-restart contract: kill
+// the server while a replay campaign is running, restart it on the same data
+// directory, resubmit the identical spec, and the finished result must be
+// bit-identical to an undisturbed run — the checkpoint made the interruption
+// invisible.
+func TestDrainMidReplayResumesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second replay campaign; run without -short (the chaos CI job does)")
+	}
+	dataDir := t.TempDir()
+
+	// Daemon life 1: submit, wait until the campaign is actually running,
+	// then drain mid-job (this is what SIGTERM triggers in pride-serve).
+	s1, ts1 := testServer(t, Config{DataDir: dataDir, JobWorkers: 1})
+	code, j, body := postSpec(t, ts1, replaySpec, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%s), want 202", code, body)
+	}
+	waitState(t, ts1, j.ID, StateRunning)
+	time.Sleep(50 * time.Millisecond) // let the in-flight shard make progress
+	if drained := s1.Drain(); drained != 1 {
+		t.Fatalf("Drain() = %d interrupted jobs, want 1", drained)
+	}
+	if _, got := getJob(t, ts1, j.ID); got.State != StateResumable {
+		t.Fatalf("interrupted job state = %q, want %q", got.State, StateResumable)
+	}
+	if got := s1.Campaign().Snapshot().JobsDrained; got != 1 {
+		t.Fatalf("drained counter = %d, want 1", got)
+	}
+	ckpt := filepath.Join(dataDir, "checkpoints", j.ID+".ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint survived the drain: %v", err)
+	}
+	ts1.Close()
+
+	// Daemon life 2: same data directory, identical spec. Not a cache hit
+	// (no result landed), but the campaign resumes from the checkpoint.
+	_, ts2 := testServer(t, Config{DataDir: dataDir, JobWorkers: 1})
+	code, j2, _ := postSpec(t, ts2, replaySpec, nil)
+	if code != http.StatusAccepted || j2.ID != j.ID {
+		t.Fatalf("resubmit = %d id=%s, want 202 id=%s (same spec, same job)", code, j2.ID, j.ID)
+	}
+	resumed := waitState(t, ts2, j2.ID, StateDone, StateFailed)
+	if resumed.State != StateDone {
+		t.Fatalf("resumed job failed: %s", resumed.Error)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not cleaned up after completion: %v", err)
+	}
+
+	// Reference: the same spec run undisturbed on a fresh data directory.
+	_, ts3 := testServer(t, Config{JobWorkers: 1})
+	_, jr, _ := postSpec(t, ts3, replaySpec, nil)
+	ref := waitState(t, ts3, jr.ID, StateDone, StateFailed)
+	if ref.State != StateDone {
+		t.Fatalf("reference job failed: %s", ref.Error)
+	}
+
+	if !bytes.Equal(resumed.Result, ref.Result) {
+		t.Fatalf("resumed result differs from undisturbed run:\n  resumed: %s\n  ref:     %s", resumed.Result, ref.Result)
+	}
+	var res ReplayResult
+	if err := json.Unmarshal(resumed.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 8000000 || len(res.PerChannel) == 0 {
+		t.Fatalf("implausible replay result: %+v", res)
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token bucket: each client gets burst tokens,
+// refilled at rate tokens per second. A zero rate disables limiting.
+// Buckets are created on first sight and never expire — the client
+// cardinality of a campaign server is operators and CI jobs, not the open
+// internet.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}, now: time.Now}
+}
+
+// Allow reports whether the client may proceed, consuming one token if so.
+func (l *limiter) Allow(client string) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	b.last = now
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientID identifies the requester for rate limiting: the X-Pride-Client
+// header when set (CI jobs and scripted sweeps name themselves), otherwise
+// the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Pride-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -197,6 +197,26 @@ type AttackConfig struct {
 	SelfCheck bool
 }
 
+// Validate reports whether the config describes a runnable attack trial.
+// RunAttack and the campaigns panic on an invalid config (a programming
+// error in the calling binary); services validating externally-supplied
+// specs call this first and reject the spec instead.
+func (c AttackConfig) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("sim: %v", err)
+	}
+	if c.ACTs <= 0 {
+		return fmt.Errorf("sim: ACTs must be positive, got %d", c.ACTs)
+	}
+	if c.TRH < 0 {
+		return fmt.Errorf("sim: TRH must be >= 0, got %d", c.TRH)
+	}
+	if c.Policy != ClosedPage && c.Policy != OpenPage {
+		return fmt.Errorf("sim: unknown row policy %d", c.Policy)
+	}
+	return nil
+}
+
 // AttackResult reports one trial's metrics.
 type AttackResult struct {
 	Scheme  string

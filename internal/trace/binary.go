@@ -131,6 +131,12 @@ func (tr *Reader) Reset(r io.Reader) error {
 // Mapping returns the address mapping declared in the header.
 func (tr *Reader) Mapping() addrmap.Mapping { return tr.compiled.Mapping() }
 
+// offset returns the byte offset of the next undecoded record: where in the
+// stream a decode error is located. Multi-GB traces make "record N" alone
+// useless for dd/xxd forensics, so every record-level error carries both the
+// record index and this offset.
+func (tr *Reader) offset() uint64 { return HeaderSize + tr.read*RecordSize }
+
 // Count returns the record count declared in the header.
 func (tr *Reader) Count() uint64 { return tr.count }
 
@@ -159,8 +165,8 @@ func (tr *Reader) ReadBatch(dst []uint64) (int, error) {
 		}
 		addr := binary.LittleEndian.Uint64(tr.buf[tr.start:])
 		if !tr.compiled.InRange(addr) {
-			return n, fmt.Errorf("trace: record %d: address %#x has bits outside the %d-bit mapping",
-				tr.read, addr, tr.compiled.AddrBits())
+			return n, fmt.Errorf("trace: record %d (byte offset %d): address %#x has bits outside the %d-bit mapping",
+				tr.read, tr.offset(), addr, tr.compiled.AddrBits())
 		}
 		tr.start += RecordSize
 		dst[n] = addr
@@ -184,10 +190,10 @@ func (tr *Reader) fill() error {
 		}
 		if err != nil {
 			if err == io.EOF {
-				return fmt.Errorf("trace: torn tail: header declares %d records, stream ends after %d",
-					tr.count, tr.read)
+				return fmt.Errorf("trace: torn tail: header declares %d records, stream ends after %d (byte offset %d)",
+					tr.count, tr.read, tr.offset())
 			}
-			return fmt.Errorf("trace: reading records: %v", err)
+			return fmt.Errorf("trace: reading record %d (byte offset %d): %v", tr.read, tr.offset(), err)
 		}
 	}
 	return nil
@@ -200,14 +206,15 @@ func (tr *Reader) checkTrailing() error {
 	}
 	tr.done = true
 	if tr.end > tr.start {
-		return fmt.Errorf("trace: %d trailing bytes after %d declared records", tr.end-tr.start, tr.count)
+		return fmt.Errorf("trace: %d trailing bytes after %d declared records (byte offset %d)",
+			tr.end-tr.start, tr.count, tr.offset())
 	}
 	m, err := tr.r.Read(tr.buf[:1])
 	if m > 0 {
-		return fmt.Errorf("trace: trailing data after %d declared records", tr.count)
+		return fmt.Errorf("trace: trailing data after %d declared records (byte offset %d)", tr.count, tr.offset())
 	}
 	if err != nil && err != io.EOF {
-		return fmt.Errorf("trace: reading records: %v", err)
+		return fmt.Errorf("trace: reading past record %d (byte offset %d): %v", tr.read, tr.offset(), err)
 	}
 	return nil
 }

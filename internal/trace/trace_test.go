@@ -3,7 +3,9 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"pride/internal/addrmap"
@@ -429,5 +431,56 @@ func BenchmarkReadBatch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+func TestReaderErrorsCarryByteOffset(t *testing.T) {
+	m := addrmap.Mapping{ColumnBits: 3, BankBits: 2, RowBits: 4}
+	var buf bytes.Buffer
+	addrs := []uint64{1, 2, 3, 4, 5}
+	if err := WriteAll(&buf, m, addrs); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Corrupt record 3 so it has bits above the 9-bit mapping; its byte
+	// offset is header + 3 records.
+	bad := append([]byte(nil), good...)
+	wantOff := HeaderSize + 3*RecordSize
+	binary.LittleEndian.PutUint64(bad[wantOff:], 1<<40)
+	tr, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Drain(tr, nil)
+	if err == nil {
+		t.Fatal("corrupt record decoded cleanly")
+	}
+	for _, want := range []string{"record 3", fmt.Sprintf("byte offset %d", wantOff)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// A torn tail reports where the stream ended.
+	tr, err = NewReader(bytes.NewReader(good[:wantOff]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Drain(tr, nil)
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("byte offset %d", wantOff)) {
+		t.Errorf("torn-tail error %q does not carry byte offset %d", err, wantOff)
+	}
+
+	// Trailing data reports the offset where the trace should have ended.
+	trailing := append(append([]byte(nil), good...), 0xFF)
+	tr, err = NewReader(bytes.NewReader(trailing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endOff := HeaderSize + len(addrs)*RecordSize
+	_, err = Drain(tr, nil)
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("byte offset %d", endOff)) {
+		t.Errorf("trailing-data error %q does not carry byte offset %d", err, endOff)
 	}
 }

@@ -104,6 +104,13 @@ type RetryPolicy struct {
 	// Deadline, when > 0, fails any attempt whose wall-clock duration
 	// exceeds it (post-completion check, see DeadlineError).
 	Deadline time.Duration
+	// Backoff, when > 0, is the pause before the first retry, doubling per
+	// subsequent attempt up to MaxBackoff. Zero keeps the historic
+	// immediate-retry behavior. Backoff only delays execution — it never
+	// feeds into trial RNG streams, so it cannot perturb results.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Zero means no cap.
+	MaxBackoff time.Duration
 }
 
 func (p RetryPolicy) attempts() int {
@@ -111,6 +118,27 @@ func (p RetryPolicy) attempts() int {
 		return 1
 	}
 	return p.Attempts
+}
+
+// BackoffFor returns the pause before attempt number `attempt` (attempt 1 is
+// the first retry): Backoff doubled attempt-1 times, capped at MaxBackoff.
+// Zero for attempt < 1 or a zero Backoff. The campaign server reuses this at
+// the job level, layering deterministic jitter on top.
+func (p RetryPolicy) BackoffFor(attempt int) time.Duration {
+	if attempt < 1 || p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
 }
 
 // TrialFaults is the pool's fault-injection hook (faultinject.Injector
@@ -293,6 +321,12 @@ func MapOptsWorker[R any](ctx context.Context, trials int, trial func(worker, i 
 			if a+1 < maxAttempts {
 				if rr, ok := opts.Observer.(retryReporter); ok {
 					rr.AddTrialRetries(1)
+				}
+				if d := opts.Retry.BackoffFor(a + 1); d > 0 {
+					select {
+					case <-ctx.Done():
+					case <-time.After(d):
+					}
 				}
 			}
 		}

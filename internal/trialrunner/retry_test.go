@@ -217,3 +217,38 @@ func TestRetryDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestBackoffFor(t *testing.T) {
+	zero := RetryPolicy{}
+	if d := zero.BackoffFor(1); d != 0 {
+		t.Fatalf("zero policy backs off %v", d)
+	}
+	p := RetryPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	for a, w := range want {
+		if d := p.BackoffFor(a); d != w {
+			t.Errorf("BackoffFor(%d) = %v, want %v", a, d, w)
+		}
+	}
+	// No cap: pure doubling.
+	unc := RetryPolicy{Backoff: time.Millisecond}
+	if d := unc.BackoffFor(4); d != 8*time.Millisecond {
+		t.Errorf("uncapped BackoffFor(4) = %v, want 8ms", d)
+	}
+}
+
+func TestRetryBackoffDelaysRetries(t *testing.T) {
+	// Two attempts with a 30ms backoff: the trial fails once, so a full run
+	// must take at least one backoff.
+	in := faultinject.New(1)
+	in.Arm(faultinject.SiteTrialErr, faultinject.Trigger{Nth: 1})
+	start := time.Now()
+	_, err := MapOpts(context.Background(), 1, func(i int) int { return i }, nil,
+		Options{Workers: 1, Retry: RetryPolicy{Attempts: 2, Backoff: 30 * time.Millisecond}, Faults: in})
+	if err != nil {
+		t.Fatalf("retry did not absorb the fault: %v", err)
+	}
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("run finished in %v; backoff was not applied", el)
+	}
+}
